@@ -1,0 +1,35 @@
+"""E6 — Lemma 3.4: 5DDSubset returns |F| ≥ n/40 in O(1) expected rounds.
+
+Measures (a) the subset size fraction, (b) the empirical round count
+distribution (the proof bounds the per-round failure probability by
+1/2), and (c) that the output really is 5-DD; times one invocation.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record, workload
+
+from repro.core.dd_subset import DDSubsetStats, five_dd_subset, \
+    verify_five_dd
+
+
+@pytest.mark.parametrize("name", ["grid", "expander", "er", "barbell"])
+def test_e06_size_rounds_validity(benchmark, name):
+    g = workload(name, 800, seed=6)
+    rng_seeds = range(20)
+    rounds, sizes = [], []
+    for seed in rng_seeds:
+        stats = DDSubsetStats()
+        F = five_dd_subset(g, seed=seed, stats=stats)
+        assert verify_five_dd(g, F)
+        rounds.append(stats.rounds)
+        sizes.append(F.size)
+
+    F = benchmark(lambda: five_dd_subset(g, seed=99))
+    record(benchmark, workload=name, n=g.n,
+           mean_rounds=float(np.mean(rounds)),
+           max_rounds=int(np.max(rounds)),
+           mean_size_fraction=float(np.mean(sizes)) / g.n)
+    assert np.mean(rounds) <= 4.0          # O(1) expected
+    assert min(sizes) > g.n / 40.0          # Lemma 3.4 size bound

@@ -1,0 +1,58 @@
+"""E7 — Lemma 5.4: terminal walks are short under a 5-DD complement.
+
+Claims: expected walk length O(1) (escape probability ≥ 4/5 per step),
+max length O(log m) whp, total steps O(m).  Measured per workload with
+a real 5-DD subset, timing one full TerminalWalks invocation.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record, workload
+
+from repro.core.boundedness import naive_split
+from repro.core.dd_subset import five_dd_subset
+from repro.core.terminal_walks import terminal_walks
+
+
+@pytest.mark.parametrize("name", ["grid", "expander", "er"])
+def test_e07_walk_lengths(benchmark, name):
+    g = naive_split(workload(name, 700, seed=7), 0.25)
+    F = five_dd_subset(g, seed=0)
+    C = np.setdiff1d(np.arange(g.n), F)
+
+    def run():
+        return terminal_walks(g, C, seed=1, return_stats=True)
+
+    H, stats = benchmark(run)
+    record(benchmark, workload=name, m=g.m,
+           mean_walk_length=stats.mean_walk_length,
+           max_walk_length=stats.max_walk_length,
+           total_steps=stats.total_steps,
+           steps_per_edge=stats.total_steps / g.m)
+    assert stats.mean_walk_length < 2.0           # O(1) expected
+    assert stats.max_walk_length <= 4 * np.log2(g.m) + 8  # O(log m) whp
+    assert stats.total_steps <= 4 * g.m            # O(m) total
+
+
+def test_e07_geometric_tail(benchmark):
+    """Walk-length distribution has a geometric tail with ratio ≤ 1/5
+    (each step escapes to C with probability ≥ 4/5)."""
+    g = naive_split(workload("grid", 900, seed=7), 0.25)
+    F = five_dd_subset(g, seed=2)
+    C = np.setdiff1d(np.arange(g.n), F)
+    from repro.sampling.walks import WalkEngine
+
+    is_term = np.zeros(g.n, dtype=bool)
+    is_term[C] = True
+    engine = WalkEngine(g, is_term)
+    starts = np.repeat(F, 50)  # many walkers per interior vertex
+
+    res = benchmark(lambda: engine.run(starts, seed=3))
+    lengths = res.length
+    tail2 = float(np.mean(lengths >= 2))
+    tail1 = float(np.mean(lengths >= 1))
+    record(benchmark, walkers=starts.size,
+           p_len_ge_1=tail1, p_len_ge_2=tail2,
+           tail_ratio=tail2 / max(tail1, 1e-12))
+    assert tail2 / max(tail1, 1e-12) <= 0.25  # ≤ 1/5 + slack

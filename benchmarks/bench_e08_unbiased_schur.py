@@ -1,0 +1,55 @@
+"""E8 — Lemma 5.1: E[L_H] = SC(L_G, C), and the martingale stays tight.
+
+Monte-Carlo mean of TerminalWalks outputs vs the dense Schur oracle
+(entrywise), plus the Section 5 martingale deviation trace of a full
+BlockCholesky run against the Theorem 3.9 envelope.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record, workload
+
+from repro.config import SolverOptions
+from repro.core.block_cholesky import block_cholesky
+from repro.core.boundedness import naive_split
+from repro.core.terminal_walks import terminal_walks
+from repro.graphs.laplacian import laplacian
+from repro.linalg.pinv import exact_schur_complement
+from repro.theory.concentration import martingale_deviation_trace
+
+
+def test_e08_unbiasedness(benchmark):
+    g = workload("grid", 36, seed=8)  # small: dense oracle is exact
+    C = np.arange(0, g.n, 2)
+    SC = exact_schur_complement(laplacian(g).toarray(), C)
+    trials = 3000
+    rng = np.random.default_rng(0)
+
+    def accumulate():
+        acc = np.zeros((C.size, C.size))
+        for _ in range(trials):
+            H = terminal_walks(g, C, seed=rng)
+            acc += laplacian(H).toarray()[np.ix_(C, C)]
+        return acc / trials
+
+    mean = benchmark.pedantic(accumulate, rounds=1, iterations=1)
+    bias = np.abs(mean - SC).max() / np.abs(SC).max()
+    record(benchmark, trials=trials, relative_entrywise_bias=bias)
+    assert bias < 0.06
+
+
+def test_e08_martingale_deviation(benchmark):
+    g = workload("grid", 49, seed=8)
+    H = naive_split(g, 0.05)
+
+    def build_and_trace():
+        chain = block_cholesky(H, SolverOptions(min_vertices=12), seed=3)
+        return martingale_deviation_trace(g, chain)
+
+    devs = benchmark.pedantic(build_and_trace, rounds=1, iterations=1)
+    record(benchmark, deviation_trace=[float(d) for d in devs],
+           max_deviation=float(max(devs)))
+    # Theorem 3.9's success event: deviation <= 0.3 (we allow the
+    # ≈_{0.5} budget at toy scale).
+    assert max(devs) <= 0.5

@@ -1,0 +1,68 @@
+"""E9 — Theorem 3.10 / Lemma 3.6: the operator quality W ≈₁ L⁺.
+
+Materialises W on small graphs, measures the exact Loewner
+approximation factor against L⁺, and checks the factorization-level
+claim (Theorem 3.9-(5): chain ≈_{0.5} L).  Timing covers one operator
+application (the quantity Theorem 3.10 bounds by O(m log n loglog n)).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record, workload
+
+from repro.config import SolverOptions
+from repro.core.apply_cholesky import ApplyCholeskyOperator
+from repro.core.block_cholesky import block_cholesky
+from repro.core.boundedness import naive_split
+from repro.graphs.laplacian import laplacian
+from repro.linalg.loewner import (
+    approximation_factor,
+    operator_approximation_factor,
+)
+
+
+@pytest.mark.parametrize("name", ["grid", "expander", "weighted_grid"])
+def test_e09_operator_quality(benchmark, name):
+    g = workload(name, 90, seed=9)
+    H = naive_split(g, 0.05)
+    chain = block_cholesky(H, SolverOptions(min_vertices=20), seed=0)
+    W = ApplyCholeskyOperator(chain)
+    b = np.zeros(g.n)
+    b[0], b[-1] = 1.0, -1.0
+
+    benchmark(lambda: W.apply(b))
+    factor_W = operator_approximation_factor(W.apply, laplacian(g))
+    factor_chain = approximation_factor(chain.dense_factorization(),
+                                        laplacian(g).toarray())
+    record(benchmark, workload=name, n=g.n, levels=chain.d,
+           W_approx_factor=float(factor_W),
+           chain_approx_factor=float(factor_chain))
+    assert factor_chain <= 0.5   # Theorem 3.9-(5)
+    assert factor_W <= 1.0       # Theorem 3.10
+
+
+def test_e09_relative_condition_number(benchmark):
+    """κ(W L) ≤ e² on 1⊥ — what makes Richardson O(log 1/ε)."""
+    import scipy.linalg
+
+    g = workload("grid", 80, seed=9)
+    H = naive_split(g, 0.05)
+    chain = block_cholesky(H, SolverOptions(min_vertices=20), seed=1)
+    W = ApplyCholeskyOperator(chain)
+    L = laplacian(g).toarray()
+
+    def condition():
+        n = g.n
+        M = np.zeros((n, n))
+        for j in range(n):
+            e = np.full(n, -1.0 / n)
+            e[j] += 1.0
+            M[:, j] = W.apply(L @ e)
+        vals = np.sort(np.abs(scipy.linalg.eigvals(M).real))
+        nonzero = vals[vals > 1e-8]
+        return float(nonzero.max() / nonzero.min())
+
+    kappa = benchmark.pedantic(condition, rounds=1, iterations=1)
+    record(benchmark, relative_condition_number=kappa)
+    assert kappa <= np.exp(2.0) + 0.5

@@ -1,0 +1,54 @@
+"""E11 — Theorem 7.1: ApproxSchur gives L_{G_S} ≈_ε SC(L, C), ≤ m edges.
+
+Sweeps ε; measures the exact Loewner factor against the dense Schur
+oracle, the edge budget, and the O(log s) round count.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record, workload
+
+from repro.core.schur import approx_schur
+from repro.graphs.laplacian import laplacian
+from repro.linalg.loewner import approximation_factor
+from repro.linalg.pinv import exact_schur_complement
+
+
+@pytest.mark.parametrize("eps", [0.5, 0.3, 0.15])
+def test_e11_approximation_factor(benchmark, eps):
+    g = workload("grid", 64, seed=11)
+    C = np.arange(0, g.n, 3)
+    SC = exact_schur_complement(laplacian(g).toarray(), C)
+
+    report = benchmark(lambda: approx_schur(g, C, eps=eps, seed=0,
+                                            return_report=True))
+    H = report.graph
+    LH = laplacian(H).toarray()[np.ix_(C, C)]
+    measured = approximation_factor(LH, SC)
+    record(benchmark, target_eps=eps, measured_eps=float(measured),
+           multiedges_out=H.m, multiedges_in=report.edges_per_round[0],
+           distinct_edges_out=H.coalesced().m, rounds=report.rounds)
+    assert measured <= eps
+    assert all(m <= report.edges_per_round[0]
+               for m in report.edges_per_round)
+
+
+def test_e11_rounds_scale_with_interior(benchmark):
+    """d = O(log s) where s = |V ∖ C| — not O(log n)."""
+    g = workload("grid", 400, seed=11)
+    rng = np.random.default_rng(1)
+
+    def rounds_for(s: int) -> int:
+        interior = rng.choice(g.n, size=s, replace=False)
+        C = np.setdiff1d(np.arange(g.n), interior)
+        report = approx_schur(g, C, eps=0.5, seed=2, return_report=True)
+        return report.rounds
+
+    small = rounds_for(8)
+    large = benchmark.pedantic(lambda: rounds_for(g.n // 2),
+                               rounds=1, iterations=1)
+    record(benchmark, rounds_small_interior=small,
+           rounds_half_interior=large)
+    assert small <= large
+    assert large <= np.log(g.n) / np.log(40 / 39) + 10

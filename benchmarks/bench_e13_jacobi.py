@@ -1,0 +1,51 @@
+"""E13 — Lemma 3.5: the Jacobi operator's sandwich M ≼ Z⁻¹ ≼ M + εY
+and its O(m log 1/ε) application cost.
+"""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from conftest import record, workload
+
+from repro.core.dd_subset import five_dd_subset
+from repro.graphs.laplacian import laplacian_blocks
+from repro.linalg.jacobi import JacobiOperator, jacobi_terms
+
+
+def _blocks(seed=13):
+    g = workload("grid", 400, seed=seed)
+    F = five_dd_subset(g, seed=seed)
+    C = np.setdiff1d(np.arange(g.n), F)
+    return laplacian_blocks(g, F, C)
+
+
+@pytest.mark.parametrize("eps", [0.5, 0.1, 0.02])
+def test_e13_sandwich(benchmark, eps):
+    blocks = _blocks()
+    op = JacobiOperator(blocks.X, blocks.Y, eps)
+    b = np.random.default_rng(0).standard_normal(op.n)
+
+    benchmark(lambda: op.apply(b))
+    Zinv = op.dense_Zinv()
+    M = np.diag(blocks.X) + blocks.Y.toarray()
+    lo = float(scipy.linalg.eigvalsh(Zinv - M).min())
+    hi = float(scipy.linalg.eigvalsh(M + eps * blocks.Y.toarray()
+                                     - Zinv).min())
+    record(benchmark, eps=eps, terms=op.l,
+           lower_margin=lo, upper_margin=hi)
+    assert lo > -1e-8   # M ≼ Z⁻¹
+    assert hi > -1e-8   # Z⁻¹ ≼ M + εY
+
+
+def test_e13_cost_scales_with_log_eps(benchmark):
+    """Application cost ∝ l = O(log 1/ε) Jacobi terms."""
+    blocks = _blocks()
+    b = np.random.default_rng(1).standard_normal(blocks.X.size)
+    terms = {eps: jacobi_terms(eps) for eps in (0.5, 0.05, 0.005)}
+
+    op = JacobiOperator(blocks.X, blocks.Y, 0.005)
+    benchmark(lambda: op.apply(b))
+    record(benchmark, terms_by_eps={str(k): v for k, v in terms.items()})
+    assert terms[0.005] > terms[0.05] > terms[0.5]
+    assert terms[0.005] <= np.log2(3 / 0.005) + 2

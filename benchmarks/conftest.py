@@ -1,0 +1,62 @@
+"""Shared helpers for the experiment benchmarks (E1-E14).
+
+Each ``bench_eXX_*.py`` module regenerates one claim from the paper
+(see DESIGN.md §4).  Conventions:
+
+* every test uses the ``benchmark`` fixture so that
+  ``pytest benchmarks/ --benchmark-only`` runs exactly this suite;
+* measured quantities that correspond to paper claims are written into
+  ``benchmark.extra_info`` so the saved JSON doubles as the experiment
+  record, and asserted against the *shape* the theorem predicts;
+* absolute wall-clock is reported but never asserted (we run a
+  simulated PRAM on a laptop, not the paper's machine model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.multigraph import MultiGraph
+
+
+def workload(name: str, n_target: int, seed: int = 0) -> MultiGraph:
+    """Named benchmark workloads with ~n_target vertices."""
+    if name == "grid":
+        side = max(2, int(round(np.sqrt(n_target))))
+        return G.grid2d(side, side)
+    if name == "torus":
+        side = max(3, int(round(np.sqrt(n_target))))
+        return G.torus2d(side, side)
+    if name == "expander":
+        n = max(10, n_target - (n_target % 2))
+        return G.random_regular(n, 4, seed=seed)
+    if name == "er":
+        n = max(10, n_target)
+        p = min(1.0, 8.0 / n)
+        return G.erdos_renyi(n, p, seed=seed)
+    if name == "barbell":
+        k = max(4, n_target // 2)
+        return G.barbell(k, 3)
+    if name == "weighted_grid":
+        side = max(2, int(round(np.sqrt(n_target))))
+        return G.with_random_weights(G.grid2d(side, side), 0.01, 100.0,
+                                     seed=seed, log_uniform=True)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+@pytest.fixture
+def balanced_rhs():
+    def make(graph: MultiGraph, seed: int = 1) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(graph.n)
+        return b - b.mean()
+
+    return make
+
+
+def record(benchmark, **info) -> None:
+    """Stash claim-relevant measurements in the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,63 @@
+"""Max-flow by electrical flows, and SDD systems by double cover.
+
+Two of the motivations from the paper's first paragraph: flow problems
+solved through Laplacian systems [CKMST11], and general SDD systems
+(the broader class all these solvers target) via the Gremban
+reduction.
+
+Run:  python examples/maxflow_and_sdd.py
+"""
+
+import numpy as np
+
+from repro.apps.maxflow import approx_max_flow, flow_feasibility
+from repro.config import practical_options
+from repro.core.sdd import solve_sdd
+from repro.graphs import generators
+
+
+def maxflow_demo() -> None:
+    g = generators.grid2d(5, 5)
+    s, t = 0, g.n - 1
+    print(f"max-flow on a 5x5 unit-capacity grid, corner to corner")
+    res = approx_max_flow(g, s, t, eps=0.25, bisection_steps=8,
+                          mwu_iters=25, seed=0)
+    value, violation = flow_feasibility(g, res.flow, s, t)
+    print(f"  approximate max flow: {res.value:.3f} "
+          f"(exact: 2.0 — the corner degree bounds it)")
+    print(f"  max congestion {res.congestion:.3f}, conservation "
+          f"violation {violation:.1e}, {res.oracle_calls} electrical "
+          f"solves")
+
+
+def sdd_demo() -> None:
+    # An SDD system with *positive* off-diagonals (e.g. from a signed
+    # graph / anti-ferromagnetic coupling) — not a Laplacian, but one
+    # Gremban double cover away from one.
+    rng = np.random.default_rng(1)
+    n = 30
+    M = np.zeros((n, n))
+    for i in range(n):
+        j = (i + 1) % n
+        M[i, j] = M[j, i] = rng.choice([-1.0, +1.0]) * rng.uniform(0.5, 2)
+    off = np.abs(M).sum(axis=1)
+    M[np.diag_indices(n)] = off + rng.uniform(0.1, 1.0, size=n)
+
+    b = rng.standard_normal(n)
+    x = solve_sdd(M, b, eps=1e-8, options=practical_options(), seed=2)
+    residual = np.linalg.norm(M @ x - b) / np.linalg.norm(b)
+    signs = int((M[np.triu_indices(n, 1)] > 0).sum())
+    print(f"SDD system with {signs} positive couplings "
+          f"(signed ring, n={n})")
+    print(f"  relative residual after Gremban + Laplacian solve: "
+          f"{residual:.2e}")
+
+
+def main() -> None:
+    maxflow_demo()
+    print()
+    sdd_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Spectral partitioning via solver-driven inverse power iteration.
+
+Recovers the planted cut of a dumbbell graph from the Fiedler vector,
+computing eigenvectors with Laplacian solves instead of dense
+eigendecomposition.
+
+Run:  python examples/spectral_partitioning.py
+"""
+
+import numpy as np
+
+from repro.apps import fiedler_vector, spectral_bisection
+from repro.apps.partitioning import cut_quality
+from repro.config import practical_options
+from repro.core.solver import LaplacianSolver
+from repro.graphs import generators
+
+
+def main() -> None:
+    side = 9
+    g = generators.dumbbell(side)
+    half = side * side
+    print(f"dumbbell: two {side}x{side} grids + 1 bridge "
+          f"(n={g.n}, m={g.m})")
+
+    solver = LaplacianSolver(g, options=practical_options(), seed=0)
+    v, lam2 = fiedler_vector(g, solver=solver, seed=1)
+    print(f"lambda_2 = {lam2:.6f} (inverse power iteration)")
+
+    side_mask = spectral_bisection(g, solver=solver, seed=2)
+    cut, cond = cut_quality(g, side_mask)
+    print(f"spectral cut weight = {cut:.1f}, conductance = {cond:.5f}")
+
+    planted = np.zeros(g.n, dtype=bool)
+    planted[:half] = True
+    agreement = max(np.mean(side_mask == planted),
+                    np.mean(side_mask != planted))
+    print(f"agreement with the planted grid/grid split: {agreement:.1%}")
+    cut_p, cond_p = cut_quality(g, planted)
+    print(f"planted cut weight = {cut_p:.1f}, conductance = {cond_p:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so ``pip install -e .`` works without the ``wheel`` package.
+
+Configuration lives in ``pyproject.toml``; this file intentionally adds
+nothing beyond invoking setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — A Simple and Efficient Parallel Laplacian Solver.
+
+Full reproduction of Sachdeva & Zhao, SPAA 2023 (arXiv:2304.14345):
+a parallel Laplacian linear-system solver built purely from random
+sampling — block Cholesky factorization over 5-DD vertex subsets with
+Schur complements approximated by short C-terminal random walks.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import generators, LaplacianSolver
+>>> g = generators.grid2d(30, 30)
+>>> solver = LaplacianSolver(g, seed=0)
+>>> b = np.zeros(g.n); b[0], b[-1] = 1.0, -1.0
+>>> x = solver.solve(b, eps=1e-6)
+
+Package layout
+--------------
+* :mod:`repro.core` — the paper's algorithms (Algorithms 1-6).
+* :mod:`repro.graphs` — multigraph substrate and generators.
+* :mod:`repro.sampling` — parallel sampling + random-walk engine.
+* :mod:`repro.linalg` — Jacobi operator, CG, Loewner-order oracles.
+* :mod:`repro.pram` — CREW PRAM work/depth cost ledger.
+* :mod:`repro.baselines` — KS16 approximate Cholesky, CG, direct.
+* :mod:`repro.apps` — applications (learning, flows, spanning trees...).
+* :mod:`repro.theory` — concentration and complexity-fit utilities.
+"""
+
+from repro.config import (
+    SolverOptions,
+    default_options,
+    theorem_1_1_options,
+    theorem_1_2_options,
+    practical_options,
+)
+from repro.core import (
+    LaplacianSolver,
+    solve_laplacian,
+    SolveReport,
+    block_cholesky,
+    ApplyCholeskyOperator,
+    approx_schur,
+    terminal_walks,
+    five_dd_subset,
+    naive_split,
+)
+from repro.errors import (
+    ReproError,
+    GraphStructureError,
+    NotConnectedError,
+    ConvergenceError,
+    FactorizationError,
+    SamplingError,
+)
+from repro.graphs import MultiGraph, generators, laplacian
+from repro.pram import WorkDepthLedger, use_ledger
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SolverOptions",
+    "default_options",
+    "theorem_1_1_options",
+    "theorem_1_2_options",
+    "practical_options",
+    "LaplacianSolver",
+    "solve_laplacian",
+    "SolveReport",
+    "block_cholesky",
+    "ApplyCholeskyOperator",
+    "approx_schur",
+    "terminal_walks",
+    "five_dd_subset",
+    "naive_split",
+    "ReproError",
+    "GraphStructureError",
+    "NotConnectedError",
+    "ConvergenceError",
+    "FactorizationError",
+    "SamplingError",
+    "MultiGraph",
+    "generators",
+    "laplacian",
+    "WorkDepthLedger",
+    "use_ledger",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Applications of the Laplacian-solver primitive.
+
+These are the workloads the paper's introduction motivates: scientific
+computing, semi-supervised learning on graphs [ZGL03; ZBLWS04], and
+flow problems solved through electrical networks [CKMST11; Mad13].
+The spanning-tree module exercises the Section 7 Schur-complement
+application ([DPPR17; DKPRS17] lineage).
+"""
+
+from repro.apps.semi_supervised import harmonic_label_propagation
+from repro.apps.electrical import (
+    electrical_voltages,
+    electrical_flow,
+    effective_resistance,
+    dissipated_power,
+)
+from repro.apps.spanning_trees import (
+    wilson_spanning_tree,
+    spanning_tree_via_schur,
+)
+from repro.apps.partitioning import fiedler_vector, spectral_bisection
+from repro.apps.resistance import ResistanceOracle
+from repro.apps.maxflow import approx_max_flow, MaxFlowResult
+from repro.apps.random_walks import (
+    hitting_times,
+    commute_time,
+    stationary_distribution,
+)
+
+__all__ = [
+    "harmonic_label_propagation",
+    "electrical_voltages",
+    "electrical_flow",
+    "effective_resistance",
+    "dissipated_power",
+    "wilson_spanning_tree",
+    "spanning_tree_via_schur",
+    "fiedler_vector",
+    "spectral_bisection",
+    "ResistanceOracle",
+    "approx_max_flow",
+    "MaxFlowResult",
+    "hitting_times",
+    "commute_time",
+    "stationary_distribution",
+]

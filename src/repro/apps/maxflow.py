@@ -1,0 +1,162 @@
+"""Approximate max-flow via electrical flows [CKMST11].
+
+The paper's introduction motivates Laplacian solvers through
+interior-point and multiplicative-weight flow algorithms; this module
+implements the classic Christiano–Kelner–Mądry–Spielman–Teng scheme on
+top of our solver:
+
+* repeat: set resistances ``r_e = (w_e + ε·‖w‖₁/3m) / u_e²`` from the
+  current MWU weights and capacities, route the demand electrically
+  (one Laplacian solve), and re-weight edges by their congestion;
+* the average of the electrical flows is a ``(1−O(ε))``-approximately
+  feasible s-t flow of the target value, or the energy blow-up
+  certifies infeasibility;
+* binary search on the flow value yields the approximate max flow.
+
+This is the *simple* O(m^{3/2}ε^{-5/2})-style variant (no flow
+trimming), intended as a faithful, readable demonstration of the
+pipeline rather than a record-chasing implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import practical_options
+from repro.core.solver import LaplacianSolver
+from repro.errors import ReproError
+from repro.graphs.multigraph import MultiGraph
+
+__all__ = ["approx_max_flow", "MaxFlowResult", "flow_feasibility"]
+
+
+@dataclass
+class MaxFlowResult:
+    """Approximate max-flow output.
+
+    ``flow[e]`` is signed along the edge orientation ``u→v``;
+    ``value`` is the routed s→t amount; ``congestion`` is the max
+    ``|flow_e|/u_e`` (≤ 1+O(ε) for a feasible answer).
+    """
+
+    value: float
+    flow: np.ndarray
+    congestion: float
+    oracle_calls: int
+
+
+def _electrical_oracle(graph: MultiGraph, capacities: np.ndarray,
+                       s: int, t: int, F: float, eps: float,
+                       max_iters: int, seed) -> tuple[np.ndarray, bool, int]:
+    """MWU loop: average electrical flow routing F, or infeasibility."""
+    m = graph.m
+    w = np.ones(m)
+    b = np.zeros(graph.n)
+    b[s], b[t] = F, -F
+    rho = math.sqrt(3.0 * m / eps)  # congestion width of the oracle
+    flows = np.zeros(m)
+    rng = np.random.default_rng(None if seed is None else seed)
+    calls = 0
+    for _ in range(max_iters):
+        wsum = float(w.sum())
+        r = (w + eps * wsum / (3.0 * m)) / (capacities ** 2)
+        conductances = 1.0 / r
+        # One Laplacian solve on the reweighted graph.
+        reweighted = MultiGraph(graph.n, graph.u, graph.v, conductances,
+                                validate=False)
+        solver = LaplacianSolver(reweighted,
+                                 options=practical_options(),
+                                 seed=int(rng.integers(2 ** 31)))
+        x = solver.solve(b, eps=min(0.5 * eps, 0.1))
+        calls += 1
+        f = conductances * (x[graph.u] - x[graph.v])
+        energy = float(np.sum(r * f * f))
+        # If a feasible flow of value F exists, the electrical flow's
+        # energy is at most Σ r_e u_e² = (1 + ε/3)·Σw — larger energy
+        # certifies infeasibility (CKMST11 Lemma 2.6-style argument;
+        # extra ε slack absorbs the approximate solve).
+        if energy > (1.0 + eps) * wsum:
+            return flows / max(calls - 1, 1), False, calls
+        cong = np.abs(f) / capacities
+        w = w * (1.0 + (eps / rho) * cong)
+        flows += f
+    return flows / max_iters, True, calls
+
+
+def approx_max_flow(graph: MultiGraph, s: int, t: int,
+                    eps: float = 0.2,
+                    capacities: np.ndarray | None = None,
+                    max_value: float | None = None,
+                    bisection_steps: int = 12,
+                    mwu_iters: int | None = None,
+                    seed=None) -> MaxFlowResult:
+    """``(1−O(ε))``-approximate undirected max s-t flow.
+
+    Parameters
+    ----------
+    graph:
+        Connected multigraph; ``capacities`` default to the edge
+        weights.
+    eps:
+        Approximation slack; also controls the MWU width/iterations.
+    max_value:
+        Upper bound for the bisection (default: capacity out of ``s``).
+    mwu_iters:
+        Oracle iterations per feasibility probe (default
+        ``⌈2 ln(m)/ε²⌉`` — the theory's order with a small constant).
+    """
+    if s == t:
+        raise ReproError("source equals sink")
+    if not 0 < eps < 1:
+        raise ReproError(f"need 0 < eps < 1, got {eps}")
+    u = capacities if capacities is not None else graph.w
+    u = np.asarray(u, dtype=np.float64)
+    if u.shape != (graph.m,) or np.any(u <= 0):
+        raise ReproError("capacities must be positive, one per edge")
+    out_s = float(u[(graph.u == s) | (graph.v == s)].sum())
+    hi = max_value if max_value is not None else out_s
+    lo = 0.0
+    iters = mwu_iters if mwu_iters is not None else max(
+        8, math.ceil(2.0 * math.log(max(graph.m, 2)) / (eps * eps)))
+
+    best = MaxFlowResult(value=0.0, flow=np.zeros(graph.m),
+                         congestion=0.0, oracle_calls=0)
+    calls = 0
+    for _ in range(bisection_steps):
+        F = 0.5 * (lo + hi)
+        if F <= 0:
+            break
+        flow, feasible, used = _electrical_oracle(
+            graph, u, s, t, F, eps, iters, seed)
+        calls += used
+        cong = float(np.max(np.abs(flow) / u)) if graph.m else 0.0
+        # The averaged MWU flow can overshoot capacities by up to its
+        # congestion; scaling it down by max(cong, 1) always yields a
+        # *feasible* flow, whose value is what we actually report.
+        scale = max(cong, 1.0)
+        scaled_value = F / scale
+        if scaled_value > best.value:
+            best = MaxFlowResult(value=scaled_value, flow=flow / scale,
+                                 congestion=cong / scale,
+                                 oracle_calls=calls)
+        if feasible and cong <= 1.0 + 2.0 * eps:
+            lo = F
+        else:
+            hi = F
+    best.oracle_calls = calls
+    return best
+
+
+def flow_feasibility(graph: MultiGraph, flow: np.ndarray, s: int,
+                     t: int) -> tuple[float, float]:
+    """``(routed value, max conservation violation)`` of a signed flow."""
+    net = np.zeros(graph.n)
+    np.add.at(net, graph.u, flow)
+    np.subtract.at(net, graph.v, flow)
+    value = float(net[s])
+    interior = np.delete(np.arange(graph.n), [s, t])
+    violation = float(np.abs(net[interior]).max()) if interior.size else 0.0
+    return value, violation

@@ -1,0 +1,70 @@
+"""Random-walk quantities from Laplacian solves.
+
+The deep classical connection the paper leans on (Section 1's "random
+walks, electrical networks, and spectral graph theory") in its
+user-facing form:
+
+* ``hitting_times(g, t)`` — expected steps for the weighted random walk
+  to first reach ``t``, from every start, via **one** Laplacian solve:
+  with ``c_v = d_v`` for ``v ≠ t`` and ``c_t = −Σ_{v≠t} d_v``, the
+  solution of ``L y = c`` shifted so ``y_t = 0`` satisfies the hitting
+  -time recurrence ``h(v) = 1 + Σ_u P_{vu} h(u)``.
+* ``commute_time(g, s, t) = w(G)·2·R_eff(s, t)`` — the Chandra et al.
+  identity (``w(G)`` = total edge weight counted once per endpoint,
+  i.e. ``2·Σ_e w_e``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SolverOptions
+from repro.core.solver import LaplacianSolver
+from repro.errors import ReproError
+from repro.graphs.multigraph import MultiGraph
+
+__all__ = ["hitting_times", "commute_time", "stationary_distribution"]
+
+
+def stationary_distribution(graph: MultiGraph) -> np.ndarray:
+    """π ∝ weighted degree (reversible weighted random walk)."""
+    d = graph.weighted_degrees()
+    total = d.sum()
+    if total <= 0:
+        raise ReproError("graph has no edges")
+    return d / total
+
+
+def hitting_times(graph: MultiGraph, target: int,
+                  eps: float = 1e-8,
+                  solver: LaplacianSolver | None = None,
+                  options: SolverOptions | None = None,
+                  seed=None) -> np.ndarray:
+    """``h(v) = E[steps to reach target from v]`` for every vertex."""
+    if not 0 <= target < graph.n:
+        raise ReproError("target out of range")
+    if solver is None:
+        solver = LaplacianSolver(graph, options=options, seed=seed)
+    d = graph.weighted_degrees()
+    c = d.copy()
+    c[target] = 0.0
+    c[target] = -c.sum()
+    y = solver.solve(c, eps=eps)
+    h = y - y[target]
+    h[target] = 0.0
+    return h
+
+
+def commute_time(graph: MultiGraph, s: int, t: int,
+                 eps: float = 1e-8,
+                 solver: LaplacianSolver | None = None,
+                 options: SolverOptions | None = None,
+                 seed=None) -> float:
+    """``C(s,t) = h(s→t) + h(t→s) = (Σ_v d_v) · R_eff(s,t)``."""
+    if s == t:
+        return 0.0
+    from repro.apps.electrical import effective_resistance
+
+    r = effective_resistance(graph, s, t, eps=eps, solver=solver,
+                             options=options, seed=seed)
+    return float(graph.weighted_degrees().sum() * r)

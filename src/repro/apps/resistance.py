@@ -1,0 +1,80 @@
+"""Effective-resistance oracle via JL sketching + the solver.
+
+Precomputes ``Z = Q W^{1/2} B L⁺`` with ``O(log n / γ²)`` rows (one
+solver call each); afterwards any pair's effective resistance is a
+``(1±γ)``-approximate ``O(log n)``-time query
+``R̂(u,v) = ‖Z[:,u] − Z[:,v]‖²`` [SS11].  This is the same machinery
+Section 6 uses for leverage-score overestimation, packaged as a
+user-facing oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.config import SolverOptions
+from repro.core.solver import LaplacianSolver
+from repro.errors import DimensionMismatchError
+from repro.graphs.multigraph import MultiGraph
+from repro.rng import as_generator
+
+__all__ = ["ResistanceOracle"]
+
+
+class ResistanceOracle:
+    """``(1±gamma)``-approximate all-pairs effective resistances.
+
+    Parameters
+    ----------
+    graph:
+        Connected multigraph.
+    gamma:
+        Target multiplicative distortion; the sketch uses
+        ``⌈24 ln n / γ²⌉`` rows (the standard JL constant — conservative
+        but cheap at these sizes).
+    solver_eps:
+        Accuracy of each inner solve.
+    """
+
+    def __init__(self, graph: MultiGraph, gamma: float = 0.3,
+                 solver_eps: float = 1e-6,
+                 options: SolverOptions | None = None,
+                 seed=None) -> None:
+        if not 0 < gamma < 1:
+            raise ValueError(f"need 0 < gamma < 1, got {gamma}")
+        rng = as_generator(seed)
+        self.graph = graph
+        self.gamma = gamma
+        solver = LaplacianSolver(graph, options=options, seed=rng)
+        q = max(4, int(math.ceil(24.0 * math.log(max(graph.n, 3))
+                                 / (gamma * gamma))))
+        self.q = q
+        sqrt_w = np.sqrt(graph.w)
+        Z = np.empty((q, graph.n))
+        for i in range(q):
+            signs = rng.choice([-1.0, 1.0], size=graph.m) / math.sqrt(q)
+            row = np.zeros(graph.n)
+            np.add.at(row, graph.u, signs * sqrt_w)
+            np.subtract.at(row, graph.v, signs * sqrt_w)
+            Z[i] = solver.solve(row, eps=solver_eps)
+        self._Z = Z
+
+    def query(self, u, v) -> np.ndarray | float:
+        """``R̂(u, v)``; accepts scalars or aligned index arrays."""
+        u_arr = np.atleast_1d(np.asarray(u, dtype=np.int64))
+        v_arr = np.atleast_1d(np.asarray(v, dtype=np.int64))
+        if u_arr.shape != v_arr.shape:
+            raise DimensionMismatchError("u and v must align")
+        diff = self._Z[:, u_arr] - self._Z[:, v_arr]
+        r = np.einsum("ij,ij->j", diff, diff)
+        return float(r[0]) if np.isscalar(u) and np.isscalar(v) else r
+
+    def edge_resistances(self) -> np.ndarray:
+        """``R̂`` over the graph's own edge list."""
+        return self.query(self.graph.u, self.graph.v)
+
+    def leverage_scores(self) -> np.ndarray:
+        """``τ̂(e) = w(e)·R̂(e)`` (clipped into ``[0, 1]``)."""
+        return np.clip(self.graph.w * self.edge_resistances(), 0.0, 1.0)

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``gen``    — generate a named workload graph and save it as .npz
+* ``info``   — structural summary of a saved graph
+* ``solve``  — solve ``L x = b`` for a saved graph (b from .npy or an
+  s/t unit demand), printing solve diagnostics
+* ``bench``  — quick work/depth ledger report for one build+solve
+
+The CLI is a thin veneer over the library; every command is also
+callable in-process (`repro.cli.main([...])`) which is how the test
+suite drives it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_gen(args) -> int:
+    from repro.graphs import generators as G
+    from repro.graphs.io import save_npz
+
+    makers = {
+        "grid": lambda: G.grid2d(args.size, args.size),
+        "torus": lambda: G.torus2d(args.size, args.size),
+        "expander": lambda: G.random_regular(args.size, 4,
+                                             seed=args.seed),
+        "er": lambda: G.erdos_renyi(args.size, 8.0 / max(args.size, 8),
+                                    seed=args.seed),
+        "barbell": lambda: G.barbell(args.size, 3),
+        "path": lambda: G.path(args.size),
+    }
+    if args.family not in makers:
+        print(f"unknown family {args.family!r}; "
+              f"choose from {sorted(makers)}", file=sys.stderr)
+        return 2
+    g = makers[args.family]()
+    save_npz(g, args.output)
+    print(f"wrote {args.output}: n={g.n} m={g.m}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.graphs.io import load_npz
+    from repro.graphs.validation import connected_components
+
+    g = load_npz(args.graph)
+    deg = g.multi_degrees()
+    comps = int(connected_components(g).max()) + 1
+    print(f"n={g.n} m={g.m} components={comps}")
+    print(f"degree: min={deg.min()} max={deg.max()} "
+          f"mean={deg.mean():.2f}")
+    print(f"weights: min={g.w.min():.4g} max={g.w.max():.4g} "
+          f"total={g.total_weight():.4g}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro import LaplacianSolver, default_options
+    from repro.graphs.io import load_npz
+
+    g = load_npz(args.graph)
+    if args.rhs:
+        b = np.load(args.rhs)
+    else:
+        b = np.zeros(g.n)
+        b[args.source], b[args.sink] = 1.0, -1.0
+    t0 = time.time()
+    solver = LaplacianSolver(g, options=default_options(),
+                             seed=args.seed)
+    t_build = time.time() - t0
+    t0 = time.time()
+    report = solver.solve_report(b, eps=args.eps, method=args.method)
+    t_solve = time.time() - t0
+    print(f"build: {t_build:.3f}s (d={report.chain_depth} levels, "
+          f"{report.multiedges} multi-edges)")
+    print(f"solve: {t_solve:.3f}s ({report.iterations} iterations, "
+          f"method={report.method}, residual="
+          f"{report.residual_2norm:.3e})")
+    if args.output:
+        np.save(args.output, report.x)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro import LaplacianSolver, default_options, use_ledger
+    from repro.graphs.io import load_npz
+
+    g = load_npz(args.graph)
+    b = np.zeros(g.n)
+    b[0], b[-1] = 1.0, -1.0
+    with use_ledger() as ledger:
+        solver = LaplacianSolver(g, options=default_options(),
+                                 seed=args.seed)
+        solver.solve(b, eps=args.eps)
+    print(ledger.report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel Laplacian solver (Sachdeva-Zhao SPAA'23)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen", help="generate a workload graph")
+    p.add_argument("family")
+    p.add_argument("output")
+    p.add_argument("--size", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_gen)
+
+    p = sub.add_parser("info", help="summarise a saved graph")
+    p.add_argument("graph")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("solve", help="solve L x = b")
+    p.add_argument("graph")
+    p.add_argument("--rhs", help=".npy right-hand side")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--sink", type=int, default=-1)
+    p.add_argument("--eps", type=float, default=1e-6)
+    p.add_argument("--method", choices=["richardson", "pcg"],
+                   default="richardson")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="save x as .npy")
+    p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("bench", help="work/depth ledger for one solve")
+    p.add_argument("graph")
+    p.add_argument("--eps", type=float, default=1e-6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

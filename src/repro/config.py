@@ -1,0 +1,135 @@
+"""Solver configuration.
+
+The paper leaves every constant unspecified (as theory papers do); this
+module centralises them so benchmarks can sweep them and so the default
+behaviour is documented in one place.
+
+Two presets mirror the paper's two headline theorems:
+
+* :func:`theorem_1_1_options` — naive edge splitting (Lemma 3.2).
+* :func:`theorem_1_2_options` — leverage-score-overestimate splitting
+  (Lemma 3.3 with ``K = Θ(log³ n)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Literal
+
+__all__ = [
+    "SolverOptions",
+    "default_options",
+    "theorem_1_1_options",
+    "theorem_1_2_options",
+    "practical_options",
+]
+
+SplittingStrategy = Literal["naive", "leverage", "none"]
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Tunable constants for :class:`repro.core.solver.LaplacianSolver`.
+
+    Attributes
+    ----------
+    splitting:
+        How the input simple graph is turned into an α-bounded
+        multigraph.  ``"naive"`` = Lemma 3.2 (split every edge into
+        ``ceil(1/alpha)`` copies), ``"leverage"`` = Lemma 3.3
+        (leverage-score overestimates), ``"none"`` = assume the caller
+        already supplies an α-bounded multigraph.
+    alpha_scale:
+        The theory takes ``α⁻¹ = Θ(log² n)``.  We use
+        ``α⁻¹ = max(1, round(alpha_scale · log₂² n))``.  ``alpha_scale``
+        of 1.0 is the literal theory reading; the default 0.25 keeps
+        laptop-scale instances fast while concentration still holds
+        empirically (benchmark E14 sweeps this knob).
+    min_vertices:
+        ``BlockCholesky`` recurses until the Schur complement has at
+        most this many vertices (paper: 100), then solves densely.
+    dd_fraction / dd_candidate_fraction / dd_threshold:
+        Constants of ``5DDSubset`` (Algorithm 3): accept when
+        ``|F| > n·dd_fraction`` (paper: 1/40), sample candidate sets of
+        size ``n·dd_candidate_fraction`` (paper: 1/20), and keep
+        vertices whose weighted degree inside the candidate set is at
+        most ``dd_threshold`` times their total weighted degree
+        (paper: 1/5 — this is what makes the subset 5-DD).
+    jacobi_eps:
+        ε for the Jacobi operator inside ``ApplyCholesky``; ``None``
+        uses the paper's ``1/(2d)`` where ``d`` is the chain depth.
+    richardson_delta:
+        δ such that the preconditioner satisfies ``B ≈_δ A⁺``
+        (Theorem 3.10 gives δ = 1).
+    max_walk_steps:
+        Safety cap on a single terminal walk.  Lemma 5.4 gives
+        ``O(log m)`` whp; the cap is generous and a
+        :class:`repro.errors.SamplingError` is raised when exceeded
+        (which would indicate the 5-DD property was violated).
+    lev_sample_K:
+        ``K`` of Lemma 3.3; ``None`` = ``Θ(log³ n)`` per Theorem 1.2.
+    seed:
+        Default seed threaded to all stochastic routines.
+    """
+
+    splitting: SplittingStrategy = "naive"
+    alpha_scale: float = 0.25
+    min_vertices: int = 100
+    dd_fraction: float = 1.0 / 40.0
+    dd_candidate_fraction: float = 1.0 / 20.0
+    dd_threshold: float = 1.0 / 5.0
+    jacobi_eps: float | None = None
+    richardson_delta: float = 1.0
+    max_walk_steps: int = 10_000
+    lev_sample_K: int | None = None
+    seed: int | None = None
+    track_costs: bool = True
+
+    def alpha_inverse(self, n: int) -> int:
+        """α⁻¹ = Θ(log² n) rounded to an integer ≥ 1 (see Theorem 3.9)."""
+        if n < 2:
+            return 1
+        log2n = math.log2(max(n, 2))
+        return max(1, int(round(self.alpha_scale * log2n * log2n)))
+
+    def alpha(self, n: int) -> float:
+        """The leverage-score bound α used for multi-edge splitting."""
+        return 1.0 / self.alpha_inverse(n)
+
+    def K(self, n: int) -> int:
+        """``K = Θ(log³ n)`` of Theorem 1.2 unless overridden."""
+        if self.lev_sample_K is not None:
+            return self.lev_sample_K
+        log2n = math.log2(max(n, 2))
+        return max(1, int(round(log2n**3 / 8.0)))
+
+    def with_(self, **kwargs) -> "SolverOptions":
+        """Functional update (``dataclasses.replace`` wrapper)."""
+        return replace(self, **kwargs)
+
+
+def default_options() -> SolverOptions:
+    """Practical defaults: naive splitting with a small α-scale."""
+    return SolverOptions()
+
+
+def theorem_1_1_options() -> SolverOptions:
+    """Literal Theorem 1.1 configuration (naive Lemma 3.2 splitting)."""
+    return SolverOptions(splitting="naive", alpha_scale=1.0)
+
+
+def theorem_1_2_options() -> SolverOptions:
+    """Theorem 1.2 configuration (Lemma 3.3 leverage-score splitting)."""
+    return SolverOptions(splitting="leverage", alpha_scale=1.0)
+
+
+def practical_options(seed: int | None = None) -> SolverOptions:
+    """Fast settings for interactive use: minimal splitting.
+
+    With ``alpha_scale`` small the multigraph blow-up is tiny; matrix
+    concentration degrades gracefully and preconditioned Richardson
+    (with its divergence guard + PCG fallback) absorbs the slack in a
+    few extra iterations.
+    """
+    return SolverOptions(splitting="naive", alpha_scale=0.1, seed=seed)

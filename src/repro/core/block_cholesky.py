@@ -1,0 +1,143 @@
+"""``BlockCholesky`` — Algorithm 1 (Theorem 3.9).
+
+Repeatedly: find a 5-DD subset ``F_k`` of the current vertices
+(Algorithm 3), eliminate it by replacing the graph with the sampled
+C-terminal-walk approximation of the Schur complement onto
+``C_k = C_{k-1} ∖ F_k`` (Algorithm 4), until at most ``min_vertices``
+(paper: 100) vertices remain.  The output chain satisfies, whp
+(Theorem 3.9):
+
+1. every ``G^(k)`` has at most ``m`` multi-edges,
+2. every ``F_k`` is 5-DD in ``L_{G^(k-1)}``,
+3. the base case has O(1) size,
+4. ``d ≤ log_{40/39} n = O(log n)`` rounds,
+5. ``(U^(d))ᵀ D^(d) U^(d) ≈_{0.5} L_G``,
+
+in ``O(m log n)`` work and ``O(log m log n)`` depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SolverOptions, default_options
+from repro.core.chain import CholeskyChain, Level
+from repro.core.dd_subset import five_dd_subset
+from repro.core.terminal_walks import terminal_walks
+from repro.errors import FactorizationError
+from repro.graphs.laplacian import laplacian, laplacian_blocks
+from repro.graphs.multigraph import MultiGraph
+from repro.pram import charge
+from repro.pram import primitives as P
+from repro.rng import as_generator
+
+__all__ = ["block_cholesky"]
+
+
+def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
+                            rng, opts: SolverOptions,
+                            max_retries: int = 25) -> MultiGraph:
+    """``TerminalWalks`` with a connectivity certificate.
+
+    Fact 2.4: the *exact* Schur complement of a connected graph is
+    connected.  A disconnected sample therefore certifies that the
+    matrix-martingale deviation already exceeded 1 (the approximation
+    can no longer hold), so we discard it and resample — a cheap O(m)
+    check per level that converts Theorem 3.9's "with high probability"
+    into a practically deterministic guarantee.  At theory-faithful
+    ``α⁻¹ = Θ(log² n)`` a retry essentially never fires; the counter
+    exists for aggressively small splitting factors on graphs with
+    cut edges (e.g. barbells), where a level has a constant chance of
+    dropping every copy of a bridge.
+    """
+    from repro.graphs.validation import connected_components
+
+    # Baseline component count of the graph being eliminated: a sound
+    # sample must not create *new* components (== 0 extra for connected
+    # inputs; pathological already-disconnected inputs keep their count).
+    active = np.union1d(C, np.union1d(np.unique(current.u),
+                                      np.unique(current.v)))
+    cur_sub, _ = current.induced_subgraph(active)
+    baseline = int(connected_components(cur_sub).max(initial=0))
+
+    last = None
+    for _ in range(max_retries):
+        nxt = terminal_walks(current, C, seed=rng,
+                             max_steps=opts.max_walk_steps)
+        sub, _ = nxt.induced_subgraph(C)
+        labels = connected_components(sub)
+        if int(labels.max(initial=0)) <= baseline:
+            return nxt
+        last = nxt
+    # Give up and return the last sample: the dense base case and the
+    # outer Richardson/PCG loop still behave (slowly) with a weak
+    # preconditioner, and pathological inputs shouldn't hard-fail.
+    return last if last is not None else terminal_walks(
+        current, C, seed=rng, max_steps=opts.max_walk_steps)
+
+
+def block_cholesky(graph: MultiGraph,
+                   options: SolverOptions | None = None,
+                   seed=None) -> CholeskyChain:
+    """Build the approximate block Cholesky chain for ``graph``.
+
+    ``graph`` should be a connected multigraph whose multi-edges are
+    α-bounded for ``α⁻¹ = Θ(log² n)`` (Theorem 3.9's hypothesis; use
+    :func:`repro.core.boundedness.naive_split` or
+    :func:`repro.core.lev_est.leverage_split` to establish it — the
+    top-level :class:`repro.core.solver.LaplacianSolver` does this
+    automatically).
+    """
+    opts = options or default_options()
+    rng = as_generator(seed if seed is not None else opts.seed)
+
+    active = np.arange(graph.n, dtype=np.int64)
+    current = graph
+    graphs: list[MultiGraph] = [graph]
+    levels: list[Level] = []
+    max_levels = int(np.ceil(np.log(max(graph.n, 2))
+                             / np.log(40.0 / 39.0))) + 10
+
+    while active.size > opts.min_vertices:
+        if len(levels) >= max_levels:
+            raise FactorizationError(
+                f"exceeded {max_levels} elimination rounds; Lemma 3.4 "
+                f"guarantees a 1/40 shrink per round, so this is a bug")
+        F = five_dd_subset(current, active=active, seed=rng, options=opts)
+        if F.size == 0 or F.size >= active.size:
+            # Nothing (or everything) would be eliminated; the remaining
+            # matrix is already 5-DD-trivial — stop and solve densely.
+            break
+        C = np.setdiff1d(active, F)
+        idxF = np.searchsorted(active, F)
+        idxC = np.searchsorted(active, C)
+        blocks = laplacian_blocks(current, F, C)
+        nxt = _sample_schur_connected(current, C, rng, opts)
+        levels.append(Level(F=F, C=C, idxF=idxF, idxC=idxC,
+                            blocks=blocks, parent_edges=current.m))
+        graphs.append(nxt)
+        current = nxt
+        active = C
+        charge(*P.map_cost(current.m), label="block_cholesky_bookkeeping")
+
+    d = max(len(levels), 1)
+    jacobi_eps = opts.jacobi_eps if opts.jacobi_eps is not None \
+        else 1.0 / (2.0 * d)
+    for level in levels:
+        level.attach_jacobi(jacobi_eps)
+
+    # Base case: dense pseudoinverse of L_{G^(d)} on the surviving set.
+    # pinv_psd uses a relative kernel cutoff and handles the (rare,
+    # sampling-induced) disconnected base graph as well as the generic
+    # connected one.
+    from repro.linalg.pinv import pinv_psd
+
+    L_final = laplacian(current).toarray()
+    sub = L_final[np.ix_(active, active)]
+    final_pinv = pinv_psd(sub)
+    charge(float(active.size) ** 3, P.log2p(active.size),
+           label="base_case_pinv")
+
+    return CholeskyChain(n=graph.n, graphs=graphs, levels=levels,
+                         final_active=active, final_pinv=final_pinv,
+                         jacobi_eps=jacobi_eps)

@@ -1,0 +1,158 @@
+"""Data structures for the approximate block Cholesky chain.
+
+``BlockCholesky`` (Algorithm 1) produces ``(G^(0), …, G^(d); F₁, …, F_d)``.
+A :class:`Level` stores what iteration ``k`` eliminated — the 5-DD set
+``F_k``, the remaining set ``C_k``, and the sub-blocks of
+``L_{G^(k-1)}`` that ``ApplyCholesky`` needs (``X_k + Y_k = (L)_{F_kF_k}``
+and the coupling block ``L_{F_kC_k}``).  A :class:`CholeskyChain` is the
+full output plus the dense base-case pseudoinverse.
+
+:meth:`CholeskyChain.dense_factorization` materialises
+``(U^(d))ᵀ D^(d) U^(d)`` (equations (5)/(6) of the paper) for the
+Theorem 3.9-(5) approximation tests; it reconstructs the matrix by the
+recursion in the proof of Theorem 3.10:
+
+    ``L^{(d,k)} = [[L_FF, L_FC], [L_CF, L^{(d,k+1)}]]``
+
+with the convention that the ``F``/``C`` blocks come from ``G^(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.laplacian import LaplacianBlocks, laplacian
+from repro.graphs.multigraph import MultiGraph
+from repro.linalg.jacobi import JacobiOperator
+
+__all__ = ["Level", "CholeskyChain"]
+
+
+@dataclass
+class Level:
+    """One elimination round ``k`` of ``BlockCholesky``.
+
+    Attributes
+    ----------
+    F, C:
+        Global vertex ids eliminated / kept at this round (both sorted).
+    idxF, idxC:
+        Positions of ``F`` / ``C`` inside the *parent* level's active
+        array — the coordinates ``ApplyCholesky`` works in.
+    blocks:
+        ``X``, ``Y``, ``L_FC`` of ``L_{G^(k-1)}`` under the ``F ⊔ C``
+        bipartition (positional).
+    jacobi:
+        The operator ``Z^(k)`` of Lemma 3.5 (attached after the chain
+        length ``d`` is known, since the paper sets ε = 1/(2d)).
+    parent_edges:
+        Multi-edge count of ``G^(k-1)`` (for cost accounting/diagnostics).
+    """
+
+    F: np.ndarray
+    C: np.ndarray
+    idxF: np.ndarray
+    idxC: np.ndarray
+    blocks: LaplacianBlocks
+    parent_edges: int
+    jacobi: JacobiOperator | None = None
+    L_CF: sp.csr_matrix | None = None
+
+    def attach_jacobi(self, eps: float) -> None:
+        """Instantiate ``Z^(k)`` with accuracy ε (Algorithm 2 line 4)."""
+        self.jacobi = JacobiOperator(self.blocks.X, self.blocks.Y, eps)
+        self.L_CF = self.blocks.L_FC.T.tocsr()
+
+    @property
+    def nf(self) -> int:
+        return self.F.size
+
+    @property
+    def nc(self) -> int:
+        return self.C.size
+
+
+@dataclass
+class CholeskyChain:
+    """Output of ``BlockCholesky``: the graphs, levels, and base case."""
+
+    n: int
+    graphs: list[MultiGraph]
+    levels: list[Level]
+    final_active: np.ndarray
+    final_pinv: np.ndarray
+    jacobi_eps: float
+
+    @property
+    def d(self) -> int:
+        """Number of elimination rounds (paper's ``d = O(log n)``)."""
+        return len(self.levels)
+
+    @property
+    def edge_counts(self) -> list[int]:
+        """``m(G^(0)), …, m(G^(d))`` — Theorem 3.9-(1) says this never
+        exceeds ``m(G^(0))``."""
+        return [g.m for g in self.graphs]
+
+    @property
+    def active_counts(self) -> list[int]:
+        """|active set| per level; shrinks ≥ 1/40 per round (Lemma 3.4)."""
+        counts = [self.n]
+        for level in self.levels:
+            counts.append(level.C.size)
+        return counts
+
+    def total_stored_edges(self) -> int:
+        return sum(g.m for g in self.graphs)
+
+    # -- dense reconstruction (test oracle) --------------------------------
+
+    def dense_factorization(self) -> np.ndarray:
+        """Materialise ``(U^(d))ᵀ D^(d) U^(d)`` (Theorem 3.9-(5) oracle).
+
+        O(n³)-ish; small-n tests/benches only.
+        """
+        # Base case: L_{G^(d)} on the final active set, in sorted order.
+        base = laplacian(self.graphs[-1]).toarray()
+        S = base[np.ix_(self.final_active, self.final_active)]
+        # Fold levels back up:
+        #   L^{(d,k)} = [I 0; L_CF L_FF⁻¹ I] [L_FF 0; 0 L^{(d,k+1)}]
+        #               [I L_FF⁻¹ L_FC; 0 I]
+        #             = [L_FF, L_FC; L_CF, L^{(d,k+1)} + L_CF L_FF⁻¹ L_FC].
+        import scipy.linalg
+
+        for level in reversed(self.levels):
+            LFF = np.diag(level.blocks.X) + level.blocks.Y.toarray()
+            LFC = level.blocks.L_FC.toarray()
+            nf, nc = level.nf, level.nc
+            M = np.zeros((nf + nc, nf + nc))
+            M[:nf, :nf] = LFF
+            M[:nf, nf:] = LFC
+            M[nf:, :nf] = LFC.T
+            # L_FF is PD (X > 0 plus a PSD Laplacian), so solve directly.
+            M[nf:, nf:] = S + LFC.T @ scipy.linalg.solve(
+                LFF, LFC, assume_a="sym")
+            # Un-permute [F..., C...] back into parent-active positions.
+            parent_size = nf + nc
+            order = np.concatenate([level.idxF, level.idxC])
+            out = np.zeros((parent_size, parent_size))
+            out[np.ix_(order, order)] = M
+            S = out
+        return S
+
+    def summary(self) -> str:
+        """One-line-per-level diagnostics."""
+        lines = [f"CholeskyChain: n={self.n} d={self.d} "
+                 f"jacobi_eps={self.jacobi_eps:.4g}"]
+        actives = self.active_counts
+        for k, level in enumerate(self.levels):
+            lines.append(
+                f"  level {k + 1}: |F|={level.nf} |C|={level.nc} "
+                f"edges(G^{k})={self.graphs[k].m} -> "
+                f"edges(G^{k + 1})={self.graphs[k + 1].m}")
+        lines.append(f"  base case: {actives[-1]} vertices, "
+                     f"{self.graphs[-1].m} multi-edges")
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""SDD systems via the Gremban double-cover reduction.
+
+The Laplacian-solver literature (including this paper's predecessors
+[KOSZ13; CKMPPRX14]) states results for **SDD** matrices — symmetric
+diagonally dominant, allowing *positive* off-diagonals and diagonal
+slack.  The classic Gremban reduction maps an SDD system to a Laplacian
+one of twice the size, which our solver then handles:
+
+Write ``M = D + N + P`` (``D`` diagonal, ``N``/``P`` the negative/
+positive off-diagonal parts) with slack
+``s_i = M_ii − Σ_{j≠i} |M_ij| ≥ 0``.  Build a graph on vertex set
+``{1..n} ∪ {1'..n'}``:
+
+* each negative entry ``M_ij = −w`` → edges ``(i, j)`` and ``(i', j')``
+  of weight ``w`` (same-layer);
+* each positive entry ``M_ij = +w`` → edges ``(i, j')`` and ``(j, i')``
+  of weight ``w`` (cross-layer);
+* slack ``s_i > 0`` → edge ``(i, i')`` of weight ``s_i / 2``.
+
+Then ``L [x; −x] = [b; −b]`` iff ``M x = b``; solving the Laplacian
+system and anti-symmetrising recovers ``x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import SolverOptions
+from repro.core.solver import LaplacianSolver
+from repro.errors import GraphStructureError, ReproError
+from repro.graphs.multigraph import MultiGraph
+from repro.graphs.validation import is_connected
+
+__all__ = ["gremban_cover", "SDDSolver", "solve_sdd", "is_sdd"]
+
+
+def is_sdd(M, rtol: float = 1e-9) -> bool:
+    """Symmetric with ``M_ii ≥ Σ_{j≠i} |M_ij|`` for every row."""
+    M = sp.csr_matrix(M)
+    if abs(M - M.T).max() > rtol * max(abs(M).max(), 1.0):
+        return False
+    diag = M.diagonal()
+    off = np.asarray(abs(M).sum(axis=1)).ravel() - np.abs(diag)
+    return bool(np.all(diag + rtol * np.maximum(np.abs(diag), 1.0)
+                       >= off))
+
+
+def gremban_cover(M) -> MultiGraph:
+    """The double-cover Laplacian's graph for an SDD matrix ``M``."""
+    M = sp.coo_matrix(M)
+    n = M.shape[0]
+    if M.shape[0] != M.shape[1]:
+        raise GraphStructureError("M must be square")
+    if not is_sdd(M):
+        raise GraphStructureError("M is not SDD")
+
+    mask_off = M.row != M.col
+    rows, cols, vals = M.row[mask_off], M.col[mask_off], M.data[mask_off]
+    upper = rows < cols  # each symmetric pair once
+    rows, cols, vals = rows[upper], cols[upper], vals[upper]
+
+    us, vs, ws = [], [], []
+    neg = vals < 0
+    # same-layer edges for negative entries (standard Laplacian part)
+    us += [rows[neg], rows[neg] + n]
+    vs += [cols[neg], cols[neg] + n]
+    ws += [-vals[neg], -vals[neg]]
+    # cross-layer edges for positive entries
+    pos = vals > 0
+    us += [rows[pos], cols[pos]]
+    vs += [cols[pos] + n, rows[pos] + n]
+    ws += [vals[pos], vals[pos]]
+    # slack ties the two layers
+    Md = sp.csr_matrix(M)
+    slack = Md.diagonal() - (np.asarray(abs(Md).sum(axis=1)).ravel()
+                             - np.abs(Md.diagonal()))
+    slack = np.maximum(slack, 0.0)
+    has_slack = slack > 1e-14 * np.maximum(Md.diagonal(), 1.0)
+    idx = np.nonzero(has_slack)[0]
+    us.append(idx)
+    vs.append(idx + n)
+    ws.append(slack[idx] / 2.0)
+
+    return MultiGraph(2 * n,
+                      np.concatenate([np.asarray(a, dtype=np.int64)
+                                      for a in us]),
+                      np.concatenate([np.asarray(a, dtype=np.int64)
+                                      for a in vs]),
+                      np.concatenate([np.asarray(a, dtype=np.float64)
+                                      for a in ws]),
+                      validate=False)
+
+
+class SDDSolver:
+    """Solve ``M x = b`` for SDD ``M`` via one Laplacian factorization.
+
+    For a *nonsingular* SDD matrix (some slack or positive entry in
+    each irreducible block) the double cover is connected and the
+    answer is unique.  Laplacian inputs (zero slack, no positive
+    entries) are detected and routed to :class:`LaplacianSolver`
+    directly, returning the pseudo-inverse solution.
+    """
+
+    def __init__(self, M, options: SolverOptions | None = None,
+                 seed=None) -> None:
+        M = sp.csr_matrix(M)
+        self.n = M.shape[0]
+        self.M = M
+        cover = gremban_cover(M)
+        if is_connected(cover):
+            self._mode = "cover"
+            self._solver = LaplacianSolver(cover, options=options,
+                                           seed=seed)
+        else:
+            # Layers decouple: M is (block) Laplacian; solve directly.
+            from repro.graphs.conversions import from_scipy_laplacian
+
+            self._mode = "laplacian"
+            self._solver = LaplacianSolver(from_scipy_laplacian(M),
+                                           options=options, seed=seed)
+
+    def solve(self, b: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise ReproError(f"b must have shape ({self.n},)")
+        if self._mode == "laplacian":
+            return self._solver.solve(b, eps=eps)
+        z = self._solver.solve(np.concatenate([b, -b]), eps=eps)
+        return 0.5 * (z[: self.n] - z[self.n:])
+
+
+def solve_sdd(M, b: np.ndarray, eps: float = 1e-8,
+              options: SolverOptions | None = None, seed=None
+              ) -> np.ndarray:
+    """One-shot ``M⁻¹ b`` (or ``M⁺ b``) for SDD ``M``."""
+    return SDDSolver(M, options=options, seed=seed).solve(b, eps=eps)

@@ -1,0 +1,191 @@
+"""End-to-end Laplacian solver (Theorems 1.1 and 1.2).
+
+Pipeline::
+
+    input graph (connected, simple or multi)
+      └─ α-bounded splitting          Lemma 3.2 (naive) / 3.3 (leverage)
+          └─ BlockCholesky            Algorithm 1 / Theorem 3.9
+              └─ ApplyCholesky = W    Algorithm 2 / Theorem 3.10, W ≈₁ L⁺
+                  └─ PreconRichardson Algorithm 5 / Theorem 3.8
+                      └─ x̃ with ‖x̃ − L⁺b‖_L ≤ ε ‖L⁺b‖_L
+
+:class:`LaplacianSolver` separates the (randomised, one-off)
+preprocessing from the (deterministic given the chain) per-right-hand-
+side solves, so many ``b`` vectors can reuse one factorization — the
+standard usage pattern for Laplacian primitives inside IPM loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import SolverOptions, default_options
+from repro.core.apply_cholesky import ApplyCholeskyOperator
+from repro.core.block_cholesky import block_cholesky
+from repro.core.boundedness import naive_split
+from repro.core.richardson import preconditioned_richardson
+from repro.errors import (
+    ConvergenceError,
+    DimensionMismatchError,
+    ReproError,
+)
+from repro.graphs.conversions import from_scipy_laplacian
+from repro.graphs.laplacian import apply_laplacian
+from repro.graphs.multigraph import MultiGraph
+from repro.graphs.validation import require_connected
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.ops import project_out_ones, residual_norm
+from repro.rng import as_generator
+
+__all__ = ["LaplacianSolver", "solve_laplacian", "SolveReport"]
+
+Method = Literal["richardson", "pcg"]
+
+
+@dataclass
+class SolveReport:
+    """Everything a caller may want to know about one solve."""
+
+    x: np.ndarray
+    iterations: int
+    method: str
+    target_eps: float
+    residual_2norm: float
+    chain_depth: int
+    multiedges: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SolveReport(method={self.method!r}, "
+                f"iterations={self.iterations}, "
+                f"target_eps={self.target_eps:g}, "
+                f"residual={self.residual_2norm:.3e})")
+
+
+class LaplacianSolver:
+    """Reusable solver: factor once, solve many right-hand sides.
+
+    Parameters
+    ----------
+    graph:
+        Connected :class:`MultiGraph` (simple graphs are the common
+        case; α-bounded multigraphs are accepted with
+        ``options.splitting == "none"``).
+    options:
+        See :class:`repro.config.SolverOptions`; presets
+        ``theorem_1_1_options()`` / ``theorem_1_2_options()`` match the
+        paper's two headline configurations.
+    seed:
+        Seed/generator for all randomness (splitting, 5DDSubset,
+        terminal walks).
+    """
+
+    def __init__(self, graph: MultiGraph,
+                 options: SolverOptions | None = None,
+                 seed=None) -> None:
+        if not isinstance(graph, MultiGraph):
+            raise TypeError("graph must be a MultiGraph; use "
+                            "solve_laplacian() for matrix inputs")
+        options = options or default_options()
+        require_connected(graph)
+        rng = as_generator(seed if seed is not None else options.seed)
+        self.graph = graph
+        self.options = options
+
+        alpha = options.alpha(graph.n)
+        if options.splitting == "naive":
+            self.multigraph = naive_split(graph, alpha)
+        elif options.splitting == "leverage":
+            from repro.core.lev_est import leverage_split
+            self.multigraph = leverage_split(graph, alpha,
+                                             K=options.K(graph.n),
+                                             seed=rng, options=options)
+        elif options.splitting == "none":
+            self.multigraph = graph
+        else:  # pragma: no cover - guarded by SolverOptions typing
+            raise ReproError(f"unknown splitting {options.splitting!r}")
+
+        self.chain = block_cholesky(self.multigraph, options, seed=rng)
+        self.preconditioner = ApplyCholeskyOperator(self.chain)
+
+    # -- solving -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def apply_L(self, x: np.ndarray) -> np.ndarray:
+        """``L x`` from the *original* graph's edges (exact)."""
+        return apply_laplacian(self.graph, x)
+
+    def solve(self, b: np.ndarray, eps: float = 1e-6,
+              method: Method = "richardson") -> np.ndarray:
+        """ε-approximate ``L⁺ b`` (in the L-norm, Theorems 1.1/1.2)."""
+        return self.solve_report(b, eps=eps, method=method).x
+
+    def solve_report(self, b: np.ndarray, eps: float = 1e-6,
+                     method: Method = "richardson") -> SolveReport:
+        """Like :meth:`solve` but with iteration diagnostics."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (self.n,):
+            raise DimensionMismatchError(
+                f"b must have shape ({self.n},), got {b.shape}")
+        b = project_out_ones(b)
+        if method == "richardson":
+            try:
+                res = preconditioned_richardson(
+                    self.apply_L, self.preconditioner.apply, b,
+                    delta=self.options.richardson_delta, eps=eps)
+                x, iters = res.x, res.iterations
+            except ConvergenceError:
+                # The chain came out worse than δ = 1 (possible at
+                # aggressively small splitting factors).  PCG converges
+                # for any SPD preconditioner, just more slowly, so fall
+                # back rather than return garbage.
+                method = "richardson->pcg"
+                # CG's tolerance is a 2-norm residual; aim an order
+                # of magnitude below the requested L-norm target.
+                res = conjugate_gradient(
+                    self.apply_L, b, tol=eps / 10.0,
+                    preconditioner=self.preconditioner.apply,
+                    matvec_edges=self.graph.m)
+                x, iters = res.x, res.iterations
+        elif method == "pcg":
+            # PCG with the same W preconditioner: an extension — same
+            # asymptotics, usually fewer iterations in practice.
+            res = conjugate_gradient(
+                self.apply_L, b, tol=eps,
+                preconditioner=self.preconditioner.apply,
+                matvec_edges=self.graph.m)
+            x, iters = res.x, res.iterations
+        else:
+            raise ReproError(f"unknown method {method!r}")
+        return SolveReport(x=x, iterations=iters, method=method,
+                           target_eps=eps,
+                           residual_2norm=residual_norm(
+                               self.apply_L, x, b),
+                           chain_depth=self.chain.d,
+                           multiedges=self.multigraph.m)
+
+
+def solve_laplacian(L_or_graph, b: np.ndarray, eps: float = 1e-6,
+                    options: SolverOptions | None = None,
+                    seed=None, method: Method = "richardson"
+                    ) -> np.ndarray:
+    """One-shot convenience wrapper.
+
+    Accepts a :class:`MultiGraph`, a scipy sparse Laplacian, or a dense
+    Laplacian ndarray.  For repeated solves against the same graph,
+    construct a :class:`LaplacianSolver` once instead.
+    """
+    if isinstance(L_or_graph, MultiGraph):
+        graph = L_or_graph
+    elif sp.issparse(L_or_graph) or isinstance(L_or_graph, np.ndarray):
+        graph = from_scipy_laplacian(L_or_graph)
+    else:
+        raise TypeError(f"unsupported input type {type(L_or_graph)!r}")
+    solver = LaplacianSolver(graph, options=options, seed=seed)
+    return solver.solve(b, eps=eps, method=method)

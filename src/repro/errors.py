@@ -1,0 +1,55 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphStructureError(ReproError):
+    """A graph violates a structural requirement (e.g. disconnected input,
+    vertex index out of range, negative edge weight)."""
+
+
+class NotConnectedError(GraphStructureError):
+    """The graph must be connected for the requested operation.
+
+    Laplacians of disconnected graphs have a kernel of dimension larger
+    than one; the solver (Fact 2.3 of the paper) requires a connected
+    graph so that ``ker(L) = span(1)``.
+    """
+
+
+class EmptyGraphError(GraphStructureError):
+    """Operation requires at least one vertex/edge."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative method failed to reach the requested tolerance within
+    its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class FactorizationError(ReproError):
+    """Block Cholesky construction failed (e.g. a level became empty or a
+    5-DD subset could not be found)."""
+
+
+class SamplingError(ReproError):
+    """A random-sampling primitive was given an invalid distribution
+    (e.g. non-positive total weight)."""
+
+
+class DimensionMismatchError(ReproError):
+    """Vector/matrix dimensions are inconsistent with the graph."""

@@ -1,0 +1,58 @@
+"""Weighted undirected multigraph substrate.
+
+The paper's algorithms are stated "completely with respect to the
+multi-graphs instead of matrices" (Section 2), so this package is the
+foundation everything else builds on:
+
+* :class:`repro.graphs.multigraph.MultiGraph` — edge-array multigraph
+  with cached CSR adjacency views.
+* :mod:`repro.graphs.laplacian` — Laplacian assembly and the sub-block
+  extractions used by the block Cholesky factorization.
+* :mod:`repro.graphs.generators` — graph families used by the examples,
+  tests, and benchmark workloads.
+* :mod:`repro.graphs.conversions` — edge-list ↔ adjacency-list
+  conversion (Lemma 2.7) and scipy/networkx interop.
+* :mod:`repro.graphs.validation` — structural checks (Fact 2.3 needs
+  connectivity).
+* :mod:`repro.graphs.io` — ``.npz`` persistence.
+"""
+
+from repro.graphs.multigraph import MultiGraph
+from repro.graphs.laplacian import (
+    laplacian,
+    laplacian_blocks,
+    apply_laplacian,
+    adjacency_matrix,
+)
+from repro.graphs import generators
+from repro.graphs.conversions import (
+    edge_list_to_adjacency,
+    adjacency_to_edge_list,
+    from_scipy_adjacency,
+    from_scipy_laplacian,
+    from_networkx,
+    to_networkx,
+)
+from repro.graphs.validation import (
+    connected_components,
+    is_connected,
+    validate_graph,
+)
+
+__all__ = [
+    "MultiGraph",
+    "laplacian",
+    "laplacian_blocks",
+    "apply_laplacian",
+    "adjacency_matrix",
+    "generators",
+    "edge_list_to_adjacency",
+    "adjacency_to_edge_list",
+    "from_scipy_adjacency",
+    "from_scipy_laplacian",
+    "from_networkx",
+    "to_networkx",
+    "connected_components",
+    "is_connected",
+    "validate_graph",
+]

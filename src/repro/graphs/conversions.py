@@ -1,0 +1,123 @@
+"""Representation conversions (Lemma 2.7) and external interop.
+
+The paper's algorithms alternate between the edge-list view (sampling a
+walk per multi-edge) and the adjacency view (stepping a walk); Lemma 2.7
+[BM10] provides the ``O(m)`` work / ``O(log m)`` depth conversion.  The
+in-library conversion lives on :class:`MultiGraph.adjacency`; this module
+adds the inverse direction plus scipy/networkx bridges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphStructureError
+from repro.graphs.multigraph import AdjacencyView, MultiGraph
+from repro.pram import charge
+from repro.pram import primitives as P
+
+__all__ = [
+    "edge_list_to_adjacency",
+    "adjacency_to_edge_list",
+    "from_scipy_adjacency",
+    "from_scipy_laplacian",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+def edge_list_to_adjacency(graph: MultiGraph) -> AdjacencyView:
+    """Edge list → CSR adjacency (Lemma 2.7 forward direction)."""
+    return graph.adjacency()
+
+
+def adjacency_to_edge_list(n: int, adj: AdjacencyView) -> MultiGraph:
+    """CSR adjacency → edge list (Lemma 2.7 reverse direction).
+
+    Each undirected multi-edge appears as two half-edges; we keep the
+    half-edge whose source is the smaller endpoint (ties impossible —
+    self-loops are rejected upstream), reconstructing each multi-edge
+    exactly once even for parallel edges (dedup by ``edge_id``).
+    """
+    sources = np.repeat(np.arange(n, dtype=np.int64),
+                        np.diff(adj.indptr))
+    eid = adj.edge_id
+    order = np.argsort(eid, kind="stable")
+    first_half = order[0::2]  # every edge id appears exactly twice
+    u = sources[first_half]
+    v = adj.neighbor[first_half]
+    w = adj.weight[first_half]
+    charge(*P.convert_cost(len(sources)), label="adjacency_to_edge_list")
+    return MultiGraph(n, u, v, w, validate=False)
+
+
+def from_scipy_adjacency(A: sp.spmatrix | np.ndarray) -> MultiGraph:
+    """Build a graph from a symmetric non-negative adjacency matrix.
+
+    Zero diagonal required; only the upper triangle is read (the matrix
+    must be symmetric — validated approximately).
+    """
+    A = sp.csr_matrix(A)
+    if A.shape[0] != A.shape[1]:
+        raise GraphStructureError("adjacency matrix must be square")
+    if abs(A - A.T).max() > 1e-12 * max(abs(A).max(), 1.0):
+        raise GraphStructureError("adjacency matrix must be symmetric")
+    coo = sp.triu(A, k=1).tocoo()
+    if (A.diagonal() != 0).any():
+        raise GraphStructureError("adjacency diagonal must be zero")
+    return MultiGraph(A.shape[0], coo.row.astype(np.int64),
+                      coo.col.astype(np.int64), coo.data.astype(np.float64))
+
+
+def from_scipy_laplacian(L: sp.spmatrix | np.ndarray) -> MultiGraph:
+    """Build a graph from a Laplacian matrix.
+
+    Validates zero row sums and non-positive off-diagonals (the
+    definition of a Laplacian from the abstract of the paper).
+    """
+    L = sp.csr_matrix(L)
+    n = L.shape[0]
+    if L.shape[0] != L.shape[1]:
+        raise GraphStructureError("Laplacian must be square")
+    rowsums = np.asarray(L.sum(axis=1)).ravel()
+    scale = max(float(abs(L).max()), 1.0)
+    if np.abs(rowsums).max() > 1e-9 * scale:
+        raise GraphStructureError("Laplacian rows must sum to zero")
+    off = L - sp.diags(L.diagonal())
+    if off.nnz and off.data.max() > 1e-12 * scale:
+        raise GraphStructureError("Laplacian off-diagonals must be <= 0")
+    return from_scipy_adjacency(-off)
+
+
+def from_networkx(G) -> MultiGraph:
+    """Convert a (multi)graph from networkx; ``weight`` attr defaults 1."""
+    import networkx as nx  # local import: optional dependency
+
+    nodes = list(G.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    us, vs, ws = [], [], []
+    if G.is_multigraph():
+        edges = G.edges(keys=False, data=True)
+    else:
+        edges = G.edges(data=True)
+    for a, b, data in edges:
+        if a == b:
+            continue  # drop self-loops: they contribute nothing
+        us.append(index[a])
+        vs.append(index[b])
+        ws.append(float(data.get("weight", 1.0)))
+    return MultiGraph(len(nodes), np.array(us, np.int64),
+                      np.array(vs, np.int64), np.array(ws, np.float64))
+
+
+def to_networkx(graph: MultiGraph):
+    """Convert to an ``networkx.MultiGraph`` preserving parallel edges."""
+    import networkx as nx
+
+    G = nx.MultiGraph()
+    G.add_nodes_from(range(graph.n))
+    for a, b, w in zip(graph.u.tolist(), graph.v.tolist(),
+                       graph.w.tolist()):
+        G.add_edge(a, b, weight=w)
+    return G

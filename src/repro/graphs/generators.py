@@ -1,0 +1,309 @@
+"""Graph families for tests, examples, and benchmark workloads.
+
+All generators return connected :class:`~repro.graphs.multigraph.MultiGraph`
+instances with unit weights unless a ``weights`` option says otherwise.
+They are implemented from scratch on numpy (no networkx dependency in
+library code; networkx is only used by the test-suite as an oracle).
+
+Families
+--------
+* deterministic: :func:`path`, :func:`cycle`, :func:`complete`,
+  :func:`star`, :func:`grid2d`, :func:`grid3d`, :func:`torus2d`,
+  :func:`binary_tree`, :func:`barbell`, :func:`dumbbell`,
+  :func:`lollipop`.
+* random: :func:`erdos_renyi` (connectivity enforced),
+  :func:`random_regular` (configuration model — the standard cheap
+  expander), :func:`watts_strogatz`, :func:`preferential_attachment`,
+  :func:`random_bipartite`.
+* utilities: :func:`with_random_weights`, :func:`union_disjoint`,
+  :func:`add_bridge`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphStructureError
+from repro.graphs.multigraph import MultiGraph
+from repro.rng import as_generator
+
+__all__ = [
+    "path", "cycle", "complete", "star", "grid2d", "grid3d", "torus2d",
+    "binary_tree", "barbell", "dumbbell", "lollipop",
+    "erdos_renyi", "random_regular", "watts_strogatz",
+    "preferential_attachment", "random_bipartite",
+    "with_random_weights", "union_disjoint", "add_bridge",
+]
+
+
+def _mk(n: int, u, v, w=None) -> MultiGraph:
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if w is None:
+        w = np.ones(u.shape[0], dtype=np.float64)
+    return MultiGraph(n, u, v, np.asarray(w, dtype=np.float64))
+
+
+# -- deterministic families --------------------------------------------------
+
+def path(n: int, weight: float = 1.0) -> MultiGraph:
+    """Path graph ``0 - 1 - ... - n-1``."""
+    idx = np.arange(n - 1)
+    return _mk(n, idx, idx + 1, np.full(n - 1, weight))
+
+
+def cycle(n: int, weight: float = 1.0) -> MultiGraph:
+    """Cycle on ``n ≥ 3`` vertices."""
+    if n < 3:
+        raise GraphStructureError("cycle needs n >= 3")
+    idx = np.arange(n)
+    return _mk(n, idx, (idx + 1) % n, np.full(n, weight))
+
+
+def complete(n: int, weight: float = 1.0) -> MultiGraph:
+    """Complete graph ``K_n``."""
+    iu, iv = np.triu_indices(n, k=1)
+    return _mk(n, iu, iv, np.full(iu.size, weight))
+
+
+def star(n: int, weight: float = 1.0) -> MultiGraph:
+    """Star with centre 0 and ``n-1`` leaves."""
+    if n < 2:
+        raise GraphStructureError("star needs n >= 2")
+    leaves = np.arange(1, n)
+    return _mk(n, np.zeros(n - 1, np.int64), leaves,
+               np.full(n - 1, weight))
+
+
+def grid2d(rows: int, cols: int) -> MultiGraph:
+    """``rows × cols`` 4-neighbour grid."""
+    n = rows * cols
+    ids = np.arange(n).reshape(rows, cols)
+    us = [ids[:, :-1].ravel(), ids[:-1, :].ravel()]
+    vs = [ids[:, 1:].ravel(), ids[1:, :].ravel()]
+    return _mk(n, np.concatenate(us), np.concatenate(vs))
+
+
+def torus2d(rows: int, cols: int) -> MultiGraph:
+    """2-D grid with wrap-around edges (each vertex degree 4)."""
+    if rows < 3 or cols < 3:
+        raise GraphStructureError("torus needs rows, cols >= 3")
+    n = rows * cols
+    ids = np.arange(n).reshape(rows, cols)
+    us = [ids.ravel(), ids.ravel()]
+    vs = [np.roll(ids, -1, axis=1).ravel(), np.roll(ids, -1, axis=0).ravel()]
+    return _mk(n, np.concatenate(us), np.concatenate(vs))
+
+
+def grid3d(a: int, b: int, c: int) -> MultiGraph:
+    """``a × b × c`` 6-neighbour grid."""
+    n = a * b * c
+    ids = np.arange(n).reshape(a, b, c)
+    us = [ids[:-1, :, :].ravel(), ids[:, :-1, :].ravel(),
+          ids[:, :, :-1].ravel()]
+    vs = [ids[1:, :, :].ravel(), ids[:, 1:, :].ravel(), ids[:, :, 1:].ravel()]
+    return _mk(n, np.concatenate(us), np.concatenate(vs))
+
+
+def binary_tree(depth: int) -> MultiGraph:
+    """Complete binary tree of the given depth (root = 0)."""
+    n = 2 ** (depth + 1) - 1
+    children = np.arange(1, n)
+    parents = (children - 1) // 2
+    return _mk(n, parents, children)
+
+
+def barbell(clique: int, bridge: int = 1) -> MultiGraph:
+    """Two ``K_clique`` cliques joined by a ``bridge``-edge path.
+
+    A classic hard case for unpreconditioned iterative methods: the
+    bridge is a severe bottleneck, so the Laplacian is ill-conditioned.
+    """
+    if clique < 2:
+        raise GraphStructureError("barbell needs clique >= 2")
+    k1 = complete(clique)
+    n = 2 * clique + max(bridge - 1, 0)
+    us, vs = [k1.u, k1.u + clique + max(bridge - 1, 0)], \
+             [k1.v, k1.v + clique + max(bridge - 1, 0)]
+    # path from vertex clique-1 through bridge intermediates to the
+    # first vertex of the second clique
+    chain = np.concatenate([[clique - 1],
+                            clique + np.arange(max(bridge - 1, 0)),
+                            [clique + max(bridge - 1, 0)]])
+    us.append(chain[:-1])
+    vs.append(chain[1:])
+    return _mk(n, np.concatenate(us), np.concatenate(vs))
+
+
+def dumbbell(side: int) -> MultiGraph:
+    """Two ``side × side`` grids joined by a single edge."""
+    g = grid2d(side, side)
+    off = side * side
+    u = np.concatenate([g.u, g.u + off, [off - 1]])
+    v = np.concatenate([g.v, g.v + off, [off]])
+    return _mk(2 * off, u, v)
+
+
+def lollipop(clique: int, tail: int) -> MultiGraph:
+    """``K_clique`` with a ``tail``-vertex path hanging off vertex 0."""
+    k = complete(clique)
+    n = clique + tail
+    tail_u = np.concatenate([[0], clique + np.arange(tail - 1)]) \
+        if tail else np.empty(0, np.int64)
+    tail_v = clique + np.arange(tail) if tail else np.empty(0, np.int64)
+    return _mk(n, np.concatenate([k.u, tail_u]),
+               np.concatenate([k.v, tail_v]))
+
+
+# -- random families ----------------------------------------------------------
+
+def erdos_renyi(n: int, p: float, seed=None,
+                ensure_connected: bool = True) -> MultiGraph:
+    """G(n, p); when ``ensure_connected`` a random spanning path over a
+    permutation is added so the sample is always usable by the solver."""
+    rng = as_generator(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < p
+    u, v = iu[keep], iv[keep]
+    if ensure_connected:
+        perm = rng.permutation(n)
+        u = np.concatenate([u, perm[:-1]])
+        v = np.concatenate([v, perm[1:]])
+        g = _mk(n, u, v)
+        return g.coalesced()
+    return _mk(n, u, v)
+
+
+def random_regular(n: int, d: int, seed=None,
+                   max_tries: int = 2000) -> MultiGraph:
+    """Random ``d``-regular graph via the configuration model.
+
+    Retries until the matching is simple (no loops / parallel stubs);
+    for ``d ≥ 3`` these are whp expanders, the paper's favourite
+    implicit workload.  ``n·d`` must be even.
+    """
+    if (n * d) % 2 != 0:
+        raise GraphStructureError("n*d must be even for a d-regular graph")
+    if d >= n:
+        raise GraphStructureError("need d < n")
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(n), d)
+    for _ in range(max_tries):
+        perm = rng.permutation(stubs)
+        u, v = perm[0::2], perm[1::2]
+        if np.any(u == v):
+            continue
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        key = lo * n + hi
+        if np.unique(key).size != key.size:
+            continue
+        g = _mk(n, u, v)
+        from repro.graphs.validation import is_connected
+        if is_connected(g):
+            return g
+    raise GraphStructureError(
+        f"failed to draw a simple connected {d}-regular graph on {n} "
+        f"vertices in {max_tries} tries")
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed=None) -> MultiGraph:
+    """Small-world ring: each vertex wired to ``k`` nearest neighbours
+    (k even), each edge rewired with probability ``beta``."""
+    if k % 2 != 0 or k < 2:
+        raise GraphStructureError("k must be even and >= 2")
+    rng = as_generator(seed)
+    base = np.arange(n)
+    us, vs = [], []
+    for off in range(1, k // 2 + 1):
+        us.append(base)
+        vs.append((base + off) % n)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    rewire = rng.random(u.size) < beta
+    new_targets = rng.integers(0, n, size=int(rewire.sum()))
+    v = v.copy()
+    v[rewire] = new_targets
+    ok = u != v
+    g = _mk(n, u[ok], v[ok]).coalesced()
+    from repro.graphs.validation import is_connected
+    if not is_connected(g):
+        # Patch connectivity with a ring (keeps the small-world shape).
+        u2 = np.concatenate([g.u, base])
+        v2 = np.concatenate([g.v, (base + 1) % n])
+        g = _mk(n, u2, v2).coalesced()
+    return g
+
+
+def preferential_attachment(n: int, k: int, seed=None) -> MultiGraph:
+    """Barabási–Albert: each new vertex attaches to ``k`` existing
+    vertices chosen proportionally to degree (with replacement, then
+    coalesced)."""
+    if k < 1 or n <= k:
+        raise GraphStructureError("need 1 <= k < n")
+    rng = as_generator(seed)
+    us, vs = list(range(k)), list(range(1, k + 1))  # seed path
+    targets = list(range(k + 1))
+    repeated = list(us) + list(vs)
+    for new in range(k + 1, n):
+        choices = rng.choice(repeated, size=k)
+        for t in np.unique(choices):
+            us.append(int(t))
+            vs.append(new)
+            repeated.extend([int(t), new])
+    return _mk(n, np.array(us), np.array(vs)).coalesced()
+
+
+def random_bipartite(a: int, b: int, p: float, seed=None) -> MultiGraph:
+    """Random bipartite graph, kept connected by a spanning double star
+    (left vertex 0 sees every right vertex; right vertex 0 sees every
+    left vertex — all patch edges respect the bipartition)."""
+    rng = as_generator(seed)
+    grid_u, grid_v = np.meshgrid(np.arange(a), a + np.arange(b),
+                                 indexing="ij")
+    keep = rng.random(grid_u.shape) < p
+    u, v = grid_u[keep], grid_v[keep]
+    u = np.concatenate([u, np.zeros(b, np.int64), np.arange(a)])
+    v = np.concatenate([v, a + np.arange(b), np.full(a, a, np.int64)])
+    return _mk(a + b, u, v).coalesced()
+
+
+# -- utilities ----------------------------------------------------------------
+
+def with_random_weights(graph: MultiGraph, low: float = 0.5,
+                        high: float = 2.0, seed=None,
+                        log_uniform: bool = False) -> MultiGraph:
+    """Replace weights with random draws in ``[low, high]``.
+
+    ``log_uniform=True`` draws ``exp(U[log low, log high])`` — wide
+    weight ranges stress the α-boundedness machinery.
+    """
+    rng = as_generator(seed)
+    if low <= 0 or high < low:
+        raise GraphStructureError("need 0 < low <= high")
+    if log_uniform:
+        w = np.exp(rng.uniform(np.log(low), np.log(high), size=graph.m))
+    else:
+        w = rng.uniform(low, high, size=graph.m)
+    return MultiGraph(graph.n, graph.u.copy(), graph.v.copy(), w,
+                      validate=False)
+
+
+def union_disjoint(g1: MultiGraph, g2: MultiGraph) -> MultiGraph:
+    """Disjoint union (vertex ids of ``g2`` shifted by ``g1.n``).
+
+    The result is disconnected — used by tests that exercise the
+    connectivity validation paths.
+    """
+    return MultiGraph(g1.n + g2.n,
+                      np.concatenate([g1.u, g2.u + g1.n]),
+                      np.concatenate([g1.v, g2.v + g1.n]),
+                      np.concatenate([g1.w, g2.w]), validate=False)
+
+
+def add_bridge(graph: MultiGraph, x: int, y: int,
+               weight: float = 1.0) -> MultiGraph:
+    """Return a copy with one extra edge ``{x, y}``."""
+    return MultiGraph(graph.n,
+                      np.concatenate([graph.u, [x]]),
+                      np.concatenate([graph.v, [y]]),
+                      np.concatenate([graph.w, [weight]]))

@@ -1,0 +1,166 @@
+"""Laplacian assembly and block extraction.
+
+``L = D - A`` with ``D`` the weighted degrees and ``A`` the (coalesced)
+adjacency (Section 2 of the paper).  Different multigraphs can share a
+Laplacian; these helpers always coalesce parallel edges during assembly
+so the sparse matrices stay small.
+
+:func:`laplacian_blocks` extracts exactly the pieces ``ApplyCholesky``
+needs at each level: the diagonal ``X`` and induced-subgraph Laplacian
+``Y`` with ``L_FF = X + Y`` (Lemma 3.5's decomposition), plus the
+off-diagonal coupling block ``L_FC = -W_FC``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatchError
+from repro.graphs.multigraph import MultiGraph
+from repro.pram import charge
+from repro.pram import primitives as P
+
+__all__ = [
+    "laplacian",
+    "adjacency_matrix",
+    "apply_laplacian",
+    "laplacian_blocks",
+    "LaplacianBlocks",
+]
+
+
+def adjacency_matrix(graph: MultiGraph) -> sp.csr_matrix:
+    """Symmetric weighted adjacency matrix (parallel edges coalesced)."""
+    m = graph.m
+    if m == 0:
+        return sp.csr_matrix((graph.n, graph.n))
+    rows = np.concatenate([graph.u, graph.v])
+    cols = np.concatenate([graph.v, graph.u])
+    vals = np.concatenate([graph.w, graph.w])
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(graph.n, graph.n))
+    charge(*P.convert_cost(2 * m), label="adjacency_matrix")
+    return A.tocsr()
+
+
+def laplacian(graph: MultiGraph) -> sp.csr_matrix:
+    """Graph Laplacian ``L = D - A`` as CSR."""
+    A = adjacency_matrix(graph)
+    deg = np.asarray(A.sum(axis=1)).ravel()
+    L = sp.diags(deg) - A
+    return L.tocsr()
+
+
+def apply_laplacian(graph: MultiGraph, x: np.ndarray) -> np.ndarray:
+    """``L_G x`` straight from the edge arrays (no matrix assembly).
+
+    This is the ``O(m)`` work / ``O(log m)`` depth primitive the proof of
+    Theorem 3.10 describes: per-edge products in parallel, per-vertex
+    balanced-tree sums.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != graph.n:
+        raise DimensionMismatchError(
+            f"vector has {x.shape[0]} entries for a {graph.n}-vertex graph")
+    diff = x[graph.u] - x[graph.v]
+    contrib = graph.w * diff
+    out = np.zeros_like(x)
+    np.add.at(out, graph.u, contrib)
+    np.subtract.at(out, graph.v, contrib)
+    charge(*P.matvec_cost(graph.m), label="apply_laplacian")
+    return out
+
+
+@dataclass(frozen=True)
+class LaplacianBlocks:
+    """The per-level matrices ``ApplyCholesky`` consumes.
+
+    With the bipartition ``F ⊔ C`` of the level's vertices (positional
+    indices into the level's vertex array):
+
+    * ``X`` — diagonal of ``L_FF`` minus the induced-subgraph degrees:
+      each ``F`` vertex's weighted degree towards ``C`` (strictly
+      positive whenever ``F`` is 5-DD).
+    * ``Y`` — Laplacian of the induced subgraph ``G[F]``.
+    * ``L_FC`` — coupling block (``-`` weights between F and C), CSR of
+      shape ``(|F|, |C|)``; ``L_CF`` is its transpose by symmetry.
+    """
+
+    X: np.ndarray
+    Y: sp.csr_matrix
+    L_FC: sp.csr_matrix
+
+    @property
+    def nf(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def nc(self) -> int:
+        return self.L_FC.shape[1]
+
+
+def laplacian_blocks(graph: MultiGraph, F: np.ndarray,
+                     C: np.ndarray) -> LaplacianBlocks:
+    """Extract ``X``, ``Y``, ``L_FC`` for the bipartition ``F ⊔ C``.
+
+    ``F`` and ``C`` are disjoint vertex-id arrays covering every vertex
+    that carries an edge.  Positional indexing: row ``i`` of the blocks
+    refers to vertex ``F[i]`` (resp. column ``j`` ↦ ``C[j]``).
+    """
+    F = np.asarray(F, dtype=np.int64)
+    C = np.asarray(C, dtype=np.int64)
+    nf, nc = F.size, C.size
+    side = np.full(graph.n, -1, dtype=np.int8)  # 0 = F, 1 = C
+    pos = np.full(graph.n, -1, dtype=np.int64)
+    side[F] = 0
+    pos[F] = np.arange(nf)
+    side[C] = 1
+    pos[C] = np.arange(nc)
+
+    su, sv = side[graph.u], side[graph.v]
+    if np.any(su < 0) or np.any(sv < 0):
+        raise DimensionMismatchError(
+            "edge endpoint outside F ∪ C; pass the level's full vertex set")
+
+    # Total weighted degree of each F vertex (all incident edges).
+    deg_F = np.zeros(nf, dtype=np.float64)
+    mask_uF = su == 0
+    mask_vF = sv == 0
+    np.add.at(deg_F, pos[graph.u[mask_uF]], graph.w[mask_uF])
+    np.add.at(deg_F, pos[graph.v[mask_vF]], graph.w[mask_vF])
+
+    # Induced subgraph G[F] Laplacian Y.
+    ff = mask_uF & mask_vF
+    uf = pos[graph.u[ff]]
+    vf = pos[graph.v[ff]]
+    wf = graph.w[ff]
+    deg_in_F = np.zeros(nf, dtype=np.float64)
+    np.add.at(deg_in_F, uf, wf)
+    np.add.at(deg_in_F, vf, wf)
+    if wf.size:
+        A_F = sp.coo_matrix(
+            (np.concatenate([wf, wf]),
+             (np.concatenate([uf, vf]), np.concatenate([vf, uf]))),
+            shape=(nf, nf)).tocsr()
+    else:
+        A_F = sp.csr_matrix((nf, nf))
+    Y = (sp.diags(deg_in_F) - A_F).tocsr()
+
+    # X = degree towards C (diagonal of L_FF minus Y's diagonal).
+    X = deg_F - deg_in_F
+
+    # Coupling block L_FC = -W_FC.
+    fc_u = mask_uF & (sv == 1)   # u in F, v in C
+    fc_v = mask_vF & (su == 1)   # v in F, u in C
+    rows = np.concatenate([pos[graph.u[fc_u]], pos[graph.v[fc_v]]])
+    cols = np.concatenate([pos[graph.v[fc_u]], pos[graph.u[fc_v]]])
+    vals = -np.concatenate([graph.w[fc_u], graph.w[fc_v]])
+    if rows.size:
+        L_FC = sp.coo_matrix((vals, (rows, cols)), shape=(nf, nc)).tocsr()
+    else:
+        L_FC = sp.csr_matrix((nf, nc))
+
+    charge(*P.convert_cost(graph.m), label="laplacian_blocks")
+    return LaplacianBlocks(X=X, Y=Y, L_FC=L_FC)

@@ -1,0 +1,273 @@
+"""Edge-array weighted undirected multigraph.
+
+A :class:`MultiGraph` stores ``m`` multi-edges as three parallel arrays
+``(u, v, w)``.  Parallel edges are first-class citizens — the solver's
+α-bounded splitting (Lemma 3.2) deliberately creates many copies of each
+edge, and ``TerminalWalks`` both consumes and produces multi-edges.
+Self-loops are disallowed: a self-loop contributes ``0`` to a Laplacian,
+and ``TerminalWalks`` explicitly drops walks with ``c1 = c2``.
+
+The adjacency view (CSR over the 2m directed half-edges) is built
+lazily and cached; it is the representation random walks consume.  Cost
+accounting: the CSR build charges Lemma 2.7's ``(O(m), O(log m))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    DimensionMismatchError,
+    EmptyGraphError,
+    GraphStructureError,
+)
+from repro.pram import charge
+from repro.pram import primitives as P
+
+__all__ = ["MultiGraph", "AdjacencyView"]
+
+
+@dataclass(frozen=True)
+class AdjacencyView:
+    """CSR adjacency over half-edges.
+
+    For vertex ``x``, its incident half-edges occupy the slice
+    ``indptr[x]:indptr[x+1]`` of the arrays:
+
+    * ``neighbor`` — the other endpoint of each incident multi-edge,
+    * ``weight`` — the multi-edge weight,
+    * ``edge_id`` — index into the parent graph's edge arrays,
+    * ``cumweight`` — *globally shifted* inclusive prefix sums of
+      ``weight`` within each row; row ``x`` spans the half-open value
+      interval ``(base[x], base[x] + degree[x]]`` where
+      ``base[x] = cumweight[indptr[x]-1]`` (0 for the first row).  This
+      lets a single vectorised ``searchsorted`` sample a
+      weight-proportional neighbour for millions of walkers at once.
+    """
+
+    indptr: np.ndarray
+    neighbor: np.ndarray
+    weight: np.ndarray
+    edge_id: np.ndarray
+    cumweight: np.ndarray
+
+    def row(self, x: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(neighbors, weights, edge ids) of vertex ``x``."""
+        lo, hi = self.indptr[x], self.indptr[x + 1]
+        return self.neighbor[lo:hi], self.weight[lo:hi], self.edge_id[lo:hi]
+
+    def row_base(self, x: np.ndarray | int) -> np.ndarray:
+        """Value of the global cumulative weight just before row ``x``."""
+        lo = self.indptr[x]
+        base = np.where(np.asarray(lo) > 0,
+                        self.cumweight[np.maximum(np.asarray(lo) - 1, 0)],
+                        0.0)
+        return base
+
+
+class MultiGraph:
+    """Weighted undirected multigraph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    u, v:
+        Endpoint arrays of the ``m`` multi-edges (any integer dtype).
+    w:
+        Strictly positive edge weights.
+    validate:
+        When true (default), check index ranges, weight positivity, and
+        reject self-loops.
+    """
+
+    __slots__ = ("n", "u", "v", "w", "_adj", "_wdeg")
+
+    def __init__(self, n: int,
+                 u: Iterable[int] | np.ndarray,
+                 v: Iterable[int] | np.ndarray,
+                 w: Iterable[float] | np.ndarray,
+                 validate: bool = True) -> None:
+        if n <= 0:
+            raise EmptyGraphError("graph must have at least one vertex")
+        self.n = int(n)
+        self.u = np.ascontiguousarray(u, dtype=np.int64)
+        self.v = np.ascontiguousarray(v, dtype=np.int64)
+        self.w = np.ascontiguousarray(w, dtype=np.float64)
+        if not (self.u.shape == self.v.shape == self.w.shape):
+            raise DimensionMismatchError(
+                f"edge arrays disagree: u{self.u.shape} v{self.v.shape} "
+                f"w{self.w.shape}")
+        if self.u.ndim != 1:
+            raise DimensionMismatchError("edge arrays must be 1-D")
+        if validate and self.m:
+            if self.u.min(initial=0) < 0 or self.v.min(initial=0) < 0 \
+                    or self.u.max(initial=0) >= n or self.v.max(initial=0) >= n:
+                raise GraphStructureError("edge endpoint out of range")
+            if np.any(self.u == self.v):
+                raise GraphStructureError(
+                    "self-loops are not allowed (they contribute nothing "
+                    "to a Laplacian)")
+            if not np.all(np.isfinite(self.w)) or np.any(self.w <= 0):
+                raise GraphStructureError(
+                    "edge weights must be finite and strictly positive")
+        self._adj: AdjacencyView | None = None
+        self._wdeg: np.ndarray | None = None
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of multi-edges."""
+        return self.u.shape[0]
+
+    def weighted_degrees(self) -> np.ndarray:
+        """``w(x) = Σ_{e ∋ x} w(e)`` for every vertex (cached)."""
+        if self._wdeg is None:
+            deg = np.zeros(self.n, dtype=np.float64)
+            np.add.at(deg, self.u, self.w)
+            np.add.at(deg, self.v, self.w)
+            charge(*P.reduce_cost(2 * self.m), label="weighted_degrees")
+            self._wdeg = deg
+        return self._wdeg
+
+    def multi_degrees(self) -> np.ndarray:
+        """Number of incident multi-edges per vertex."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.u, 1)
+        np.add.at(deg, self.v, 1)
+        return deg
+
+    def total_weight(self) -> float:
+        """Sum of all multi-edge weights."""
+        return float(self.w.sum())
+
+    # -- adjacency ----------------------------------------------------------
+
+    def adjacency(self) -> AdjacencyView:
+        """CSR adjacency over the ``2m`` half-edges (cached).
+
+        Built with a counting sort on endpoints — the parallel edge-list
+        → adjacency-list conversion of Lemma 2.7, charged ``(m, log m)``.
+        """
+        if self._adj is None:
+            self._adj = self._build_adjacency()
+        return self._adj
+
+    def _build_adjacency(self) -> AdjacencyView:
+        m, n = self.m, self.n
+        ends = np.concatenate([self.u, self.v])
+        others = np.concatenate([self.v, self.u])
+        ws = np.concatenate([self.w, self.w])
+        eid = np.concatenate([np.arange(m, dtype=np.int64),
+                              np.arange(m, dtype=np.int64)])
+        order = np.argsort(ends, kind="stable")
+        ends_sorted = ends[order]
+        counts = np.bincount(ends_sorted, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        weight = ws[order]
+        cumweight = np.cumsum(weight)
+        charge(*P.convert_cost(2 * m), label="adjacency_build")
+        return AdjacencyView(indptr=indptr,
+                             neighbor=others[order],
+                             weight=weight,
+                             edge_id=eid[order],
+                             cumweight=cumweight)
+
+    def neighbors(self, x: int) -> np.ndarray:
+        """Distinct sorted neighbours of vertex ``x``."""
+        nbr, _, _ = self.adjacency().row(x)
+        return np.unique(nbr)
+
+    # -- derived graphs ------------------------------------------------------
+
+    def copy(self) -> "MultiGraph":
+        return MultiGraph(self.n, self.u.copy(), self.v.copy(),
+                          self.w.copy(), validate=False)
+
+    def with_edges(self, u: np.ndarray, v: np.ndarray,
+                   w: np.ndarray) -> "MultiGraph":
+        """Same vertex set, new edge arrays (validated)."""
+        return MultiGraph(self.n, u, v, w)
+
+    def edge_subset(self, mask: np.ndarray) -> "MultiGraph":
+        """Keep only the multi-edges selected by boolean ``mask``."""
+        if mask.shape != (self.m,):
+            raise DimensionMismatchError("mask must have one entry per edge")
+        return MultiGraph(self.n, self.u[mask], self.v[mask], self.w[mask],
+                          validate=False)
+
+    def induced_subgraph(self, vertices: np.ndarray
+                         ) -> tuple["MultiGraph", np.ndarray]:
+        """Induced subgraph on ``vertices`` with relabelled ids.
+
+        Returns ``(H, vertices)`` where ``H`` has ``len(vertices)``
+        vertices labelled by position in ``vertices`` (which is the
+        mapping back to the parent's ids).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            raise EmptyGraphError("induced subgraph needs >= 1 vertex")
+        pos = np.full(self.n, -1, dtype=np.int64)
+        pos[vertices] = np.arange(vertices.size)
+        keep = (pos[self.u] >= 0) & (pos[self.v] >= 0)
+        charge(*P.map_cost(self.m), label="induced_subgraph")
+        return (MultiGraph(vertices.size, pos[self.u[keep]],
+                           pos[self.v[keep]], self.w[keep], validate=False),
+                vertices)
+
+    def coalesced(self) -> "MultiGraph":
+        """Merge parallel multi-edges into single edges (weights add).
+
+        The resulting graph is simple and has the same Laplacian.
+        """
+        if self.m == 0:
+            return self.copy()
+        lo = np.minimum(self.u, self.v)
+        hi = np.maximum(self.u, self.v)
+        key = lo * self.n + hi
+        uniq, inverse = np.unique(key, return_inverse=True)
+        w = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(w, inverse, self.w)
+        charge(*P.sort_cost(self.m), label="coalesce")
+        return MultiGraph(self.n, uniq // self.n, uniq % self.n, w,
+                          validate=False)
+
+    def relabeled(self, new_ids: np.ndarray, n_new: int) -> "MultiGraph":
+        """Map vertex ``x`` to ``new_ids[x]`` (must be injective on the
+        support of the edge arrays)."""
+        return MultiGraph(n_new, new_ids[self.u], new_ids[self.v],
+                          self.w.copy())
+
+    # -- dunder -----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"MultiGraph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality of the edge arrays (order-sensitive)."""
+        if not isinstance(other, MultiGraph):
+            return NotImplemented
+        return (self.n == other.n
+                and np.array_equal(self.u, other.u)
+                and np.array_equal(self.v, other.v)
+                and np.array_equal(self.w, other.w))
+
+    def __hash__(self) -> int:  # pragma: no cover - not hashable
+        raise TypeError("MultiGraph is mutable-array backed; not hashable")
+
+    @staticmethod
+    def from_edges(n: int, edges: Sequence[tuple[int, int, float]]
+                   ) -> "MultiGraph":
+        """Convenience constructor from ``(u, v, w)`` triples."""
+        if len(edges) == 0:
+            return MultiGraph(n, np.empty(0, np.int64),
+                              np.empty(0, np.int64),
+                              np.empty(0, np.float64))
+        arr = np.asarray(edges, dtype=np.float64)
+        return MultiGraph(n, arr[:, 0].astype(np.int64),
+                          arr[:, 1].astype(np.int64), arr[:, 2])

@@ -1,0 +1,94 @@
+"""Structural validation: connectivity and sanity checks.
+
+Fact 2.3 of the paper: for connected ``G``, ``ker(L_G) = span(1)``.
+The solver therefore requires a connected input; these helpers verify
+it (union–find over the edge arrays — near-linear work, and unlike a
+BFS it is also the natural "parallel" formulation via hooking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphStructureError, NotConnectedError
+from repro.graphs.multigraph import MultiGraph
+from repro.pram import charge
+from repro.pram import primitives as P
+
+__all__ = ["connected_components", "is_connected", "validate_graph",
+           "require_connected"]
+
+
+class _DSU:
+    """Array-based union–find with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def connected_components(graph: MultiGraph) -> np.ndarray:
+    """Component label (0-based, order of first appearance) per vertex."""
+    dsu = _DSU(graph.n)
+    for a, b in zip(graph.u.tolist(), graph.v.tolist()):
+        dsu.union(a, b)
+    roots = np.fromiter((dsu.find(x) for x in range(graph.n)),
+                        dtype=np.int64, count=graph.n)
+    _, labels = np.unique(roots, return_inverse=True)
+    charge(*P.reduce_cost(graph.m + graph.n), label="connected_components")
+    return labels
+
+
+def is_connected(graph: MultiGraph) -> bool:
+    """True iff the graph has exactly one connected component."""
+    if graph.n == 1:
+        return True
+    if graph.m == 0:
+        return False
+    return int(connected_components(graph).max()) == 0
+
+
+def require_connected(graph: MultiGraph, what: str = "input graph") -> None:
+    """Raise :class:`NotConnectedError` unless the graph is connected."""
+    if not is_connected(graph):
+        raise NotConnectedError(
+            f"{what} must be connected (Fact 2.3: the solver needs "
+            f"ker(L) = span(1))")
+
+
+def validate_graph(graph: MultiGraph, connected: bool = True) -> None:
+    """Full structural validation with specific error messages.
+
+    Checks index ranges, self-loops, weight positivity/finiteness (these
+    re-run even if the constructor validated, so corrupted-in-place
+    arrays are caught), and optionally connectivity.
+    """
+    if graph.m:
+        if graph.u.min() < 0 or graph.v.min() < 0 \
+                or graph.u.max() >= graph.n or graph.v.max() >= graph.n:
+            raise GraphStructureError("edge endpoint out of range")
+        if np.any(graph.u == graph.v):
+            raise GraphStructureError("self-loop present")
+        if not np.all(np.isfinite(graph.w)):
+            raise GraphStructureError("non-finite edge weight")
+        if np.any(graph.w <= 0):
+            raise GraphStructureError("non-positive edge weight")
+    if connected:
+        require_connected(graph)

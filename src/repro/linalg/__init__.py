@@ -1,0 +1,43 @@
+"""Linear-algebra substrate: norms, pseudoinverse oracles, Loewner-order
+approximation checks, the Jacobi operator (Lemma 3.5), and iterative
+baselines (CG / Chebyshev)."""
+
+from repro.linalg.ops import (
+    energy_norm,
+    lnorm_error,
+    relative_lnorm_error,
+    project_out_ones,
+    residual_norm,
+)
+from repro.linalg.pinv import (
+    dense_laplacian_pinv,
+    solve_dense_pseudo,
+    exact_solution,
+)
+from repro.linalg.loewner import (
+    approximation_factor,
+    is_epsilon_approximation,
+    relative_spectral_bounds,
+)
+from repro.linalg.jacobi import JacobiOperator, is_k_diagonally_dominant
+from repro.linalg.cg import conjugate_gradient, CGResult
+from repro.linalg.chebyshev import chebyshev_iteration
+
+__all__ = [
+    "energy_norm",
+    "lnorm_error",
+    "relative_lnorm_error",
+    "project_out_ones",
+    "residual_norm",
+    "dense_laplacian_pinv",
+    "solve_dense_pseudo",
+    "exact_solution",
+    "approximation_factor",
+    "is_epsilon_approximation",
+    "relative_spectral_bounds",
+    "JacobiOperator",
+    "is_k_diagonally_dominant",
+    "conjugate_gradient",
+    "CGResult",
+    "chebyshev_iteration",
+]

@@ -1,0 +1,129 @@
+"""Conjugate gradient with optional preconditioning.
+
+Used in three roles:
+
+* unpreconditioned CG — the classic iterative baseline (benchmark E12);
+* PCG with the KS16 approximate Cholesky — the sequential
+  state-of-practice the paper's introduction positions itself against;
+* PCG with *our* ``ApplyCholesky`` operator — an alternative outer loop
+  to preconditioned Richardson (same preconditioner, often fewer
+  iterations in practice; offered as an extension).
+
+For singular Laplacian systems, CG is run on the image of ``L``: the
+right-hand side is projected onto ``1⊥`` and iterates are re-centred,
+which is exactly solving the system in the pseudo-inverse sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.linalg.ops import as_apply, project_out_ones
+from repro.pram import charge
+from repro.pram import primitives as P
+
+__all__ = ["CGResult", "conjugate_gradient"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of a CG run."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def conjugate_gradient(L,
+                       b: np.ndarray,
+                       tol: float = 1e-8,
+                       max_iter: int | None = None,
+                       preconditioner: Callable[[np.ndarray], np.ndarray]
+                       | None = None,
+                       singular: bool = True,
+                       matvec_edges: int | None = None,
+                       raise_on_fail: bool = False) -> CGResult:
+    """Solve ``L x = b`` by (preconditioned) conjugate gradient.
+
+    Parameters
+    ----------
+    L:
+        Matrix, sparse matrix, or callable ``x ↦ L x``.
+    tol:
+        Relative 2-norm residual target ``‖Lx − b‖ ≤ tol·‖b‖``.
+    preconditioner:
+        Callable approximating ``L⁺`` (must be SPD on ``1⊥``).
+    singular:
+        Treat ``L`` as a Laplacian: project ``b`` and re-centre iterates.
+    matvec_edges:
+        Edge count for ledger charging of each matvec (optional).
+    raise_on_fail:
+        Raise :class:`ConvergenceError` instead of returning a
+        non-converged result.
+    """
+    apply_L = as_apply(L)
+    b = np.asarray(b, dtype=np.float64)
+    if singular:
+        b = project_out_ones(b)
+    n = b.shape[0]
+    if max_iter is None:
+        max_iter = 10 * n
+
+    x = np.zeros(n)
+    r = b.copy()
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return CGResult(x=x, iterations=0, converged=True,
+                        residual_norms=[0.0])
+
+    def prec(v: np.ndarray) -> np.ndarray:
+        if preconditioner is None:
+            return v
+        out = preconditioner(v)
+        return project_out_ones(out) if singular else out
+
+    z = prec(r)
+    p = z.copy()
+    rz = float(r @ z)
+    residuals = [float(np.linalg.norm(r))]
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        Lp = apply_L(p)
+        if matvec_edges:
+            charge(*P.matvec_cost(matvec_edges), label="cg_matvec")
+        pLp = float(p @ Lp)
+        if pLp <= 0:
+            break  # lost positive-definiteness (numerical breakdown)
+        alpha = rz / pLp
+        x += alpha * p
+        r -= alpha * Lp
+        if singular:
+            r = project_out_ones(r)
+        rnorm = float(np.linalg.norm(r))
+        residuals.append(rnorm)
+        if rnorm <= tol * bnorm:
+            converged = True
+            break
+        z = prec(r)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    if singular:
+        x = project_out_ones(x)
+    if raise_on_fail and not converged:
+        raise ConvergenceError(
+            f"CG failed to reach {tol} in {it} iterations",
+            iterations=it, residual=residuals[-1] / bnorm)
+    return CGResult(x=x, iterations=it, converged=converged,
+                    residual_norms=residuals)

@@ -1,0 +1,72 @@
+"""Chebyshev semi-iteration (extension module).
+
+An alternative outer loop to preconditioned Richardson (Theorem 3.8):
+given spectral bounds ``λ_min ≤ spec(B A) ≤ λ_max`` on ``1⊥``, Chebyshev
+acceleration converges in ``O(sqrt(κ) log 1/ε)`` iterations instead of
+Richardson's ``O(κ log 1/ε)``.  With the paper's constant-quality
+preconditioner (κ ≤ e²) the asymptotic difference is a constant, but it
+is a practically useful knob and exercises the operator interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.linalg.ops import as_apply, project_out_ones
+
+__all__ = ["chebyshev_iteration"]
+
+
+def chebyshev_iteration(L,
+                        B: Callable[[np.ndarray], np.ndarray],
+                        b: np.ndarray,
+                        lam_min: float,
+                        lam_max: float,
+                        iterations: int,
+                        singular: bool = True) -> np.ndarray:
+    """Approximate ``L⁺ b`` by Chebyshev-accelerated iteration on ``BA``.
+
+    Parameters
+    ----------
+    L, B:
+        The system operator and a preconditioner approximating ``L⁺``.
+    lam_min, lam_max:
+        Bounds on the spectrum of ``B L`` restricted to ``1⊥``.  For the
+        paper's ``W ≈_1 L⁺`` these are ``e⁻¹`` and ``e``.
+    iterations:
+        Number of Chebyshev steps.
+    """
+    if not (0 < lam_min <= lam_max):
+        raise ValueError("need 0 < lam_min <= lam_max")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    apply_L = as_apply(L)
+    b = np.asarray(b, dtype=np.float64)
+    if singular:
+        b = project_out_ones(b)
+
+    theta = 0.5 * (lam_max + lam_min)
+    delta = 0.5 * (lam_max - lam_min)
+
+    def preconditioned_residual(x: np.ndarray) -> np.ndarray:
+        r = B(b - apply_L(x))
+        return project_out_ones(r) if singular else r
+
+    # Standard Chebyshev recurrence (Saad, "Iterative Methods", Alg. 12.1)
+    x = np.zeros_like(b)
+    r = preconditioned_residual(x)
+    d = r / theta
+    x = x + d
+    if delta == 0.0 or iterations == 1:
+        return x
+    sigma1 = theta / delta
+    rho_old = 1.0 / sigma1
+    for _ in range(iterations - 1):
+        r = preconditioned_residual(x)
+        rho = 1.0 / (2.0 * sigma1 - rho_old)
+        d = rho * rho_old * d + (2.0 * rho / delta) * r
+        x = x + d
+        rho_old = rho
+    return x

@@ -1,0 +1,57 @@
+"""Signed incidence matrices and JL sketch helpers.
+
+``B ∈ R^{m×n}`` with ``B[e, u_e] = +1``, ``B[e, v_e] = −1`` per
+multi-edge; then ``L = Bᵀ W B`` and effective resistances are squared
+distances between columns of ``W^{1/2} B L⁺`` — the representation both
+the leverage-score pipeline (Section 6) and the resistance oracle use.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.multigraph import MultiGraph
+from repro.rng import as_generator
+
+__all__ = ["incidence_matrix", "weighted_incidence", "sketch_rows",
+           "resistance_from_sketch"]
+
+
+def incidence_matrix(graph: MultiGraph) -> sp.csr_matrix:
+    """Signed edge-vertex incidence ``B`` (one row per multi-edge)."""
+    m = graph.m
+    rows = np.repeat(np.arange(m, dtype=np.int64), 2)
+    cols = np.stack([graph.u, graph.v], axis=1).ravel()
+    vals = np.tile(np.array([1.0, -1.0]), m)
+    return sp.coo_matrix((vals, (rows, cols)),
+                         shape=(m, graph.n)).tocsr()
+
+
+def weighted_incidence(graph: MultiGraph) -> sp.csr_matrix:
+    """``W^{1/2} B`` so that ``L = (W^{1/2}B)ᵀ (W^{1/2}B)``."""
+    B = incidence_matrix(graph)
+    return sp.diags(np.sqrt(graph.w)) @ B
+
+
+def sketch_rows(graph: MultiGraph, q: int, seed=None) -> np.ndarray:
+    """``Q W^{1/2} B`` for a random ±1/√q matrix ``Q`` — computed
+    edge-wise without materialising ``Q`` (q × n output)."""
+    rng = as_generator(seed)
+    sqrt_w = np.sqrt(graph.w)
+    out = np.zeros((q, graph.n))
+    for i in range(q):
+        signs = rng.choice([-1.0, 1.0], size=graph.m) / math.sqrt(q)
+        np.add.at(out[i], graph.u, signs * sqrt_w)
+        np.subtract.at(out[i], graph.v, signs * sqrt_w)
+    return out
+
+
+def resistance_from_sketch(Z: np.ndarray, u: np.ndarray,
+                           v: np.ndarray) -> np.ndarray:
+    """``R̂(u, v) = ‖Z[:,u] − Z[:,v]‖²`` for a solved sketch
+    ``Z = Q W^{1/2} B L⁺``."""
+    diff = Z[:, u] - Z[:, v]
+    return np.einsum("ij,ij->j", diff, diff)

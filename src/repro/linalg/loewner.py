@@ -1,0 +1,112 @@
+"""Loewner-order approximation checks: is ``A ≈_ε B``?
+
+Section 2 of the paper defines ``A ≈_ε B`` iff ``e^{-ε} B ≼ A ≼ e^ε B``.
+For Laplacians with the common kernel ``span(1)`` this is equivalent to
+every generalized eigenvalue ``λ`` of ``(A, B)`` restricted to ``1⊥``
+lying in ``[e^{-ε}, e^ε]``.  We compute the extreme generalized
+eigenvalues of ``B^{+/2} A B^{+/2}`` densely (these checkers are test /
+benchmark oracles, not part of the solver's critical path).
+
+:func:`approximation_factor` returns the smallest ε for which
+``A ≈_ε B`` holds — i.e. ``max(|log λ_min|, |log λ_max|)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatchError
+from repro.graphs.laplacian import laplacian
+from repro.graphs.multigraph import MultiGraph
+
+__all__ = [
+    "relative_spectral_bounds",
+    "approximation_factor",
+    "is_epsilon_approximation",
+    "operator_approximation_factor",
+]
+
+_KERNEL_TOL = 1e-9
+
+
+def _dense(M) -> np.ndarray:
+    if isinstance(M, MultiGraph):
+        M = laplacian(M)
+    if sp.issparse(M):
+        M = M.toarray()
+    return np.asarray(M, dtype=np.float64)
+
+
+def _half_pinv(B: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``B^{+/2}`` and an orthonormal basis of ``range(B)``."""
+    vals, vecs = scipy.linalg.eigh(B)
+    tol = _KERNEL_TOL * max(abs(vals).max(), 1.0)
+    keep = vals > tol
+    half = vecs[:, keep] * (1.0 / np.sqrt(vals[keep]))
+    return half, vecs[:, keep]
+
+
+def relative_spectral_bounds(A, B) -> tuple[float, float]:
+    """``(λ_min, λ_max)`` of the pencil ``(A, B)`` restricted to
+    ``range(B)``.
+
+    Requires ``ker(B) ⊆ ker(A)`` (checked); otherwise no finite ε
+    satisfies ``A ≼ e^ε B`` and we return ``(λ_min, inf)``.
+    """
+    Ad, Bd = _dense(A), _dense(B)
+    if Ad.shape != Bd.shape:
+        raise DimensionMismatchError("A and B must have equal shapes")
+    half, basis = _half_pinv(Bd)
+    # Check ker(B) ⊆ ker(A):  A restricted to ker(B) must vanish.
+    n = Ad.shape[0]
+    if basis.shape[1] < n:
+        proj = np.eye(n) - basis @ basis.T
+        leak = np.linalg.norm(proj @ Ad @ proj)
+        if leak > _KERNEL_TOL * max(np.linalg.norm(Ad), 1.0):
+            vals = scipy.linalg.eigvalsh(half.T @ Ad @ half)
+            return float(vals.min()), float("inf")
+    M = half.T @ Ad @ half
+    vals = scipy.linalg.eigvalsh(M)
+    return float(vals.min()), float(vals.max())
+
+
+def approximation_factor(A, B) -> float:
+    """Smallest ε ≥ 0 such that ``A ≈_ε B`` (``inf`` when none exists).
+
+    By symmetry of the relation this also certifies ``B ≈_ε A``.
+    """
+    lo, hi = relative_spectral_bounds(A, B)
+    if lo <= 0 or not np.isfinite(hi):
+        return float("inf")
+    return float(max(abs(np.log(lo)), abs(np.log(hi))))
+
+
+def is_epsilon_approximation(A, B, eps: float,
+                             slack: float = 1e-7) -> bool:
+    """``A ≈_ε B`` test with a small numerical slack."""
+    return approximation_factor(A, B) <= eps + slack
+
+
+def operator_approximation_factor(apply_W, L) -> float:
+    """ε such that the *linear operator* ``W ≈_ε L⁺``.
+
+    Materialises ``W`` by applying it to the identity's columns (the
+    operator is small-n in tests/benches) and compares against
+    ``dense_laplacian_pinv(L)``.
+    """
+    from repro.linalg.pinv import dense_laplacian_pinv
+
+    Ld = _dense(L)
+    n = Ld.shape[0]
+    W = np.zeros((n, n))
+    for j in range(n):
+        e = np.full(n, -1.0 / n)
+        e[j] += 1.0  # projected basis vector of 1⊥
+        W[:, j] = apply_W(e)
+    # Restrict to 1⊥ (project rows too): the guarantee W⁺ ≈ L concerns
+    # the operator on the Laplacian's range; W may act arbitrarily on 1.
+    W = W - W.mean(axis=0, keepdims=True)
+    W = 0.5 * (W + W.T)  # symmetrise rounding noise
+    return approximation_factor(W, dense_laplacian_pinv(Ld))

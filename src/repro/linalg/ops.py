@@ -1,0 +1,78 @@
+"""Vector norms and projections used throughout the paper.
+
+The solution-quality metric of Theorems 1.1/1.2 is the ``L``-norm:
+``‖x‖_L = sqrt(xᵀ L x)``, and an ε-approximate solution satisfies
+``‖x̃ − L⁺b‖_L ≤ ε ‖L⁺b‖_L`` (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatchError
+
+__all__ = [
+    "energy_norm",
+    "lnorm_error",
+    "relative_lnorm_error",
+    "project_out_ones",
+    "residual_norm",
+    "as_apply",
+]
+
+MatLike = "sp.spmatrix | np.ndarray | Callable[[np.ndarray], np.ndarray]"
+
+
+def as_apply(L) -> Callable[[np.ndarray], np.ndarray]:
+    """Coerce a matrix-ish object into an ``x ↦ L x`` callable."""
+    if callable(L) and not sp.issparse(L) and not isinstance(L, np.ndarray):
+        return L
+    return lambda x: np.asarray(L @ x).ravel()
+
+
+def energy_norm(L, x: np.ndarray) -> float:
+    """``‖x‖_L = sqrt(xᵀ L x)`` (clamped at 0 against rounding)."""
+    x = np.asarray(x, dtype=np.float64)
+    quad = float(x @ as_apply(L)(x))
+    return float(np.sqrt(max(quad, 0.0)))
+
+
+def lnorm_error(L, x: np.ndarray, xstar: np.ndarray) -> float:
+    """``‖x − x*‖_L``."""
+    x = np.asarray(x, dtype=np.float64)
+    xstar = np.asarray(xstar, dtype=np.float64)
+    if x.shape != xstar.shape:
+        raise DimensionMismatchError("x and x* must have the same shape")
+    return energy_norm(L, x - xstar)
+
+
+def relative_lnorm_error(L, x: np.ndarray, xstar: np.ndarray) -> float:
+    """``‖x − x*‖_L / ‖x*‖_L`` — the ε of Theorems 1.1/1.2.
+
+    Returns ``inf`` when ``x* ∈ ker(L)`` but ``x`` is not (and 0 when
+    both are).
+    """
+    denom = energy_norm(L, xstar)
+    num = lnorm_error(L, x, xstar)
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / denom
+
+
+def project_out_ones(b: np.ndarray) -> np.ndarray:
+    """Project onto ``1⊥`` — the row space of a connected Laplacian.
+
+    ``L x = b`` is solvable iff ``b ⊥ 1`` (Fact 2.3); the solver
+    projects right-hand sides so callers may pass any vector.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    return b - b.mean()
+
+
+def residual_norm(L, x: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean residual ``‖L x − b‖₂`` (diagnostics only — the paper's
+    guarantees are in the L-norm, not the 2-norm)."""
+    return float(np.linalg.norm(as_apply(L)(x) - np.asarray(b)))

@@ -1,0 +1,41 @@
+"""Work/depth (CREW PRAM) cost accounting and parallel execution helpers.
+
+The paper states all running times as *work* (total operations) and
+*depth* (longest chain of sequentially dependent operations).  Python
+cannot honestly realise PRAM wall-clock scaling (GIL), so this package
+provides:
+
+* :mod:`repro.pram.ledger` — an instrumented ledger; algorithms charge
+  the work/depth they would incur under the paper's cost model, and the
+  benchmarks check the *measured* ledger totals against the theorems'
+  asymptotic shapes.
+* :mod:`repro.pram.primitives` — cost formulas for the parallel
+  primitives the paper invokes (Lemma 2.6 sampling, Lemma 2.7
+  conversions, reductions, scans, sorts, sparse matvec).
+* :mod:`repro.pram.executor` — a chunked thread-pool map for the
+  numpy-heavy inner loops (numpy releases the GIL, so this gives real
+  concurrency for the embarrassingly parallel parts).
+"""
+
+from repro.pram.ledger import (
+    WorkDepthLedger,
+    CostSnapshot,
+    current_ledger,
+    use_ledger,
+    charge,
+    parallel_region,
+)
+from repro.pram import primitives
+from repro.pram.executor import parallel_map, chunk_ranges
+
+__all__ = [
+    "WorkDepthLedger",
+    "CostSnapshot",
+    "current_ledger",
+    "use_ledger",
+    "charge",
+    "parallel_region",
+    "primitives",
+    "parallel_map",
+    "chunk_ranges",
+]

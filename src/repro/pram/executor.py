@@ -1,0 +1,73 @@
+"""Chunked thread-pool execution for numpy-heavy inner loops.
+
+numpy kernels release the GIL, so a thread pool gives genuine
+concurrency for the embarrassingly parallel phases of the solver
+(per-edge weight transforms, batched walk stepping on disjoint walker
+chunks, per-system JL solves in Lemma 3.3).  This module is the
+"real machine" counterpart of the idealised cost ledger: the ledger
+measures PRAM work/depth; the executor demonstrates the dataflow is
+actually parallelisable.
+
+The API is deliberately tiny: :func:`chunk_ranges` splits an index range
+into contiguous chunks, :func:`parallel_map` maps a function over items
+with an optional thread pool.  ``workers=None`` or ``workers<=1`` runs
+serially (default — keeps unit tests deterministic and cheap).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["parallel_map", "chunk_ranges", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` env var or CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def chunk_ranges(n: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``chunks`` contiguous ``(lo, hi)`` pieces.
+
+    The pieces differ in size by at most one and cover the range exactly;
+    empty pieces are omitted (so fewer than ``chunks`` pairs may return).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    chunks = min(chunks, max(n, 1))
+    base, extra = divmod(n, chunks)
+    out: list[tuple[int, int]] = []
+    lo = 0
+    for i in range(chunks):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def parallel_map(fn: Callable[[T], R],
+                 items: Sequence[T],
+                 workers: int | None = None) -> list[R]:
+    """Map ``fn`` over ``items``, optionally with a thread pool.
+
+    Results preserve input order.  With ``workers`` ``None`` or ≤ 1 the
+    map runs serially in the calling thread (no pool overhead).
+    """
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,101 @@
+"""Cost formulas for the parallel primitives the paper relies on.
+
+Every function returns a ``(work, depth)`` pair under the CREW PRAM
+model, matching the costs the paper cites:
+
+* Lemma 2.6 [HS19]: weighted random sampling — ``O(n)`` work,
+  ``O(log n)`` depth preprocessing; ``O(1)`` work and depth per query.
+* Lemma 2.7 [BM10]: edge-list ↔ adjacency-list conversion of a
+  multigraph with ``m`` multi-edges — ``O(m)`` work, ``O(log m)`` depth.
+* Folklore: parallel map is ``(n, 1)``; reduction and prefix scan are
+  ``(n, log n)``; comparison sort is ``(n log n, log n)``; applying a
+  Laplacian with ``m`` multi-edges is ``(m, log m)`` (multiply all edge
+  contributions in parallel, then sum per vertex with a balanced tree —
+  exactly the remark in the proof of Theorem 3.10).
+
+Charges use ``max(x, 1)`` guards so degenerate sizes still cost a unit.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log2p",
+    "map_cost",
+    "reduce_cost",
+    "scan_cost",
+    "sort_cost",
+    "convert_cost",
+    "sampler_build_cost",
+    "sampler_query_cost",
+    "matvec_cost",
+    "walk_step_cost",
+    "diag_solve_cost",
+    "axpy_cost",
+]
+
+
+def log2p(x: float) -> float:
+    """``log2`` clipped below at 1 — the depth of any nonempty primitive."""
+    return max(1.0, math.log2(max(x, 2.0)))
+
+
+def map_cost(n: int) -> tuple[float, float]:
+    """Elementwise parallel map over ``n`` items: (n, 1)."""
+    return (max(n, 1), 1.0)
+
+
+def reduce_cost(n: int) -> tuple[float, float]:
+    """Balanced-tree reduction: (n, log n)."""
+    return (max(n, 1), log2p(n))
+
+
+def scan_cost(n: int) -> tuple[float, float]:
+    """Work-efficient prefix scan: (n, log n)."""
+    return (max(n, 1), log2p(n))
+
+
+def sort_cost(n: int) -> tuple[float, float]:
+    """Parallel comparison sort: (n log n, log n)."""
+    return (max(n, 1) * log2p(n), log2p(n))
+
+
+def convert_cost(m: int) -> tuple[float, float]:
+    """Lemma 2.7 [BM10] edge-list ↔ adjacency conversion: (m, log m)."""
+    return (max(m, 1), log2p(m))
+
+
+def sampler_build_cost(n: int) -> tuple[float, float]:
+    """Lemma 2.6 [HS19] preprocessing: (n, log n)."""
+    return (max(n, 1), log2p(n))
+
+
+def sampler_query_cost(q: int) -> tuple[float, float]:
+    """Lemma 2.6 [HS19]: q independent queries in parallel: (q, 1)."""
+    return (max(q, 1), 1.0)
+
+
+def matvec_cost(m: int) -> tuple[float, float]:
+    """Laplacian (or sub-block) apply with ``m`` multi-edges: (m, log m).
+
+    Per the remark in Theorem 3.10's proof: all per-edge products run in
+    parallel, per-vertex sums use balanced trees.
+    """
+    return (max(m, 1), log2p(m))
+
+
+def walk_step_cost(active: int) -> tuple[float, float]:
+    """One synchronous step of ``active`` random walkers: each walker
+    performs an O(1) sampler query (Lemma 2.6), all in parallel."""
+    return (max(active, 1), 1.0)
+
+
+def diag_solve_cost(n: int) -> tuple[float, float]:
+    """Applying ``X⁻¹`` for diagonal ``X``: (n, 1)."""
+    return (max(n, 1), 1.0)
+
+
+def axpy_cost(n: int) -> tuple[float, float]:
+    """Vector add / scale of length n: (n, 1)."""
+    return (max(n, 1), 1.0)

@@ -1,0 +1,24 @@
+"""Theory-side utilities: empirical concentration checks and
+complexity-shape fitting for the scaling benchmarks."""
+
+from repro.theory.concentration import (
+    martingale_deviation_trace,
+    empirical_success_rate,
+    freedman_bound,
+)
+from repro.theory.complexity import (
+    loglog_slope,
+    fit_power_law,
+    polylog_ratio_table,
+)
+from repro.theory.spectra import smallest_eigenpairs
+
+__all__ = [
+    "martingale_deviation_trace",
+    "empirical_success_rate",
+    "freedman_bound",
+    "loglog_slope",
+    "fit_power_law",
+    "polylog_ratio_table",
+    "smallest_eigenpairs",
+]

@@ -1,0 +1,85 @@
+"""Complexity-shape fitting for the scaling benchmarks (E2/E3/E5).
+
+The theorems predict shapes like ``work = Õ(m log³ n)`` and
+``depth = O(log² n loglog n)``.  With laptop-scale ``n`` one cannot
+measure exponents of ``log log n``; what *can* be verified is:
+
+* the power-law exponent of work vs ``m`` is ≈ 1 (near-linear);
+* ``work / (m logᵖ n)`` is flattest for a small constant ``p``;
+* depth grows strictly slower than any ``n^c`` (polylog).
+
+These helpers fit those shapes from measured ``(size, cost)`` tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["loglog_slope", "fit_power_law", "PowerLawFit",
+           "polylog_ratio_table", "is_polylog_shaped"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ coeff · x^exponent`` with goodness-of-fit ``r2``."""
+
+    exponent: float
+    coeff: float
+    r2: float
+
+
+def loglog_slope(x, y) -> float:
+    """Least-squares slope of ``log y`` against ``log x``."""
+    return fit_power_law(x, y).exponent
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Fit ``y = c·x^a`` by linear regression in log–log space."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need >= 2 matching samples")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit needs positive data")
+    lx, ly = np.log(x), np.log(y)
+    A = np.stack([lx, np.ones_like(lx)], axis=1)
+    (a, logc), res, _, _ = np.linalg.lstsq(A, ly, rcond=None)
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    ss_res = float(res[0]) if res.size else 0.0
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(a), coeff=float(math.exp(logc)),
+                       r2=r2)
+
+
+def polylog_ratio_table(n, cost, powers=(0, 1, 2, 3, 4)
+                        ) -> dict[int, np.ndarray]:
+    """``cost / logᵖ n`` for each candidate power ``p``.
+
+    The power whose ratio column is flattest (smallest max/min spread)
+    is the empirical polylog degree.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    cost = np.asarray(cost, dtype=np.float64)
+    out: dict[int, np.ndarray] = {}
+    for p in powers:
+        out[p] = cost / np.log2(np.maximum(n, 2.0)) ** p
+    return out
+
+
+def is_polylog_shaped(n, cost, max_power: int = 6,
+                      tolerance: float = 2.5) -> bool:
+    """Heuristic check that ``cost = O(logᵖ n)`` for some ``p ≤ max_power``.
+
+    True when some ratio column ``cost / logᵖ n`` varies by at most
+    ``tolerance``× across the sweep — loose on purpose: scaling tests
+    must not be flaky, they guard against *polynomial* blow-ups, not
+    constant factors.
+    """
+    table = polylog_ratio_table(n, cost, powers=tuple(range(max_power + 1)))
+    for ratios in table.values():
+        if ratios.max() <= tolerance * ratios.min():
+            return True
+    return False

@@ -1,0 +1,78 @@
+"""Smallest Laplacian eigenpairs via solver-driven inverse iteration.
+
+Generalises :func:`repro.apps.partitioning.fiedler_vector` to the ``k``
+smallest non-trivial eigenpairs by deflated inverse power iteration:
+each step applies ``L⁺`` (one solver call) and re-orthogonalises
+against ``1`` and the already-converged eigenvectors.  The standard
+building block for spectral embeddings and clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SolverOptions
+from repro.core.solver import LaplacianSolver
+from repro.errors import ConvergenceError, ReproError
+from repro.graphs.multigraph import MultiGraph
+from repro.rng import as_generator
+
+__all__ = ["smallest_eigenpairs"]
+
+
+def _orthogonalize(v: np.ndarray, basis: list[np.ndarray]) -> np.ndarray:
+    v = v - v.mean()  # against 1
+    for u in basis:
+        v = v - float(u @ v) * u
+    return v
+
+
+def smallest_eigenpairs(graph: MultiGraph, k: int,
+                        eps: float = 1e-8,
+                        max_iter: int = 300,
+                        tol: float = 1e-8,
+                        solver: LaplacianSolver | None = None,
+                        options: SolverOptions | None = None,
+                        seed=None) -> tuple[np.ndarray, np.ndarray]:
+    """``(eigenvalues, eigenvectors)`` for the ``k`` smallest non-zero
+    Laplacian eigenvalues (ascending; vectors as columns).
+
+    Raises :class:`ConvergenceError` if an eigenpair fails to settle —
+    typically a (near-)degenerate pair, in which case any vector of the
+    eigenspace is acceptable and ``tol`` can be loosened.
+    """
+    if not 1 <= k < graph.n:
+        raise ReproError(f"need 1 <= k < n, got k={k}")
+    rng = as_generator(seed)
+    if solver is None:
+        solver = LaplacianSolver(graph, options=options, seed=rng)
+
+    basis: list[np.ndarray] = []
+    values: list[float] = []
+    for _ in range(k):
+        v = _orthogonalize(rng.standard_normal(graph.n), basis)
+        v /= np.linalg.norm(v)
+        converged = False
+        for _ in range(max_iter):
+            w = solver.solve(v, eps=eps)
+            w = _orthogonalize(w, basis)
+            norm = np.linalg.norm(w)
+            if norm == 0:
+                raise ConvergenceError("inverse iteration collapsed")
+            w /= norm
+            align = abs(float(v @ w))
+            v = w
+            if 1.0 - align < tol:
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"eigenpair {len(values) + 1} did not converge in "
+                f"{max_iter} inverse iterations (degenerate spectrum?)")
+        lam = float(v @ solver.apply_L(v))
+        basis.append(v)
+        values.append(lam)
+    order = np.argsort(values)
+    vals = np.asarray(values)[order]
+    vecs = np.stack([basis[i] for i in order], axis=1)
+    return vals, vecs

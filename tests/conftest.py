@@ -1,0 +1,55 @@
+"""Shared fixtures: a deterministic graph zoo and seeded generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.multigraph import MultiGraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+def _zoo() -> dict[str, MultiGraph]:
+    return {
+        "path": G.path(25),
+        "cycle": G.cycle(24),
+        "complete": G.complete(12),
+        "star": G.star(20),
+        "grid": G.grid2d(6, 7),
+        "torus": G.torus2d(5, 6),
+        "tree": G.binary_tree(4),
+        "barbell": G.barbell(8, 2),
+        "er": G.erdos_renyi(40, 0.15, seed=1),
+        "regular": G.random_regular(30, 4, seed=2),
+        "weighted_grid": G.with_random_weights(G.grid2d(5, 5), 0.1, 10.0,
+                                               seed=3, log_uniform=True),
+    }
+
+
+@pytest.fixture(params=sorted(_zoo()))
+def zoo_graph(request) -> MultiGraph:
+    """Parametrised over a small family of connected graphs."""
+    return _zoo()[request.param]
+
+
+@pytest.fixture
+def zoo() -> dict[str, MultiGraph]:
+    """The whole zoo as a dict for tests that pick specific members."""
+    return _zoo()
+
+
+@pytest.fixture
+def balanced_rhs():
+    """Factory: a zero-sum right-hand side for a given graph."""
+
+    def make(graph: MultiGraph, seed: int = 1) -> np.ndarray:
+        r = np.random.default_rng(seed)
+        b = r.standard_normal(graph.n)
+        return b - b.mean()
+
+    return make

@@ -1,0 +1,96 @@
+"""ApplyCholesky (Algorithm 2): the operator W with W⁺ ≈₁ L."""
+
+import numpy as np
+import pytest
+
+from repro.config import SolverOptions
+from repro.core.apply_cholesky import ApplyCholeskyOperator
+from repro.core.block_cholesky import block_cholesky
+from repro.core.boundedness import naive_split
+from repro.errors import DimensionMismatchError, FactorizationError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.loewner import operator_approximation_factor
+
+
+def _operator(graph, alpha=0.1, seed=0, min_vertices=20):
+    H = naive_split(graph, alpha)
+    chain = block_cholesky(H, SolverOptions(min_vertices=min_vertices),
+                           seed=seed)
+    return ApplyCholeskyOperator(chain)
+
+
+class TestOperatorQuality:
+    @pytest.mark.parametrize("maker", [
+        lambda: G.grid2d(8, 8),
+        lambda: G.random_regular(60, 4, seed=5),
+        lambda: G.with_random_weights(G.grid2d(7, 7), 0.2, 5.0, seed=6),
+    ])
+    def test_theorem_3_10(self, maker):
+        # W ≈_1 L⁺ (Theorem 3.10 states W⁺ ≈₁ L; equivalent by Fact 2.1).
+        g = maker()
+        W = _operator(g, seed=1)
+        factor = operator_approximation_factor(W.apply, laplacian(g))
+        assert factor <= 1.0
+
+    def test_no_levels_is_exact(self):
+        g = G.grid2d(4, 4)
+        chain = block_cholesky(g, SolverOptions(min_vertices=100), seed=0)
+        W = ApplyCholeskyOperator(chain)
+        factor = operator_approximation_factor(W.apply, laplacian(g))
+        assert factor <= 1e-6
+
+
+class TestOperatorProperties:
+    def test_symmetric(self):
+        g = G.grid2d(7, 7)
+        Wd = _operator(g).dense_operator()
+        # dense_operator symmetrises; check raw applications instead:
+        W = _operator(g, seed=2)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(g.n)
+        y = rng.standard_normal(g.n)
+        assert float(y @ W.apply(x)) == pytest.approx(
+            float(x @ W.apply(y)), rel=1e-8)
+
+    def test_psd_on_complement_of_ones(self):
+        g = G.grid2d(7, 7)
+        Wd = _operator(g, seed=3).dense_operator()
+        evals = np.linalg.eigvalsh(Wd)
+        assert evals.min() > -1e-8
+
+    def test_linear(self):
+        g = G.grid2d(6, 6)
+        W = _operator(g, seed=4)
+        rng = np.random.default_rng(1)
+        x, y = rng.standard_normal((2, g.n))
+        assert np.allclose(W.apply(2.0 * x - 3.0 * y),
+                           2.0 * W.apply(x) - 3.0 * W.apply(y),
+                           atol=1e-9)
+
+    def test_shape_check(self):
+        W = _operator(G.grid2d(6, 6))
+        with pytest.raises(DimensionMismatchError):
+            W.apply(np.zeros(7))
+
+    def test_as_linear_operator(self):
+        g = G.grid2d(6, 6)
+        W = _operator(g, seed=5)
+        lin = W.as_linear_operator()
+        x = np.random.default_rng(2).standard_normal(g.n)
+        assert np.allclose(lin @ x, W.apply(x))
+
+    def test_rejects_chain_without_jacobi(self):
+        g = naive_split(G.grid2d(6, 6), 0.5)
+        chain = block_cholesky(g, SolverOptions(min_vertices=15), seed=0)
+        for level in chain.levels:
+            level.jacobi = None
+        with pytest.raises(FactorizationError):
+            ApplyCholeskyOperator(chain)
+
+    def test_callable(self):
+        g = G.grid2d(6, 6)
+        W = _operator(g, seed=6)
+        b = np.zeros(g.n)
+        b[0], b[-1] = 1, -1
+        assert np.allclose(W(b), W.apply(b))

@@ -1,0 +1,224 @@
+"""Application modules: learning, flows, trees, partitioning, oracle."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ResistanceOracle,
+    effective_resistance,
+    electrical_flow,
+    electrical_voltages,
+    fiedler_vector,
+    harmonic_label_propagation,
+    spanning_tree_via_schur,
+    spectral_bisection,
+    wilson_spanning_tree,
+)
+from repro.apps.electrical import dissipated_power, st_demand
+from repro.apps.partitioning import cut_quality
+from repro.apps.semi_supervised import exact_harmonic_extension
+from repro.config import practical_options
+from repro.errors import DimensionMismatchError, ReproError
+from repro.graphs import generators as G
+from repro.linalg.pinv import exact_effective_resistances
+
+OPTS = practical_options()
+
+
+class TestSemiSupervised:
+    def test_exact_harmonic_oracle(self):
+        # On a path with endpoints clamped to 0/1, the harmonic
+        # extension is linear interpolation.
+        g = G.path(5)
+        f = exact_harmonic_extension(g, np.array([0, 4]),
+                                     np.array([0.0, 1.0]))
+        assert np.allclose(f, [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_propagation_matches_oracle(self):
+        g = G.grid2d(6, 6)
+        labeled = np.array([0, g.n - 1])
+        labels = np.array([0, 1])
+        _, scores = harmonic_label_propagation(
+            g, labeled, labels, clamp_weight=1e6, eps=1e-10,
+            options=OPTS, seed=0)
+        f1 = exact_harmonic_extension(g, labeled,
+                                      (labels == 1).astype(float))
+        assert np.abs(scores[:, 1] - f1).max() < 1e-2
+
+    def test_labels_respected(self):
+        g = G.dumbbell(4)
+        labeled = np.array([0, g.n - 1])
+        labels = np.array([0, 1])
+        assignment, _ = harmonic_label_propagation(
+            g, labeled, labels, options=OPTS, seed=1)
+        half = g.n // 2
+        assert assignment[0] == 0 and assignment[-1] == 1
+        # the bottleneck makes sides homogeneous
+        assert np.mean(assignment[:half] == 0) > 0.9
+        assert np.mean(assignment[half:] == 1) > 0.9
+
+    def test_validation(self):
+        g = G.path(5)
+        with pytest.raises(DimensionMismatchError):
+            harmonic_label_propagation(g, np.array([0, 1]),
+                                       np.array([0]))
+        with pytest.raises(ReproError):
+            harmonic_label_propagation(g, np.array([], dtype=np.int64),
+                                       np.array([], dtype=np.int64))
+
+
+class TestElectrical:
+    def test_flow_conservation(self, zoo_graph):
+        b = st_demand(zoo_graph.n, 0, zoo_graph.n - 1)
+        flow, _ = electrical_flow(zoo_graph, b, eps=1e-8, options=OPTS,
+                                  seed=0)
+        net = np.zeros(zoo_graph.n)
+        np.add.at(net, zoo_graph.u, flow)
+        np.subtract.at(net, zoo_graph.v, flow)
+        assert np.abs(net - b).max() < 1e-4
+
+    def test_series_parallel_resistance(self):
+        r = effective_resistance(G.cycle(6), 0, 3, eps=1e-9,
+                                 options=OPTS, seed=1)
+        assert r == pytest.approx(1.5, abs=1e-4)  # 3 || 3
+
+    def test_energy_optimality(self):
+        # Electrical energy equals b^T L^+ b = R_eff for unit demand.
+        g = G.grid2d(5, 5)
+        b = st_demand(g.n, 0, g.n - 1)
+        flow, x = electrical_flow(g, b, eps=1e-9, options=OPTS, seed=2)
+        assert dissipated_power(g, flow) == pytest.approx(
+            float(x[0] - x[-1]), abs=1e-4)
+
+    def test_rejects_unbalanced_demand(self):
+        with pytest.raises(ReproError):
+            electrical_voltages(G.path(4), np.array([1.0, 0, 0, 0]),
+                                options=OPTS)
+
+    def test_st_demand_validation(self):
+        with pytest.raises(ReproError):
+            st_demand(5, 2, 2)
+
+    def test_dissipated_power_shape(self):
+        with pytest.raises(DimensionMismatchError):
+            dissipated_power(G.path(4), np.zeros(7))
+
+
+class TestSpanningTrees:
+    def test_wilson_returns_tree(self, zoo_graph):
+        tree = wilson_spanning_tree(zoo_graph, seed=0)
+        assert tree.size == zoo_graph.n - 1
+        sub = zoo_graph.edge_subset(
+            np.isin(np.arange(zoo_graph.m), tree))
+        from repro.graphs.validation import is_connected
+
+        assert is_connected(sub)
+
+    def test_wilson_distribution_triangle(self):
+        # On K3 all three spanning trees are equally likely.
+        g = G.complete(3)
+        counts = np.zeros(3)
+        rng = np.random.default_rng(0)
+        trials = 3000
+        for _ in range(trials):
+            tree = wilson_spanning_tree(g, seed=rng)
+            missing = int(np.setdiff1d(np.arange(3), tree)[0])
+            counts[missing] += 1
+        assert np.abs(counts / trials - 1 / 3).max() < 0.04
+
+    def test_wilson_weighted_distribution(self):
+        # Tree probability ∝ product of edge weights: on a triangle
+        # with weights (2,1,1), trees are {e0,e1}:2, {e0,e2}:2, {e1,e2}:1.
+        from repro.graphs.multigraph import MultiGraph
+
+        g = MultiGraph(3, [0, 1, 0], [1, 2, 2], [2.0, 1.0, 1.0])
+        rng = np.random.default_rng(1)
+        counts = {0: 0, 1: 0, 2: 0}  # keyed by the *missing* edge
+        trials = 5000
+        for _ in range(trials):
+            tree = wilson_spanning_tree(g, seed=rng)
+            missing = int(np.setdiff1d(np.arange(3), tree)[0])
+            counts[missing] += 1
+        # weights of trees missing e: {2: 2*1=2, 1: 2*1=2, 0: 1*1=1}
+        assert counts[0] / trials == pytest.approx(0.2, abs=0.03)
+        assert counts[1] / trials == pytest.approx(0.4, abs=0.03)
+        assert counts[2] / trials == pytest.approx(0.4, abs=0.03)
+
+    def test_schur_variant_returns_tree(self):
+        g = G.grid2d(9, 9)
+        tree = spanning_tree_via_schur(g, seed=1, min_size=32)
+        assert tree.size == g.n - 1
+        sub = g.edge_subset(np.isin(np.arange(g.m), tree))
+        from repro.graphs.validation import is_connected
+
+        assert is_connected(sub)
+
+    def test_small_falls_back_to_wilson(self):
+        g = G.cycle(10)
+        tree = spanning_tree_via_schur(g, seed=2, min_size=64)
+        assert tree.size == g.n - 1
+
+
+class TestPartitioning:
+    def test_fiedler_eigenvalue(self):
+        import scipy.linalg
+
+        from repro.graphs.laplacian import laplacian
+
+        g = G.grid2d(6, 6)
+        _, lam = fiedler_vector(g, options=OPTS, seed=0)
+        evals = np.sort(scipy.linalg.eigvalsh(laplacian(g).toarray()))
+        assert lam == pytest.approx(evals[1], rel=1e-3)
+
+    def test_bisection_finds_planted_cut(self):
+        g = G.dumbbell(6)
+        side = spectral_bisection(g, options=OPTS, seed=1)
+        half = g.n // 2
+        planted = np.zeros(g.n, dtype=bool)
+        planted[:half] = True
+        agreement = max(np.mean(side == planted),
+                        np.mean(side != planted))
+        assert agreement > 0.95
+
+    def test_cut_quality(self):
+        g = G.dumbbell(4)
+        planted = np.zeros(g.n, dtype=bool)
+        planted[: g.n // 2] = True
+        cut, cond = cut_quality(g, planted)
+        assert cut == pytest.approx(1.0)
+        assert 0 < cond < 0.05
+
+
+class TestResistanceOracle:
+    def test_matches_exact_within_gamma(self):
+        g = G.grid2d(6, 6)
+        gamma = 0.3
+        oracle = ResistanceOracle(g, gamma=gamma, options=OPTS, seed=0)
+        exact = exact_effective_resistances(g)
+        approx = oracle.edge_resistances()
+        ratio = approx / exact
+        assert ratio.min() > 1 - gamma - 0.05
+        assert ratio.max() < 1 + gamma + 0.05
+
+    def test_scalar_query(self):
+        g = G.path(8)
+        oracle = ResistanceOracle(g, gamma=0.2, options=OPTS, seed=1)
+        r = oracle.query(0, 7)
+        assert isinstance(r, float)
+        assert r == pytest.approx(7.0, rel=0.3)
+
+    def test_leverage_scores_clipped(self):
+        g = G.cycle(12)
+        oracle = ResistanceOracle(g, gamma=0.3, options=OPTS, seed=2)
+        tau = oracle.leverage_scores()
+        assert np.all(tau >= 0) and np.all(tau <= 1)
+
+    def test_query_shape_check(self):
+        g = G.path(5)
+        oracle = ResistanceOracle(g, gamma=0.4, options=OPTS, seed=3)
+        with pytest.raises(DimensionMismatchError):
+            oracle.query(np.array([0, 1]), np.array([2]))
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            ResistanceOracle(G.path(4), gamma=1.5)

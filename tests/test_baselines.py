@@ -1,0 +1,114 @@
+"""Baseline solvers: KS16 approximate Cholesky, direct, CG variants."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DirectSolver,
+    KS16Solver,
+    approximate_cholesky,
+    cg_solve,
+    jacobi_pcg_solve,
+)
+from repro.errors import NotConnectedError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.pinv import exact_solution
+
+
+class TestDirectSolver:
+    def test_exact(self, zoo_graph, balanced_rhs):
+        b = balanced_rhs(zoo_graph)
+        x = DirectSolver(zoo_graph).solve(b)
+        assert np.allclose(x, exact_solution(zoo_graph, b), atol=1e-8)
+
+    def test_requires_connected(self):
+        with pytest.raises(NotConnectedError):
+            DirectSolver(G.union_disjoint(G.path(3), G.path(3)))
+
+    def test_centres_output(self, zoo_graph, balanced_rhs):
+        x = DirectSolver(zoo_graph).solve(balanced_rhs(zoo_graph))
+        assert abs(x.sum()) < 1e-8
+
+
+class TestCGBaselines:
+    def test_cg_solve(self, balanced_rhs):
+        g = G.grid2d(8, 8)
+        b = balanced_rhs(g)
+        res = cg_solve(g, b, eps=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, exact_solution(g, b), atol=1e-6)
+
+    def test_jacobi_pcg(self, balanced_rhs):
+        g = G.with_random_weights(G.grid2d(8, 8), 0.01, 100.0, seed=1,
+                                  log_uniform=True)
+        b = balanced_rhs(g)
+        res = jacobi_pcg_solve(g, b, eps=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, exact_solution(g, b), atol=1e-5)
+
+    def test_jacobi_helps_on_skewed_weights(self, balanced_rhs):
+        g = G.with_random_weights(G.grid2d(10, 10), 1e-3, 1e3, seed=2,
+                                  log_uniform=True)
+        b = balanced_rhs(g)
+        plain = cg_solve(g, b, eps=1e-8)
+        jac = jacobi_pcg_solve(g, b, eps=1e-8)
+        assert jac.iterations < plain.iterations
+
+
+class TestKS16:
+    def test_factor_is_lower_triangular(self):
+        g = G.grid2d(6, 6)
+        fac = approximate_cholesky(g, seed=0, split_factor=0.2)
+        Lf = fac.Lfactor.toarray()
+        assert np.allclose(Lf, np.tril(Lf))
+
+    def test_factor_spectrally_close(self):
+        # L ≈ 𝓛𝓛ᵀ in the permuted basis, close enough to precondition.
+        from repro.linalg.loewner import approximation_factor
+
+        g = G.grid2d(6, 6)
+        fac = approximate_cholesky(g, seed=1, split_factor=1.0)
+        Lf = fac.Lfactor.toarray()
+        approx = Lf @ Lf.T
+        L = laplacian(g).toarray()[np.ix_(fac.perm, fac.perm)]
+        eps = approximation_factor(approx, L)
+        assert eps < 1.5  # constant-quality preconditioner
+
+    @pytest.mark.parametrize("maker", [
+        lambda: G.grid2d(7, 7),
+        lambda: G.barbell(15, 2),
+        lambda: G.with_random_weights(G.cycle(40), 0.2, 5.0, seed=3),
+    ])
+    def test_solver_accuracy(self, maker, balanced_rhs):
+        g = maker()
+        b = balanced_rhs(g)
+        solver = KS16Solver(g, seed=2, split_factor=0.5)
+        x = solver.solve(b, eps=1e-10)
+        xstar = exact_solution(g, b)
+        assert np.linalg.norm(x - xstar) < 1e-6 * max(
+            np.linalg.norm(xstar), 1.0)
+
+    def test_preconditioning_beats_plain_cg(self, balanced_rhs):
+        # A skew-weighted grid has a spread-out spectrum, the regime
+        # where plain CG needs many iterations.  (Clique barbells are a
+        # bad test: their Laplacians have ~4 distinct eigenvalues and CG
+        # finishes in that many steps.)
+        g = G.with_random_weights(G.grid2d(9, 9), 1e-2, 1e2, seed=7,
+                                  log_uniform=True)
+        b = balanced_rhs(g)
+        ks = KS16Solver(g, seed=3, split_factor=0.5)
+        pcg_iters = ks.solve_report(b, eps=1e-8).iterations
+        plain_iters = cg_solve(g, b, eps=1e-8).iterations
+        assert pcg_iters < plain_iters
+
+    def test_requires_connected(self):
+        with pytest.raises(NotConnectedError):
+            approximate_cholesky(G.union_disjoint(G.path(4), G.path(4)))
+
+    def test_deterministic_given_seed(self, balanced_rhs):
+        g = G.grid2d(5, 5)
+        b = balanced_rhs(g)
+        x1 = KS16Solver(g, seed=11, split_factor=0.3).solve(b)
+        x2 = KS16Solver(g, seed=11, split_factor=0.3).solve(b)
+        assert np.allclose(x1, x2)

@@ -1,0 +1,134 @@
+"""BlockCholesky (Algorithm 1) — the five Theorem 3.9 guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.config import SolverOptions
+from repro.core.block_cholesky import block_cholesky
+from repro.core.boundedness import naive_split
+from repro.core.dd_subset import verify_five_dd
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.loewner import approximation_factor
+
+
+def _chain(graph, alpha=0.25, seed=0, **opt_kwargs):
+    opts = SolverOptions(min_vertices=20, **opt_kwargs)
+    H = naive_split(graph, alpha)
+    return H, block_cholesky(H, opts, seed=seed)
+
+
+class TestTheorem39Invariants:
+    def test_edge_counts_never_exceed_m(self):
+        # Theorem 3.9-(1).
+        for maker in (lambda: G.grid2d(10, 10),
+                      lambda: G.random_regular(120, 4, seed=1),
+                      lambda: G.erdos_renyi(100, 0.08, seed=2)):
+            H, chain = _chain(maker())
+            assert all(mk <= H.m for mk in chain.edge_counts)
+
+    def test_every_F_is_5dd_in_parent(self):
+        # Theorem 3.9-(2).
+        H, chain = _chain(G.grid2d(9, 9), seed=3)
+        for k, level in enumerate(chain.levels):
+            assert verify_five_dd(chain.graphs[k], level.F)
+
+    def test_base_case_small(self):
+        # Theorem 3.9-(3).
+        H, chain = _chain(G.grid2d(10, 10))
+        assert chain.final_active.size <= 20
+
+    def test_level_count_logarithmic(self):
+        # Theorem 3.9-(4): d <= log_{40/39} n.
+        g = G.grid2d(12, 12)
+        H, chain = _chain(g)
+        assert chain.d <= np.log(g.n) / np.log(40.0 / 39.0) + 10
+
+    def test_factorization_constant_approximation(self):
+        # Theorem 3.9-(5): (U^d)^T D^d U^d ≈_{0.5} L.
+        g = G.grid2d(8, 8)
+        H, chain = _chain(g, alpha=0.1, seed=4)
+        approx = chain.dense_factorization()
+        eps = approximation_factor(approx, laplacian(g).toarray())
+        assert eps <= 0.5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_factorization_approximation_across_seeds(self, seed):
+        g = G.random_regular(80, 4, seed=10)
+        H, chain = _chain(g, alpha=0.1, seed=seed)
+        eps = approximation_factor(chain.dense_factorization(),
+                                   laplacian(g).toarray())
+        assert eps <= 0.5
+
+
+class TestChainStructure:
+    def test_levels_partition_actives(self):
+        H, chain = _chain(G.grid2d(8, 8))
+        active = np.arange(H.n)
+        for level in chain.levels:
+            assert np.array_equal(np.union1d(level.F, level.C), active)
+            assert np.intersect1d(level.F, level.C).size == 0
+            active = level.C
+        assert np.array_equal(active, chain.final_active)
+
+    def test_positions_consistent(self):
+        H, chain = _chain(G.grid2d(8, 8))
+        parent = np.arange(H.n)
+        for level in chain.levels:
+            assert np.array_equal(parent[level.idxF], level.F)
+            assert np.array_equal(parent[level.idxC], level.C)
+            parent = level.C
+
+    def test_active_counts_shrink(self):
+        H, chain = _chain(G.grid2d(10, 10))
+        counts = chain.active_counts
+        assert all(b < a for a, b in zip(counts, counts[1:]))
+
+    def test_jacobi_attached_with_paper_eps(self):
+        H, chain = _chain(G.grid2d(8, 8))
+        assert chain.jacobi_eps == pytest.approx(1.0 / (2 * chain.d))
+        for level in chain.levels:
+            assert level.jacobi is not None
+            assert level.jacobi.eps == chain.jacobi_eps
+
+    def test_jacobi_eps_override(self):
+        H, chain = _chain(G.grid2d(8, 8), jacobi_eps=0.125)
+        assert chain.jacobi_eps == 0.125
+
+    def test_small_graph_no_levels(self):
+        g = G.grid2d(4, 4)  # 16 < min_vertices
+        chain = block_cholesky(g, SolverOptions(min_vertices=20), seed=0)
+        assert chain.d == 0 or chain.levels == []
+        # base-case pinv must still solve the whole system
+        L = laplacian(g).toarray()
+        assert np.allclose(chain.final_pinv, np.linalg.pinv(L), atol=1e-8)
+
+    def test_summary_mentions_levels(self):
+        H, chain = _chain(G.grid2d(8, 8))
+        text = chain.summary()
+        assert "level 1" in text
+        assert "base case" in text
+
+    def test_deterministic_given_seed(self):
+        g = naive_split(G.grid2d(7, 7), 0.5)
+        opts = SolverOptions(min_vertices=15)
+        c1 = block_cholesky(g, opts, seed=123)
+        c2 = block_cholesky(g, opts, seed=123)
+        assert c1.d == c2.d
+        assert all(a == b for a, b in zip(c1.graphs, c2.graphs))
+
+
+class TestDenseFactorizationOracle:
+    def test_no_levels_is_base_laplacian(self):
+        g = G.grid2d(4, 4)
+        chain = block_cholesky(g, SolverOptions(min_vertices=20), seed=0)
+        assert np.allclose(chain.dense_factorization(),
+                           laplacian(g).toarray())
+
+    def test_factorization_is_laplacian_like(self):
+        # symmetric PSD with the all-ones kernel
+        H, chain = _chain(G.grid2d(7, 7), seed=1)
+        A = chain.dense_factorization()
+        assert np.allclose(A, A.T, atol=1e-9)
+        assert np.abs(A @ np.ones(A.shape[0])).max() < 1e-8
+        assert np.linalg.eigvalsh(A).min() > -1e-8

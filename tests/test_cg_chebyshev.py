@@ -1,0 +1,112 @@
+"""CG, PCG, and Chebyshev iteration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.cg import conjugate_gradient
+from repro.linalg.chebyshev import chebyshev_iteration
+from repro.linalg.pinv import dense_laplacian_pinv, exact_solution
+
+
+class TestCG:
+    def test_solves_laplacian(self, zoo_graph, balanced_rhs):
+        b = balanced_rhs(zoo_graph)
+        res = conjugate_gradient(laplacian(zoo_graph), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(res.x, exact_solution(zoo_graph, b), atol=1e-6)
+
+    def test_callable_operator(self, balanced_rhs):
+        g = G.grid2d(5, 5)
+        from repro.graphs.laplacian import apply_laplacian
+
+        b = balanced_rhs(g)
+        res = conjugate_gradient(lambda x: apply_laplacian(g, x), b,
+                                 tol=1e-10)
+        assert res.converged
+
+    def test_zero_rhs(self):
+        res = conjugate_gradient(laplacian(G.path(4)), np.zeros(4))
+        assert res.converged
+        assert res.iterations == 0
+        assert np.allclose(res.x, 0.0)
+
+    def test_kernel_rhs_projected(self):
+        res = conjugate_gradient(laplacian(G.path(4)), np.ones(4))
+        assert res.converged
+        assert np.allclose(res.x, 0.0, atol=1e-10)
+
+    def test_residual_history_decreases_overall(self, balanced_rhs):
+        g = G.grid2d(6, 6)
+        res = conjugate_gradient(laplacian(g), balanced_rhs(g), tol=1e-12)
+        assert res.residual_norms[-1] < res.residual_norms[0] * 1e-8
+
+    def test_max_iter_respected(self, balanced_rhs):
+        g = G.barbell(15, 1)  # ill-conditioned
+        res = conjugate_gradient(laplacian(g), balanced_rhs(g),
+                                 tol=1e-14, max_iter=2)
+        assert res.iterations <= 2
+        assert not res.converged
+
+    def test_raise_on_fail(self, balanced_rhs):
+        g = G.barbell(15, 1)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(laplacian(g), balanced_rhs(g), tol=1e-14,
+                               max_iter=2, raise_on_fail=True)
+
+    def test_preconditioner_speeds_up(self, balanced_rhs):
+        g = G.barbell(12, 1)
+        b = balanced_rhs(g)
+        P = dense_laplacian_pinv(laplacian(g).toarray())
+        plain = conjugate_gradient(laplacian(g), b, tol=1e-8)
+        pcg = conjugate_gradient(laplacian(g), b, tol=1e-8,
+                                 preconditioner=lambda r: P @ r)
+        assert pcg.iterations < plain.iterations
+        assert pcg.iterations <= 3  # exact preconditioner: ~1 step
+
+    def test_spd_nonsingular_mode(self, rng):
+        A = rng.standard_normal((12, 12))
+        A = A @ A.T + 12 * np.eye(12)
+        b = rng.standard_normal(12)
+        res = conjugate_gradient(A, b, tol=1e-12, singular=False)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-8)
+
+
+class TestChebyshev:
+    def test_exact_preconditioner_bounds(self, balanced_rhs):
+        g = G.grid2d(6, 6)
+        b = balanced_rhs(g)
+        L = laplacian(g)
+        P = dense_laplacian_pinv(L.toarray())
+        x = chebyshev_iteration(L, lambda v: P @ v, b, 0.99, 1.01, 6)
+        assert np.allclose(x, exact_solution(g, b), atol=1e-8)
+
+    def test_constant_approx_preconditioner(self, balanced_rhs):
+        # B = c * L^+ with spectrum {c}: Chebyshev with the right bounds
+        # converges geometrically.
+        g = G.cycle(10)
+        b = balanced_rhs(g)
+        L = laplacian(g)
+        P = 0.7 * dense_laplacian_pinv(L.toarray())
+        x = chebyshev_iteration(L, lambda v: P @ v, b, 0.5, 0.9, 25)
+        xstar = exact_solution(g, b)
+        assert np.linalg.norm(x - xstar) < 1e-6 * np.linalg.norm(xstar)
+
+    def test_parameter_validation(self):
+        g = G.path(3)
+        L = laplacian(g)
+        with pytest.raises(ValueError):
+            chebyshev_iteration(L, lambda v: v, np.zeros(3), -1.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            chebyshev_iteration(L, lambda v: v, np.zeros(3), 1.0, 1.0, 0)
+
+    def test_single_iteration(self, balanced_rhs):
+        g = G.path(5)
+        b = balanced_rhs(g)
+        L = laplacian(g)
+        P = dense_laplacian_pinv(L.toarray())
+        x = chebyshev_iteration(L, lambda v: P @ v, b, 1.0, 1.0, 1)
+        assert np.allclose(x, exact_solution(g, b), atol=1e-8)

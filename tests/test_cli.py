@@ -1,0 +1,67 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import load_npz, save_npz
+from repro.graphs import generators as G
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    path = tmp_path / "g.npz"
+    save_npz(G.grid2d(8, 8), path)
+    return str(path)
+
+
+class TestGen:
+    def test_gen_grid(self, tmp_path, capsys):
+        out = str(tmp_path / "grid.npz")
+        assert main(["gen", "grid", out, "--size", "6"]) == 0
+        g = load_npz(out)
+        assert g.n == 36
+        assert "n=36" in capsys.readouterr().out
+
+    def test_gen_all_families(self, tmp_path):
+        for fam in ("grid", "torus", "er", "path"):
+            out = str(tmp_path / f"{fam}.npz")
+            assert main(["gen", fam, out, "--size", "12"]) == 0
+
+    def test_gen_unknown_family(self, tmp_path, capsys):
+        assert main(["gen", "hypercube", str(tmp_path / "x.npz")]) == 2
+        assert "unknown family" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info(self, grid_file, capsys):
+        assert main(["info", grid_file]) == 0
+        out = capsys.readouterr().out
+        assert "n=64" in out
+        assert "components=1" in out
+
+
+class TestSolve:
+    def test_solve_st_demand(self, grid_file, tmp_path, capsys):
+        out = str(tmp_path / "x.npy")
+        assert main(["solve", grid_file, "--eps", "1e-6",
+                     "--output", out]) == 0
+        x = np.load(out)
+        assert x.shape == (64,)
+        assert "iterations" in capsys.readouterr().out
+
+    def test_solve_rhs_file(self, grid_file, tmp_path):
+        b = np.zeros(64)
+        b[3], b[40] = 2.0, -2.0
+        rhs = str(tmp_path / "b.npy")
+        np.save(rhs, b)
+        assert main(["solve", grid_file, "--rhs", rhs,
+                     "--method", "pcg"]) == 0
+
+
+class TestBench:
+    def test_bench_prints_ledger(self, grid_file, capsys):
+        assert main(["bench", grid_file, "--eps", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "work=" in out
+        assert "depth=" in out

@@ -1,0 +1,86 @@
+"""Representation conversions (Lemma 2.7) and external interop."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphStructureError
+from repro.graphs import generators as G
+from repro.graphs.conversions import (
+    adjacency_to_edge_list,
+    edge_list_to_adjacency,
+    from_networkx,
+    from_scipy_adjacency,
+    from_scipy_laplacian,
+    to_networkx,
+)
+from repro.graphs.laplacian import laplacian
+from repro.graphs.multigraph import MultiGraph
+
+
+class TestEdgeListAdjacencyRoundTrip:
+    def test_round_trip_preserves_laplacian(self, zoo_graph):
+        adj = edge_list_to_adjacency(zoo_graph)
+        back = adjacency_to_edge_list(zoo_graph.n, adj)
+        assert np.allclose(laplacian(back).toarray(),
+                           laplacian(zoo_graph).toarray())
+
+    def test_round_trip_preserves_multiplicity(self):
+        g = MultiGraph(3, [0, 0, 1], [1, 1, 2], [1.0, 2.0, 3.0])
+        back = adjacency_to_edge_list(g.n, g.adjacency())
+        assert back.m == 3
+        assert sorted(back.w.tolist()) == [1.0, 2.0, 3.0]
+
+
+class TestScipyInterop:
+    def test_from_scipy_adjacency(self):
+        A = sp.csr_matrix(np.array([[0, 2.0], [2.0, 0]]))
+        g = from_scipy_adjacency(A)
+        assert g.m == 1
+        assert g.w[0] == 2.0
+
+    def test_from_scipy_adjacency_rejects_asymmetric(self):
+        A = np.array([[0, 1.0], [2.0, 0]])
+        with pytest.raises(GraphStructureError, match="symmetric"):
+            from_scipy_adjacency(A)
+
+    def test_from_scipy_adjacency_rejects_diagonal(self):
+        A = np.array([[1.0, 1.0], [1.0, 0]])
+        with pytest.raises(GraphStructureError, match="diagonal"):
+            from_scipy_adjacency(A)
+
+    def test_from_scipy_laplacian_round_trip(self, zoo_graph):
+        L = laplacian(zoo_graph)
+        g = from_scipy_laplacian(L)
+        assert np.allclose(laplacian(g).toarray(), L.toarray())
+
+    def test_from_scipy_laplacian_rejects_bad_row_sums(self):
+        M = np.array([[1.0, -0.5], [-0.5, 1.0]])
+        with pytest.raises(GraphStructureError, match="sum to zero"):
+            from_scipy_laplacian(M)
+
+    def test_from_scipy_laplacian_rejects_positive_offdiag(self):
+        M = np.array([[-1.0, 1.0], [1.0, -1.0]])
+        with pytest.raises(GraphStructureError):
+            from_scipy_laplacian(M)
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, zoo_graph):
+        pytest.importorskip("networkx")
+        back = from_networkx(to_networkx(zoo_graph))
+        assert np.allclose(laplacian(back).toarray(),
+                           laplacian(zoo_graph).toarray())
+
+    def test_from_networkx_default_weight(self):
+        nx = pytest.importorskip("networkx")
+        g = from_networkx(nx.path_graph(4))
+        assert np.allclose(g.w, 1.0)
+
+    def test_from_networkx_drops_self_loops(self):
+        nx = pytest.importorskip("networkx")
+        H = nx.Graph()
+        H.add_edge(0, 1)
+        H.add_edge(1, 1)
+        g = from_networkx(H)
+        assert g.m == 1

@@ -1,0 +1,107 @@
+"""5DDSubset (Algorithm 3, Lemma 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SolverOptions
+from repro.core.dd_subset import (
+    DDSubsetStats,
+    five_dd_subset,
+    verify_five_dd,
+)
+from repro.errors import FactorizationError
+from repro.graphs import generators as G
+from repro.graphs.multigraph import MultiGraph
+from repro.linalg.jacobi import is_k_diagonally_dominant
+
+
+class TestFiveDDSubset:
+    def test_result_is_five_dd(self, zoo_graph):
+        F = five_dd_subset(zoo_graph, seed=0)
+        assert verify_five_dd(zoo_graph, F)
+
+    def test_result_is_five_dd_matrix_sense(self):
+        from repro.graphs.laplacian import laplacian
+
+        g = G.grid2d(10, 10)
+        F = five_dd_subset(g, seed=1)
+        LFF = laplacian(g).toarray()[np.ix_(F, F)]
+        assert is_k_diagonally_dominant(LFF, 5.0)
+
+    def test_size_lower_bound(self):
+        # Lemma 3.4: |F| >= n/40 (we accept > n*dd_fraction).
+        for seed in range(5):
+            g = G.grid2d(12, 12)
+            F = five_dd_subset(g, seed=seed)
+            assert F.size > g.n / 40
+
+    def test_expected_constant_rounds(self):
+        # Lemma 3.4's proof: success probability >= 1/2 per round.
+        stats = DDSubsetStats()
+        g = G.random_regular(200, 4, seed=0)
+        rounds = []
+        for seed in range(20):
+            s = DDSubsetStats()
+            five_dd_subset(g, seed=seed, stats=s)
+            rounds.append(s.rounds)
+        assert np.mean(rounds) <= 4.0
+
+    def test_respects_active_set(self):
+        g = G.grid2d(8, 8)
+        active = np.arange(0, g.n, 2)
+        F = five_dd_subset(g, active=active, seed=2)
+        assert np.all(np.isin(F, active))
+
+    def test_excludes_zero_degree_vertices(self):
+        # Vertex 3 isolated: must never enter F (it would break X > 0).
+        g = MultiGraph(4, [0, 1], [1, 2], [1.0, 1.0])
+        for seed in range(10):
+            F = five_dd_subset(g, seed=seed)
+            assert 3 not in F
+
+    def test_singleton_eligible(self):
+        g = MultiGraph(3, [0, 1], [1, 2], [1.0, 1.0])
+        F = five_dd_subset(g, active=np.array([1]), seed=0)
+        assert F.tolist() == [1]
+
+    def test_no_edges_raises(self):
+        g = MultiGraph(5, [], [], [])
+        with pytest.raises(FactorizationError):
+            five_dd_subset(g, seed=0)
+
+    def test_sorted_output(self, zoo_graph):
+        F = five_dd_subset(zoo_graph, seed=3)
+        assert np.all(np.diff(F) > 0)
+
+    def test_deterministic_given_seed(self):
+        g = G.erdos_renyi(60, 0.1, seed=0)
+        assert np.array_equal(five_dd_subset(g, seed=9),
+                              five_dd_subset(g, seed=9))
+
+    def test_independent_set_fully_kept(self):
+        # A star's leaves never neighbour each other: any sampled
+        # candidate set not containing the centre passes entirely.
+        g = G.star(50)
+        F = five_dd_subset(g, seed=1)
+        assert verify_five_dd(g, F)
+
+    def test_custom_thresholds(self):
+        opts = SolverOptions(dd_threshold=0.1)
+        g = G.grid2d(10, 10)
+        F = five_dd_subset(g, seed=4, options=opts)
+        assert verify_five_dd(g, F, threshold=0.1)
+
+
+class TestVerifyFiveDD:
+    def test_rejects_clique_subset(self):
+        g = G.complete(10)
+        F = np.arange(5)  # half of a clique: heavily interconnected
+        assert not verify_five_dd(g, F)
+
+    def test_accepts_singleton(self, zoo_graph):
+        assert verify_five_dd(zoo_graph, np.array([0]))
+
+    def test_accepts_independent_set(self):
+        g = G.cycle(10)
+        F = np.arange(0, 10, 2)[:3]  # pairwise non-adjacent
+        assert verify_five_dd(g, F)

@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts' building blocks.
+
+Full example runs are demo-sized (tens of seconds); here we exercise
+their non-trivial helper logic at reduced scale so regressions in the
+examples are caught by the fast suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name,
+                                                  EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestExampleHelpers:
+    def test_examples_exist_and_import(self):
+        expected = {"quickstart", "semi_supervised_learning",
+                    "electrical_flows", "spectral_partitioning",
+                    "schur_sparsification", "maxflow_and_sdd"}
+        found = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert expected <= found
+        for name in expected:
+            _load(name)  # import-time errors fail here
+
+    def test_two_moons_graph_connected(self):
+        mod = _load("semi_supervised_learning")
+        g, truth = mod.two_moons_graph(40, seed=0)
+        from repro.graphs.validation import is_connected
+
+        assert is_connected(g)
+        assert truth.shape == (g.n,)
+        assert set(truth.tolist()) == {0, 1}
+
+    def test_tree_routing_power_dominates_electrical(self):
+        pytest.importorskip("networkx")
+        mod = _load("electrical_flows")
+        from repro.apps import wilson_spanning_tree
+        from repro.apps.electrical import (
+            dissipated_power,
+            electrical_flow,
+            st_demand,
+        )
+        from repro.config import practical_options
+        from repro.graphs import generators as G
+
+        g = G.grid2d(4, 4)
+        b = st_demand(g.n, 0, g.n - 1)
+        flow, _ = electrical_flow(g, b, eps=1e-8,
+                                  options=practical_options(), seed=0)
+        tree = wilson_spanning_tree(g, seed=1)
+        p_tree = mod.tree_routing_power(g, tree, b)
+        # Thomson's principle: the electrical flow minimises energy.
+        assert p_tree >= dissipated_power(g, flow) - 1e-9

@@ -1,0 +1,161 @@
+"""Graph generators: structure, sizes, connectivity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs import generators as G
+from repro.graphs.validation import is_connected
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = G.path(5)
+        assert (g.n, g.m) == (5, 4)
+        assert is_connected(g)
+
+    def test_cycle(self):
+        g = G.cycle(5)
+        assert (g.n, g.m) == (5, 5)
+        assert np.all(g.multi_degrees() == 2)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphStructureError):
+            G.cycle(2)
+
+    def test_complete(self):
+        g = G.complete(6)
+        assert g.m == 15
+        assert np.all(g.multi_degrees() == 5)
+
+    def test_star(self):
+        g = G.star(7)
+        deg = g.multi_degrees()
+        assert deg[0] == 6
+        assert np.all(deg[1:] == 1)
+
+    def test_grid2d(self):
+        g = G.grid2d(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert is_connected(g)
+
+    def test_torus2d_regular(self):
+        g = G.torus2d(4, 5)
+        assert np.all(g.multi_degrees() == 4)
+        assert is_connected(g)
+
+    def test_grid3d(self):
+        g = G.grid3d(2, 3, 4)
+        assert g.n == 24
+        assert is_connected(g)
+
+    def test_binary_tree(self):
+        g = G.binary_tree(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert is_connected(g)
+
+    def test_barbell(self):
+        g = G.barbell(5, 1)
+        assert g.n == 10
+        assert is_connected(g)
+        # two K5's plus one bridge
+        assert g.m == 2 * 10 + 1
+
+    def test_barbell_long_bridge(self):
+        g = G.barbell(4, 4)
+        assert g.n == 2 * 4 + 3
+        assert is_connected(g)
+
+    def test_dumbbell(self):
+        g = G.dumbbell(3)
+        assert g.n == 18
+        assert is_connected(g)
+
+    def test_lollipop(self):
+        g = G.lollipop(5, 4)
+        assert g.n == 9
+        assert is_connected(g)
+        assert g.m == 10 + 4
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_connected(self):
+        for seed in range(5):
+            assert is_connected(G.erdos_renyi(50, 0.02, seed=seed))
+
+    def test_erdos_renyi_simple(self):
+        g = G.erdos_renyi(30, 0.3, seed=0)
+        key = np.minimum(g.u, g.v) * g.n + np.maximum(g.u, g.v)
+        assert np.unique(key).size == key.size
+
+    def test_erdos_renyi_deterministic(self):
+        assert G.erdos_renyi(30, 0.1, seed=7) == G.erdos_renyi(30, 0.1,
+                                                               seed=7)
+
+    def test_random_regular_degree(self):
+        g = G.random_regular(20, 4, seed=0)
+        assert np.all(g.multi_degrees() == 4)
+        assert is_connected(g)
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(GraphStructureError, match="even"):
+            G.random_regular(5, 3)
+
+    def test_random_regular_d_too_large(self):
+        with pytest.raises(GraphStructureError):
+            G.random_regular(4, 5)
+
+    def test_watts_strogatz(self):
+        g = G.watts_strogatz(40, 4, 0.2, seed=1)
+        assert is_connected(g)
+        assert g.n == 40
+
+    def test_watts_strogatz_bad_k(self):
+        with pytest.raises(GraphStructureError):
+            G.watts_strogatz(10, 3, 0.1)
+
+    def test_preferential_attachment(self):
+        g = G.preferential_attachment(50, 2, seed=3)
+        assert is_connected(g)
+        # hubs exist: max degree well above the minimum
+        deg = g.multi_degrees()
+        assert deg.max() >= 3 * max(1, deg.min())
+
+    def test_random_bipartite_connected(self):
+        g = G.random_bipartite(10, 15, 0.1, seed=2)
+        assert is_connected(g)
+
+    def test_random_bipartite_no_internal_edges(self):
+        a, b = 8, 12
+        g = G.random_bipartite(a, b, 0.3, seed=4)
+        left_u = g.u < a
+        left_v = g.v < a
+        assert np.all(left_u != left_v)
+
+
+class TestUtilities:
+    def test_with_random_weights_range(self):
+        g = G.with_random_weights(G.grid2d(4, 4), 0.5, 2.0, seed=0)
+        assert g.w.min() >= 0.5
+        assert g.w.max() <= 2.0
+
+    def test_with_random_weights_log_uniform(self):
+        g = G.with_random_weights(G.grid2d(5, 5), 0.01, 100.0, seed=0,
+                                  log_uniform=True)
+        assert g.w.min() >= 0.01
+        assert g.w.max() <= 100.0
+
+    def test_with_random_weights_validates(self):
+        with pytest.raises(GraphStructureError):
+            G.with_random_weights(G.path(3), -1.0, 2.0)
+
+    def test_union_disjoint_disconnected(self):
+        g = G.union_disjoint(G.path(3), G.path(4))
+        assert g.n == 7
+        assert not is_connected(g)
+
+    def test_add_bridge_connects(self):
+        g = G.union_disjoint(G.path(3), G.path(3))
+        assert is_connected(G.add_bridge(g, 0, 5))

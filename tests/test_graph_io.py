@@ -1,0 +1,30 @@
+"""npz persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs import generators as G
+from repro.graphs.io import load_npz, save_npz
+
+
+def test_round_trip(tmp_path, zoo_graph):
+    path = tmp_path / "g.npz"
+    save_npz(zoo_graph, path)
+    back = load_npz(path)
+    assert back == zoo_graph
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = tmp_path / "a" / "b" / "g.npz"
+    save_npz(G.path(4), path)
+    assert load_npz(path) == G.path(4)
+
+
+def test_rejects_wrong_version(tmp_path):
+    path = tmp_path / "g.npz"
+    g = G.path(3)
+    np.savez_compressed(path, version=np.int64(999), n=np.int64(g.n),
+                        u=g.u, v=g.v, w=g.w)
+    with pytest.raises(GraphStructureError, match="version"):
+        load_npz(path)

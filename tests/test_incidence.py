@@ -1,0 +1,55 @@
+"""Incidence matrices and sketch helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.incidence import (
+    incidence_matrix,
+    resistance_from_sketch,
+    sketch_rows,
+    weighted_incidence,
+)
+from repro.linalg.pinv import (
+    dense_laplacian_pinv,
+    exact_effective_resistances,
+)
+
+
+class TestIncidence:
+    def test_laplacian_identity(self, zoo_graph):
+        # L = B^T W B
+        B = incidence_matrix(zoo_graph)
+        import scipy.sparse as sp
+
+        L = (B.T @ sp.diags(zoo_graph.w) @ B).toarray()
+        assert np.allclose(L, laplacian(zoo_graph).toarray())
+
+    def test_weighted_incidence_identity(self, zoo_graph):
+        WB = weighted_incidence(zoo_graph)
+        assert np.allclose((WB.T @ WB).toarray(),
+                           laplacian(zoo_graph).toarray())
+
+    def test_rows_sum_to_zero(self, zoo_graph):
+        B = incidence_matrix(zoo_graph)
+        assert np.abs(np.asarray(B.sum(axis=1))).max() == 0.0
+
+
+class TestSketch:
+    def test_jl_resistances_concentrate(self):
+        g = G.grid2d(6, 6)
+        q = 600  # large sketch: tight concentration for the test
+        Z0 = sketch_rows(g, q, seed=0)
+        pinv = dense_laplacian_pinv(laplacian(g).toarray())
+        Z = Z0 @ pinv
+        approx = resistance_from_sketch(Z, g.u, g.v)
+        exact = exact_effective_resistances(g)
+        assert np.abs(approx / exact - 1.0).max() < 0.25
+
+    def test_sketch_shape_and_kernel(self):
+        g = G.cycle(8)
+        Z = sketch_rows(g, 5, seed=1)
+        assert Z.shape == (5, 8)
+        # rows of Q W^{1/2} B are in 1⊥
+        assert np.abs(Z.sum(axis=1)).max() < 1e-10

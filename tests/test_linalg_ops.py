@@ -1,0 +1,205 @@
+"""Norms, projections, pseudoinverse oracles, and Loewner checks."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import DimensionMismatchError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.loewner import (
+    approximation_factor,
+    is_epsilon_approximation,
+    operator_approximation_factor,
+    relative_spectral_bounds,
+)
+from repro.linalg.ops import (
+    energy_norm,
+    lnorm_error,
+    project_out_ones,
+    relative_lnorm_error,
+    residual_norm,
+)
+from repro.linalg.pinv import (
+    dense_laplacian_pinv,
+    exact_effective_resistances,
+    exact_leverage_scores,
+    exact_schur_complement,
+    exact_solution,
+    solve_dense_pseudo,
+)
+
+
+class TestNorms:
+    def test_energy_norm_definition(self, zoo_graph, rng):
+        L = laplacian(zoo_graph).toarray()
+        x = rng.standard_normal(zoo_graph.n)
+        assert energy_norm(L, x) == pytest.approx(
+            float(np.sqrt(x @ L @ x)))
+
+    def test_energy_norm_kernel_is_zero(self, zoo_graph):
+        L = laplacian(zoo_graph)
+        assert energy_norm(L, np.ones(zoo_graph.n)) == pytest.approx(
+            0.0, abs=1e-6)
+
+    def test_lnorm_error_shape_check(self):
+        L = laplacian(G.path(3))
+        with pytest.raises(DimensionMismatchError):
+            lnorm_error(L, np.zeros(3), np.zeros(4))
+
+    def test_relative_error_zero_target(self):
+        L = laplacian(G.path(3))
+        assert relative_lnorm_error(L, np.ones(3), np.ones(3)) == 0.0
+        assert relative_lnorm_error(L, np.array([1.0, 0, 0]),
+                                    np.ones(3)) == float("inf")
+
+    def test_project_out_ones(self, rng):
+        b = rng.standard_normal(10) + 5.0
+        p = project_out_ones(b)
+        assert abs(p.sum()) < 1e-10
+        assert np.allclose(p, b - b.mean())
+
+    def test_residual_norm(self):
+        g = G.path(3)
+        L = laplacian(g)
+        b = np.array([1.0, 0.0, -1.0])
+        x = exact_solution(g, b)
+        assert residual_norm(L, x, b) < 1e-10
+
+
+class TestPinv:
+    def test_pinv_identity(self, zoo_graph):
+        L = laplacian(zoo_graph).toarray()
+        P = dense_laplacian_pinv(L)
+        n = zoo_graph.n
+        proj = np.eye(n) - np.full((n, n), 1.0 / n)
+        assert np.allclose(L @ P, proj, atol=1e-8)
+        assert np.allclose(P @ L, proj, atol=1e-8)
+
+    def test_pinv_matches_numpy(self, zoo_graph):
+        L = laplacian(zoo_graph).toarray()
+        assert np.allclose(dense_laplacian_pinv(L), np.linalg.pinv(L),
+                           atol=1e-7)
+
+    def test_solve_dense_pseudo(self, zoo_graph, balanced_rhs):
+        b = balanced_rhs(zoo_graph)
+        L = laplacian(zoo_graph).toarray()
+        x = solve_dense_pseudo(L, b)
+        assert np.allclose(L @ x, b, atol=1e-8)
+        assert abs(x.sum()) < 1e-8
+
+    def test_exact_solution_unbalanced_rhs_projected(self):
+        g = G.cycle(5)
+        b = np.ones(5)  # entirely in the kernel
+        assert np.allclose(exact_solution(g, b), 0.0, atol=1e-10)
+
+    def test_disconnected_pinv_fallback(self):
+        L = np.array([[1.0, -1, 0, 0], [-1, 1, 0, 0],
+                      [0, 0, 1, -1], [0, 0, -1, 1]])
+        assert np.allclose(dense_laplacian_pinv(L), np.linalg.pinv(L),
+                           atol=1e-8)
+
+
+class TestSchurOracle:
+    def test_path_series_resistance(self):
+        # SC of a unit path onto its endpoints = one edge of
+        # conductance 1/(n-1).
+        g = G.path(6)
+        SC = exact_schur_complement(laplacian(g).toarray(),
+                                    np.array([0, 5]))
+        assert np.allclose(SC, 0.2 * np.array([[1, -1], [-1, 1]]))
+
+    def test_schur_is_laplacian(self, zoo_graph):
+        C = np.arange(zoo_graph.n // 2)
+        if C.size in (0, zoo_graph.n):
+            pytest.skip("trivial C")
+        SC = exact_schur_complement(laplacian(zoo_graph).toarray(), C)
+        assert np.abs(SC.sum(axis=1)).max() < 1e-8  # zero row sums
+        off = SC - np.diag(np.diag(SC))
+        assert off.max() < 1e-8  # non-positive off-diagonals
+
+    def test_schur_quadratic_form_identity(self, zoo_graph, rng):
+        # x^T SC x = min_y [x; y]^T L [x; y]: check via pinv formula
+        # SC(L, C)^+ = (L^+)_CC  restricted-inverse identity instead:
+        L = laplacian(zoo_graph).toarray()
+        C = np.sort(rng.choice(zoo_graph.n, size=zoo_graph.n // 2,
+                               replace=False))
+        SC = exact_schur_complement(L, C)
+        pin = dense_laplacian_pinv(L)[np.ix_(C, C)]
+        x = rng.standard_normal(C.size)
+        x -= x.mean()
+        lhs = x @ np.linalg.pinv(SC) @ x
+        # (SC)^+ x = ((L^+)_CC centered) x on the Schur kernel space
+        rhs = x @ (pin @ x)
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+    def test_full_C_is_identity(self):
+        g = G.cycle(4)
+        L = laplacian(g).toarray()
+        SC = exact_schur_complement(L, np.arange(4))
+        assert np.allclose(SC, L)
+
+
+class TestEffectiveResistance:
+    def test_path_distances(self):
+        g = G.path(5)
+        pairs = np.array([[0, 4], [0, 1], [1, 3]])
+        r = exact_effective_resistances(g, pairs)
+        assert np.allclose(r, [4.0, 1.0, 2.0])
+
+    def test_cycle_parallel_paths(self):
+        g = G.cycle(4)
+        r = exact_effective_resistances(g, np.array([[0, 2]]))
+        assert np.allclose(r, 1.0)  # 2 || 2
+
+    def test_leverage_scores_sum_to_rank(self, zoo_graph):
+        tau = exact_leverage_scores(zoo_graph)
+        assert tau.sum() == pytest.approx(zoo_graph.n - 1, rel=1e-6)
+
+    def test_leverage_scores_in_unit_interval(self, zoo_graph):
+        tau = exact_leverage_scores(zoo_graph)
+        assert np.all(tau >= -1e-12)
+        assert np.all(tau <= 1.0 + 1e-9)
+
+    def test_bridge_has_leverage_one(self):
+        g = G.barbell(4, 1)
+        tau = exact_leverage_scores(g)
+        # the bridge is a cut edge => leverage exactly 1
+        assert tau[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestLoewner:
+    def test_self_approximation(self, zoo_graph):
+        L = laplacian(zoo_graph).toarray()
+        assert approximation_factor(L, L) == pytest.approx(0.0, abs=1e-6)
+
+    def test_scaling_factor(self, zoo_graph):
+        L = laplacian(zoo_graph).toarray()
+        c = 1.7
+        assert approximation_factor(c * L, L) == pytest.approx(
+            np.log(c), abs=1e-6)
+
+    def test_kernel_mismatch_is_infinite(self):
+        g = G.path(4)
+        L = laplacian(g).toarray()
+        M = L.copy()
+        M[0, 0] += 1.0  # no longer shares the kernel
+        assert approximation_factor(M, L) == float("inf")
+
+    def test_is_epsilon_approximation(self, zoo_graph):
+        L = laplacian(zoo_graph).toarray()
+        assert is_epsilon_approximation(1.2 * L, L, eps=0.2)
+        assert not is_epsilon_approximation(1.5 * L, L, eps=0.2)
+
+    def test_relative_spectral_bounds_diag(self):
+        A = np.diag([2.0, 3.0, 0.0])
+        B = np.diag([1.0, 1.0, 0.0])
+        lo, hi = relative_spectral_bounds(A, B)
+        assert (lo, hi) == (pytest.approx(2.0), pytest.approx(3.0))
+
+    def test_operator_factor_exact_pinv(self):
+        g = G.cycle(6)
+        L = laplacian(g).toarray()
+        P = dense_laplacian_pinv(L)
+        factor = operator_approximation_factor(lambda v: P @ v, L)
+        assert factor == pytest.approx(0.0, abs=1e-6)

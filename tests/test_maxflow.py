@@ -1,0 +1,81 @@
+"""Approximate max-flow via electrical flows [CKMST11]."""
+
+import numpy as np
+import pytest
+
+from repro.apps.maxflow import (
+    MaxFlowResult,
+    approx_max_flow,
+    flow_feasibility,
+)
+from repro.errors import ReproError
+from repro.graphs import generators as G
+from repro.graphs.multigraph import MultiGraph
+
+
+def _exact_max_flow(g: MultiGraph, s: int, t: int) -> float:
+    nx = pytest.importorskip("networkx")
+    Gx = nx.Graph()
+    Gx.add_nodes_from(range(g.n))
+    for a, b, w in zip(g.u.tolist(), g.v.tolist(), g.w.tolist()):
+        if Gx.has_edge(a, b):
+            Gx[a][b]["capacity"] += w
+        else:
+            Gx.add_edge(a, b, capacity=w)
+    return float(nx.maximum_flow_value(Gx, s, t))
+
+
+class TestApproxMaxFlow:
+    def test_path_bottleneck(self):
+        # A path's max flow is its minimum capacity.
+        g = MultiGraph(4, [0, 1, 2], [1, 2, 3], [3.0, 1.0, 2.0])
+        res = approx_max_flow(g, 0, 3, eps=0.25, bisection_steps=8,
+                              mwu_iters=25, seed=0)
+        assert res.value == pytest.approx(1.0, rel=0.25)
+        assert res.congestion <= 1.5
+
+    def test_parallel_paths_add(self):
+        # Two disjoint s-t paths of capacity 1 each: max flow 2.
+        g = MultiGraph(4, [0, 1, 0, 2], [1, 3, 2, 3],
+                       [1.0, 1.0, 1.0, 1.0])
+        res = approx_max_flow(g, 0, 3, eps=0.25, bisection_steps=8,
+                              mwu_iters=25, seed=1)
+        assert res.value == pytest.approx(2.0, rel=0.25)
+
+    def test_grid_vs_exact(self):
+        g = G.grid2d(4, 4)
+        exact = _exact_max_flow(g, 0, g.n - 1)
+        res = approx_max_flow(g, 0, g.n - 1, eps=0.3,
+                              bisection_steps=7, mwu_iters=20, seed=2)
+        assert res.value >= 0.6 * exact
+        assert res.value <= 1.1 * exact
+
+    def test_flow_is_nearly_feasible(self):
+        g = G.grid2d(4, 4)
+        res = approx_max_flow(g, 0, g.n - 1, eps=0.3,
+                              bisection_steps=6, mwu_iters=20, seed=3)
+        value, violation = flow_feasibility(g, res.flow, 0, g.n - 1)
+        assert value == pytest.approx(res.value, rel=1e-6)
+        assert violation < 1e-6  # electrical flows conserve exactly
+        assert res.congestion <= 1.0 + 2 * 0.3 + 0.05
+
+    def test_validation(self):
+        g = G.path(4)
+        with pytest.raises(ReproError):
+            approx_max_flow(g, 1, 1)
+        with pytest.raises(ReproError):
+            approx_max_flow(g, 0, 3, eps=1.5)
+        with pytest.raises(ReproError):
+            approx_max_flow(g, 0, 3, capacities=np.array([1.0]))
+
+    def test_custom_capacities(self):
+        g = G.path(3)
+        res = approx_max_flow(g, 0, 2, eps=0.25,
+                              capacities=np.array([5.0, 2.0]),
+                              bisection_steps=8, mwu_iters=25, seed=4)
+        assert res.value == pytest.approx(2.0, rel=0.25)
+
+    def test_result_dataclass(self):
+        res = MaxFlowResult(value=1.0, flow=np.zeros(3),
+                            congestion=0.5, oracle_calls=7)
+        assert res.oracle_calls == 7

@@ -1,0 +1,177 @@
+"""Work/depth ledger, cost primitives, and the chunked executor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pram import (
+    WorkDepthLedger,
+    chunk_ranges,
+    charge,
+    current_ledger,
+    parallel_map,
+    parallel_region,
+    use_ledger,
+)
+from repro.pram import primitives as P
+from repro.pram.ledger import CostSnapshot, ParallelRegion
+
+
+class TestLedger:
+    def test_sequential_composition(self):
+        ledger = WorkDepthLedger()
+        ledger.charge(10, 2)
+        ledger.charge(5, 3)
+        assert ledger.work == 15
+        assert ledger.depth == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WorkDepthLedger().charge(-1, 0)
+
+    def test_label_attribution(self):
+        ledger = WorkDepthLedger()
+        ledger.charge(10, 1, label="a")
+        ledger.charge(20, 1, label="a")
+        ledger.charge(5, 1, label="b")
+        assert ledger.by_label["a"].work == 30
+        assert ledger.by_label["b"].work == 5
+
+    def test_reset(self):
+        ledger = WorkDepthLedger()
+        ledger.charge(10, 1, label="x")
+        ledger.reset()
+        assert ledger.work == 0
+        assert ledger.by_label == {}
+
+    def test_report_contains_labels(self):
+        ledger = WorkDepthLedger()
+        ledger.charge(10, 1, label="walks")
+        assert "walks" in ledger.report()
+
+
+class TestAmbientLedger:
+    def test_no_ledger_is_noop(self):
+        assert current_ledger() is None
+        charge(100, 100)  # must not raise
+
+    def test_use_ledger_installs(self):
+        with use_ledger() as ledger:
+            assert current_ledger() is ledger
+            charge(7, 1)
+        assert current_ledger() is None
+        assert ledger.work == 7
+
+    def test_nesting_restores_outer(self):
+        with use_ledger() as outer:
+            with use_ledger() as inner:
+                charge(1, 1)
+            charge(10, 1)
+        assert inner.work == 1
+        assert outer.work == 10
+
+
+class TestParallelRegion:
+    def test_fork_join_semantics(self):
+        region = ParallelRegion()
+        region.branch(10, 5)
+        region.branch(20, 3)
+        assert region.cost.work == 30
+        assert region.cost.depth == 5
+
+    def test_context_manager_charges(self):
+        with use_ledger() as ledger:
+            with parallel_region("fork") as region:
+                region.branch(4, 2)
+                region.branch(6, 9)
+        assert ledger.work == 10
+        assert ledger.depth == 9
+        assert ledger.by_label["fork"].work == 10
+
+    def test_snapshot_arithmetic(self):
+        a = CostSnapshot(5, 2)
+        b = CostSnapshot(3, 4)
+        assert (a + b) == CostSnapshot(8, 6)
+        assert a.parallel_join(b) == CostSnapshot(8, 4)
+
+
+class TestPrimitives:
+    def test_map_is_unit_depth(self):
+        work, depth = P.map_cost(1000)
+        assert work == 1000 and depth == 1
+
+    def test_reduce_log_depth(self):
+        work, depth = P.reduce_cost(1024)
+        assert work == 1024 and depth == pytest.approx(10.0)
+
+    def test_sort(self):
+        work, depth = P.sort_cost(256)
+        assert work == pytest.approx(256 * 8)
+        assert depth == pytest.approx(8)
+
+    def test_degenerate_sizes_cost_a_unit(self):
+        for fn in (P.map_cost, P.reduce_cost, P.scan_cost, P.sort_cost,
+                   P.convert_cost, P.sampler_build_cost,
+                   P.sampler_query_cost, P.matvec_cost, P.walk_step_cost,
+                   P.diag_solve_cost, P.axpy_cost):
+            work, depth = fn(0)
+            assert work >= 1 and depth >= 1
+
+    def test_log2p_floor(self):
+        assert P.log2p(0.5) == 1.0
+        assert P.log2p(2 ** 20) == pytest.approx(20.0)
+
+
+class TestExecutor:
+    def test_chunk_ranges_cover(self):
+        pieces = chunk_ranges(10, 3)
+        covered = [i for lo, hi in pieces for i in range(lo, hi)]
+        assert covered == list(range(10))
+
+    def test_chunk_ranges_balanced(self):
+        sizes = [hi - lo for lo, hi in chunk_ranges(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chunk_ranges_more_chunks_than_items(self):
+        assert chunk_ranges(2, 8) == [(0, 1), (1, 2)]
+
+    def test_chunk_ranges_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+    def test_parallel_map_serial(self):
+        assert parallel_map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_parallel_map_threaded_matches_serial(self):
+        items = list(range(50))
+        serial = parallel_map(lambda x: x * x, items, workers=1)
+        threaded = parallel_map(lambda x: x * x, items, workers=4)
+        assert serial == threaded
+
+
+class TestLedgerIntegration:
+    def test_solver_charges_costs(self):
+        from repro import LaplacianSolver, generators, practical_options
+
+        g = generators.grid2d(12, 12)  # > min_vertices: real chain built
+        with use_ledger() as ledger:
+            solver = LaplacianSolver(g, options=practical_options(), seed=0)
+            b = np.zeros(g.n)
+            b[0], b[-1] = 1, -1
+            solver.solve(b, eps=1e-3)
+        assert ledger.work > 0
+        assert ledger.depth > 0
+        assert "walk_steps" in ledger.by_label
+        assert "jacobi_apply" in ledger.by_label
+
+    def test_depth_much_smaller_than_work(self):
+        from repro import LaplacianSolver, generators, practical_options
+
+        g = generators.grid2d(12, 12)
+        with use_ledger() as ledger:
+            LaplacianSolver(g, options=practical_options(), seed=0)
+        # The whole point of the parallel algorithm.
+        assert ledger.depth < ledger.work / 10.0

@@ -1,0 +1,101 @@
+"""Hypothesis property tests on the core elimination machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.test_properties import multigraphs
+
+SETTINGS = dict(deadline=None, max_examples=30,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestDDSubsetProperties:
+    @given(multigraphs(connected=True), st.integers(0, 2 ** 31 - 1))
+    @settings(**SETTINGS)
+    def test_output_always_5dd_and_nonempty(self, g, seed):
+        from repro.core.dd_subset import five_dd_subset, verify_five_dd
+
+        F = five_dd_subset(g, seed=seed)
+        assert F.size >= 1
+        assert verify_five_dd(g, F)
+        # never includes an isolated vertex
+        wdeg = g.weighted_degrees()
+        assert np.all(wdeg[F] > 0)
+
+
+class TestTerminalWalkProperties:
+    @given(multigraphs(connected=True, max_n=8, max_m=12),
+           st.integers(0, 2 ** 31 - 1))
+    @settings(deadline=None, max_examples=20)
+    def test_alpha_closure(self, g, seed):
+        """Lemma 5.2 as a property: sampled edges stay 1-bounded w.r.t.
+        the original Laplacian (every input edge is 1-bounded)."""
+        from repro.core.boundedness import leverage_scores
+        from repro.core.terminal_walks import terminal_walks
+
+        rng = np.random.default_rng(seed)
+        k = rng.integers(1, g.n)
+        C = np.sort(rng.choice(g.n, size=k, replace=False))
+        H = terminal_walks(g, C, seed=rng)
+        if H.m:
+            tau = leverage_scores(H, reference=g)
+            assert np.all(tau <= 1.0 + 1e-7)
+
+
+class TestGrembanProperties:
+    @given(st.integers(3, 10), st.integers(0, 2 ** 31 - 1),
+           st.floats(0.0, 1.0))
+    @settings(**SETTINGS)
+    def test_cover_encodes_matrix(self, n, seed, pos_frac):
+        from repro.core.sdd import gremban_cover, is_sdd
+        from repro.graphs.laplacian import apply_laplacian
+
+        rng = np.random.default_rng(seed)
+        M = np.zeros((n, n))
+        for i in range(n):
+            j = (i + 1) % n
+            sign = -1.0 if rng.random() > pos_frac else 1.0
+            M[i, j] = M[j, i] = sign * rng.uniform(0.2, 2.0)
+        M[np.diag_indices(n)] = np.abs(M).sum(axis=1) \
+            + rng.uniform(0, 1, size=n)
+        assert is_sdd(M)
+        cover = gremban_cover(M)
+        x = rng.standard_normal(n)
+        z = apply_laplacian(cover, np.concatenate([x, -x]))
+        assert np.allclose(z[:n], M @ x, atol=1e-8)
+
+    @given(st.integers(3, 8), st.integers(0, 2 ** 31 - 1))
+    @settings(**SETTINGS)
+    def test_solver_accuracy_on_random_sdd(self, n, seed):
+        import scipy.linalg
+
+        from repro.config import practical_options
+        from repro.core.sdd import solve_sdd
+
+        rng = np.random.default_rng(seed)
+        M = np.zeros((n, n))
+        for i in range(n):
+            j = (i + 1) % n
+            sign = rng.choice([-1.0, 1.0])
+            M[i, j] = M[j, i] = sign * rng.uniform(0.2, 2.0)
+        M[np.diag_indices(n)] = np.abs(M).sum(axis=1) \
+            + rng.uniform(0.1, 1, size=n)
+        b = rng.standard_normal(n)
+        x = solve_sdd(M, b, eps=1e-9, options=practical_options(),
+                      seed=seed)
+        xstar = scipy.linalg.solve(M, b, assume_a="sym")
+        assert np.linalg.norm(x - xstar) <= 1e-4 * max(
+            1.0, np.linalg.norm(xstar))
+
+
+class TestSplitRoundTrip:
+    @given(multigraphs(connected=True), st.floats(0.05, 1.0))
+    @settings(**SETTINGS)
+    def test_split_then_coalesce_recovers_simple_graph(self, g, alpha):
+        from repro.core.boundedness import naive_split
+
+        h = naive_split(g, alpha).coalesced()
+        assert h.m == g.coalesced().m
+        assert np.allclose(h.total_weight(), g.total_weight())

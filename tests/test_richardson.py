@@ -1,0 +1,100 @@
+"""PreconRichardson (Algorithm 5 / Theorem 3.8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.richardson import (
+    preconditioned_richardson,
+    richardson_iterations,
+)
+from repro.graphs import generators as G
+from repro.graphs.laplacian import apply_laplacian, laplacian
+from repro.linalg.ops import energy_norm, relative_lnorm_error
+from repro.linalg.pinv import dense_laplacian_pinv, exact_solution
+
+
+class TestIterationFormula:
+    def test_values(self):
+        assert richardson_iterations(1.0, 0.5) == math.ceil(
+            math.exp(2.0) * math.log(2.0))
+        assert richardson_iterations(1.0, 1e-6) == math.ceil(
+            math.exp(2.0) * math.log(1e6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            richardson_iterations(1.0, 0.0)
+        with pytest.raises(ValueError):
+            richardson_iterations(1.0, 1.5)
+        with pytest.raises(ValueError):
+            richardson_iterations(0.0, 0.5)
+
+
+class TestConvergence:
+    def _setup(self, delta):
+        # Preconditioner B = scaled exact pseudoinverse: B ≈_δ L⁺ with
+        # exactly computable δ = |log c|.
+        g = G.grid2d(6, 6)
+        L = laplacian(g)
+        P = dense_laplacian_pinv(L.toarray())
+        c = math.exp(delta)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(g.n)
+        b -= b.mean()
+        xstar = exact_solution(g, b)
+        return g, L, (lambda v: c * (P @ v)), b, xstar
+
+    @pytest.mark.parametrize("eps", [1e-2, 1e-4, 1e-8])
+    def test_theorem_3_8_guarantee(self, eps):
+        delta = 0.5
+        g, L, B, b, xstar = self._setup(delta)
+        res = preconditioned_richardson(
+            lambda v: apply_laplacian(g, v), B, b, delta=delta, eps=eps)
+        err = relative_lnorm_error(L, res.x, xstar)
+        assert err <= eps
+
+    def test_geometric_decay(self):
+        delta = 1.0
+        g, L, B, b, xstar = self._setup(delta)
+        res = preconditioned_richardson(
+            lambda v: apply_laplacian(g, v), B, b, delta=delta, eps=1e-10,
+            track_errors=lambda x: energy_norm(L, x - xstar))
+        hist = np.array(res.error_history)
+        hist = hist[hist > 1e-13]
+        ratios = hist[1:] / hist[:-1]
+        assert np.all(ratios < 1.0)  # monotone decay
+
+    def test_alpha_formula(self):
+        delta = 0.7
+        g, L, B, b, xstar = self._setup(delta)
+        res = preconditioned_richardson(
+            lambda v: apply_laplacian(g, v), B, b, delta=delta, eps=0.5)
+        assert res.alpha == pytest.approx(
+            2.0 / (math.exp(-delta) + math.exp(delta)))
+
+    def test_iterations_override(self):
+        g, L, B, b, _ = self._setup(0.5)
+        res = preconditioned_richardson(
+            lambda v: apply_laplacian(g, v), B, b, delta=0.5, eps=1e-8,
+            iterations=3)
+        assert res.iterations == 3
+
+    def test_exact_preconditioner_one_shot(self):
+        # With B = L⁺ the initial x0 is already exact.
+        g = G.cycle(8)
+        L = laplacian(g)
+        P = dense_laplacian_pinv(L.toarray())
+        b = np.zeros(8)
+        b[0], b[4] = 1, -1
+        res = preconditioned_richardson(
+            lambda v: apply_laplacian(g, v), lambda v: P @ v, b,
+            delta=0.1, eps=0.5)
+        assert np.allclose(res.x, exact_solution(g, b), atol=1e-10)
+
+    def test_projection_keeps_iterates_centred(self):
+        g, L, B, b, _ = self._setup(0.5)
+        res = preconditioned_richardson(
+            lambda v: apply_laplacian(g, v), B, b + 7.0, delta=0.5,
+            eps=1e-4)
+        assert abs(res.x.sum()) < 1e-8

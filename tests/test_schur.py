@@ -1,0 +1,116 @@
+"""ApproxSchur (Algorithm 6 / Theorem 7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schur import approx_schur, schur_alpha_inverse
+from repro.errors import SamplingError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.linalg.loewner import approximation_factor
+from repro.linalg.pinv import exact_schur_complement
+
+
+def _measured_eps(graph, C, eps, seed=0, **kw):
+    H = approx_schur(graph, C, eps=eps, seed=seed, **kw)
+    SC = exact_schur_complement(laplacian(graph).toarray(), C)
+    LH = laplacian(H).toarray()[np.ix_(C, C)]
+    return approximation_factor(LH, SC), H
+
+
+class TestTheorem71:
+    @pytest.mark.parametrize("maker,csize", [
+        (lambda: G.grid2d(7, 7), 20),
+        (lambda: G.random_regular(60, 4, seed=1), 25),
+        (lambda: G.with_random_weights(G.grid2d(6, 6), 0.3, 3.0, seed=2),
+         12),
+    ])
+    def test_approximation_guarantee(self, maker, csize):
+        g = maker()
+        rng = np.random.default_rng(0)
+        C = np.sort(rng.choice(g.n, size=csize, replace=False))
+        measured, _ = _measured_eps(g, C, eps=0.5, seed=3)
+        assert measured <= 0.5
+
+    def test_smaller_eps_tighter(self):
+        g = G.grid2d(6, 6)
+        C = np.arange(0, g.n, 3)
+        loose, _ = _measured_eps(g, C, eps=0.6, seed=1)
+        tight, _ = _measured_eps(g, C, eps=0.15, seed=1)
+        assert tight < loose
+
+    def test_edge_budget(self):
+        # Theorem 7.1-(2): |E(G_S)| <= m of the (split) input.
+        g = G.grid2d(8, 8)
+        C = np.arange(0, g.n, 2)
+        report = approx_schur(g, C, eps=0.5, seed=2, return_report=True)
+        m_input = report.edges_per_round[0]
+        assert all(m <= m_input for m in report.edges_per_round)
+
+    def test_round_count_logarithmic(self):
+        g = G.grid2d(9, 9)
+        C = np.arange(0, g.n, 4)
+        s = g.n - C.size
+        report = approx_schur(g, C, eps=0.5, seed=3, return_report=True)
+        assert report.rounds <= np.log(max(s, 2)) / np.log(40 / 39) + 10
+
+    def test_interior_shrinks_monotonically(self):
+        g = G.grid2d(8, 8)
+        C = np.arange(0, g.n, 5)
+        report = approx_schur(g, C, eps=0.5, seed=4, return_report=True)
+        ints = report.interior_per_round
+        assert all(b < a for a, b in zip(ints, ints[1:]))
+        assert ints[-1] == 0
+
+    def test_prescaled_input(self):
+        # split=False: caller already provides an α-bounded multigraph.
+        from repro.core.boundedness import naive_split
+
+        g = G.grid2d(6, 6)
+        C = np.arange(0, g.n, 3)
+        H = naive_split(g, 1.0 / schur_alpha_inverse(g.n, 0.5))
+        measured, out = _measured_eps(H, C, eps=0.5, seed=5, split=False)
+        assert measured <= 0.5
+        assert out.m <= H.m
+
+
+class TestInterface:
+    def test_rejects_trivial_C(self):
+        g = G.path(5)
+        with pytest.raises(SamplingError):
+            approx_schur(g, np.array([], dtype=np.int64))
+        with pytest.raises(SamplingError):
+            approx_schur(g, np.arange(5))
+
+    def test_rejects_out_of_range_C(self):
+        with pytest.raises(SamplingError):
+            approx_schur(G.path(5), np.array([0, 9]))
+
+    def test_alpha_inverse_formula(self):
+        assert schur_alpha_inverse(1000, 0.5) >= schur_alpha_inverse(
+            1000, 0.9)
+        assert schur_alpha_inverse(10, 0.5, scale=1e-9) == 1
+        with pytest.raises(ValueError):
+            schur_alpha_inverse(100, 1.5)
+
+    def test_single_terminal_component_edge_case(self):
+        # C = one vertex of a star: SC onto it is the zero matrix.
+        g = G.star(8)
+        H = approx_schur(g, np.array([0]), eps=0.5, seed=0)
+        assert H.m == 0
+
+    def test_interior_independent_set(self):
+        # Interior has no internal edges: eliminated in one round.
+        g = G.star(12)  # leaves are independent
+        C = np.array([0, 1, 2])
+        report = approx_schur(g, C, eps=0.5, seed=1, return_report=True)
+        assert report.rounds == 1
+
+    def test_output_is_laplacian_on_C(self):
+        g = G.grid2d(6, 6)
+        C = np.arange(0, g.n, 3)
+        H = approx_schur(g, C, eps=0.4, seed=6)
+        in_C = np.zeros(g.n, dtype=bool)
+        in_C[C] = True
+        assert in_C[H.u].all() and in_C[H.v].all()
+        assert np.all(H.w > 0)

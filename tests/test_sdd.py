@@ -1,0 +1,133 @@
+"""SDD solving via the Gremban double cover."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse as sp
+
+from repro.config import practical_options
+from repro.core.sdd import SDDSolver, gremban_cover, is_sdd, solve_sdd
+from repro.errors import GraphStructureError, ReproError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+
+
+def _random_sdd(n: int, seed: int, positive_frac: float = 0.3,
+                slack: float = 0.5) -> np.ndarray:
+    """Random irreducible SDD matrix with mixed off-diagonal signs."""
+    rng = np.random.default_rng(seed)
+    M = np.zeros((n, n))
+    # ring ensures irreducibility
+    for i in range(n):
+        j = (i + 1) % n
+        w = rng.uniform(0.5, 2.0)
+        sign = -1.0 if rng.random() > positive_frac else 1.0
+        M[i, j] = M[j, i] = sign * w
+    extra = rng.integers(0, n, size=(2 * n, 2))
+    for a, b in extra:
+        if a != b:
+            w = rng.uniform(0.1, 1.0)
+            sign = -1.0 if rng.random() > positive_frac else 1.0
+            M[a, b] = M[b, a] = sign * w
+    offsum = np.abs(M).sum(axis=1)
+    M[np.diag_indices(n)] = offsum + rng.uniform(0, slack, size=n)
+    return M
+
+
+class TestIsSDD:
+    def test_laplacian_is_sdd(self, zoo_graph):
+        assert is_sdd(laplacian(zoo_graph))
+
+    def test_random_sdd(self):
+        assert is_sdd(_random_sdd(12, 0))
+
+    def test_rejects_non_dd(self):
+        M = np.array([[1.0, -2.0], [-2.0, 1.0]])
+        assert not is_sdd(M)
+
+    def test_rejects_asymmetric(self):
+        M = np.array([[2.0, -1.0], [0.0, 2.0]])
+        assert not is_sdd(M)
+
+
+class TestGrembanCover:
+    def test_cover_is_valid_laplacian_graph(self):
+        M = _random_sdd(10, 1)
+        cover = gremban_cover(M)
+        assert cover.n == 20
+        assert np.all(cover.w > 0)
+
+    def test_cover_encodes_M(self):
+        # L [x; -x] = [Mx; -Mx]
+        from repro.graphs.laplacian import apply_laplacian
+
+        M = _random_sdd(9, 2)
+        cover = gremban_cover(M)
+        x = np.random.default_rng(0).standard_normal(9)
+        z = apply_laplacian(cover, np.concatenate([x, -x]))
+        assert np.allclose(z[:9], M @ x, atol=1e-10)
+        assert np.allclose(z[9:], -(M @ x), atol=1e-10)
+
+    def test_pure_laplacian_cover_disconnected(self):
+        # No positive entries, no slack: the two layers never touch.
+        from repro.graphs.validation import is_connected
+
+        L = laplacian(G.cycle(5)).toarray()
+        assert not is_connected(gremban_cover(L))
+
+    def test_rejects_non_sdd(self):
+        with pytest.raises(GraphStructureError):
+            gremban_cover(np.array([[1.0, -5.0], [-5.0, 1.0]]))
+
+
+class TestSDDSolver:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_dense_solve(self, seed):
+        M = _random_sdd(25, seed, slack=1.0)
+        b = np.random.default_rng(seed).standard_normal(25)
+        x = solve_sdd(M, b, eps=1e-9, options=practical_options(),
+                      seed=seed)
+        xstar = scipy.linalg.solve(M, b, assume_a="sym")
+        assert np.linalg.norm(x - xstar) < 1e-4 * max(
+            np.linalg.norm(xstar), 1.0)
+
+    def test_positive_offdiagonals_only(self):
+        # "Anti-ferromagnetic" SDD system: all couplings positive.
+        n = 12
+        M = _random_sdd(n, 7, positive_frac=1.0, slack=0.8)
+        b = np.random.default_rng(1).standard_normal(n)
+        x = solve_sdd(M, b, eps=1e-9, options=practical_options(),
+                      seed=0)
+        assert np.allclose(M @ x, b, atol=1e-4)
+
+    def test_laplacian_falls_back(self):
+        g = G.grid2d(5, 5)
+        L = laplacian(g)
+        b = np.random.default_rng(2).standard_normal(g.n)
+        b -= b.mean()
+        solver = SDDSolver(L, options=practical_options(), seed=0)
+        assert solver._mode == "laplacian"
+        x = solver.solve(b, eps=1e-8)
+        assert np.allclose(L @ x, b, atol=1e-5)
+
+    def test_sparse_input(self):
+        M = sp.csr_matrix(_random_sdd(15, 3))
+        b = np.random.default_rng(3).standard_normal(15)
+        x = solve_sdd(M, b, eps=1e-9, options=practical_options(),
+                      seed=1)
+        assert np.allclose(M @ x, b, atol=1e-4)
+
+    def test_b_shape_checked(self):
+        solver = SDDSolver(_random_sdd(8, 4),
+                           options=practical_options(), seed=0)
+        with pytest.raises(ReproError):
+            solver.solve(np.zeros(9))
+
+    def test_reusable_factorization(self):
+        M = _random_sdd(20, 5)
+        solver = SDDSolver(M, options=practical_options(), seed=0)
+        rng = np.random.default_rng(4)
+        for _ in range(3):
+            b = rng.standard_normal(20)
+            x = solver.solve(b, eps=1e-9)
+            assert np.allclose(M @ x, b, atol=1e-4)

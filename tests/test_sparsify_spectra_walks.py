@@ -1,0 +1,142 @@
+"""Sparsification, eigensolvers, and random-walk quantities."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.apps.random_walks import (
+    commute_time,
+    hitting_times,
+    stationary_distribution,
+)
+from repro.config import practical_options
+from repro.core.sparsify import spectral_sparsify
+from repro.errors import ReproError
+from repro.graphs import generators as G
+from repro.graphs.laplacian import laplacian
+from repro.graphs.validation import is_connected
+from repro.linalg.loewner import approximation_factor
+from repro.theory.spectra import smallest_eigenpairs
+
+OPTS = practical_options()
+
+
+class TestSparsify:
+    def test_spectral_guarantee_exact_leverage(self):
+        g = G.complete(30)
+        eps = 0.5
+        H = spectral_sparsify(g, eps=eps, exact_leverage=True, seed=0)
+        factor = approximation_factor(laplacian(H).toarray(),
+                                      laplacian(g).toarray())
+        assert factor <= eps
+
+    def test_reduces_dense_graph(self):
+        g = G.complete(40)  # m = 780
+        H = spectral_sparsify(g, eps=0.5, exact_leverage=True, seed=1)
+        assert H.m < g.m
+        assert is_connected(H)
+
+    def test_oracle_leverage_path(self):
+        g = G.grid2d(6, 6)
+        H = spectral_sparsify(g, eps=0.5, options=OPTS, seed=2)
+        factor = approximation_factor(laplacian(H).toarray(),
+                                      laplacian(g).toarray())
+        assert factor <= 0.75  # oracle estimates add slack
+
+    def test_expectation_preserved(self):
+        # E[L_H] = L_G: average many sparsifiers of a small graph.
+        g = G.cycle(8)
+        rng = np.random.default_rng(3)
+        acc = np.zeros((8, 8))
+        trials = 300
+        for _ in range(trials):
+            H = spectral_sparsify(g, eps=0.9, exact_leverage=True,
+                                  seed=rng, oversample=0.5)
+            acc += laplacian(H).toarray()
+        assert np.abs(acc / trials - laplacian(g).toarray()).max() < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            spectral_sparsify(G.path(4), eps=1.5)
+
+
+class TestSpectra:
+    def test_matches_dense_eigh(self):
+        g = G.path(12)  # simple, well-separated spectrum
+        vals, vecs = smallest_eigenpairs(g, 3, options=OPTS, seed=0)
+        dense = np.sort(scipy.linalg.eigvalsh(laplacian(g).toarray()))
+        assert np.allclose(vals, dense[1:4], rtol=1e-3)
+
+    def test_vectors_are_eigenvectors(self):
+        g = G.grid2d(5, 4)
+        vals, vecs = smallest_eigenpairs(g, 2, options=OPTS, seed=1,
+                                         tol=1e-10)
+        L = laplacian(g).toarray()
+        for i in range(2):
+            v = vecs[:, i]
+            assert np.linalg.norm(L @ v - vals[i] * v) < 1e-3
+
+    def test_orthonormal_and_centred(self):
+        g = G.cycle(11)
+        _, vecs = smallest_eigenpairs(g, 3, options=OPTS, seed=2)
+        gram = vecs.T @ vecs
+        assert np.allclose(gram, np.eye(3), atol=1e-6)
+        assert np.abs(vecs.sum(axis=0)).max() < 1e-6
+
+    def test_k_validation(self):
+        with pytest.raises(ReproError):
+            smallest_eigenpairs(G.path(5), 0)
+        with pytest.raises(ReproError):
+            smallest_eigenpairs(G.path(5), 5)
+
+
+class TestRandomWalks:
+    def test_stationary(self):
+        g = G.star(6)
+        pi = stationary_distribution(g)
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[0] == pytest.approx(0.5)  # centre has half the degree
+
+    def test_hitting_times_path_formula(self):
+        # Unweighted path 0..n-1, target 0: h(v) = v^2 is wrong;
+        # correct: h(v) = v*(2n - 1 - v) for path? Verify against the
+        # direct linear-system oracle instead of a closed form.
+        g = G.path(8)
+        h = hitting_times(g, 0, eps=1e-10, options=OPTS, seed=0)
+        L = laplacian(g).toarray()
+        d = g.weighted_degrees()
+        sub = L[1:, 1:]
+        oracle = np.zeros(8)
+        oracle[1:] = scipy.linalg.solve(sub, d[1:])
+        assert np.allclose(h, oracle, atol=1e-4)
+        assert h[0] == 0.0
+
+    def test_hitting_times_cycle_symmetry(self):
+        g = G.cycle(9)
+        h = hitting_times(g, 0, eps=1e-10, options=OPTS, seed=1)
+        assert np.allclose(h[1:], h[1:][::-1], atol=1e-4)
+
+    def test_commute_time_identity(self):
+        # C(s,t) = (sum of degrees) * R_eff(s,t); on a path R = dist.
+        g = G.path(6)
+        c = commute_time(g, 0, 5, eps=1e-10, options=OPTS, seed=2)
+        assert c == pytest.approx(2 * g.m * 5.0, rel=1e-3)
+
+    def test_commute_symmetric_and_zero_diag(self):
+        g = G.grid2d(4, 4)
+        c1 = commute_time(g, 0, 7, eps=1e-9, options=OPTS, seed=3)
+        c2 = commute_time(g, 7, 0, eps=1e-9, options=OPTS, seed=4)
+        assert c1 == pytest.approx(c2, rel=1e-3)
+        assert commute_time(g, 3, 3) == 0.0
+
+    def test_hitting_plus_reverse_equals_commute(self):
+        g = G.grid2d(4, 3)
+        s, t = 0, g.n - 1
+        h_st = hitting_times(g, t, eps=1e-10, options=OPTS, seed=5)[s]
+        h_ts = hitting_times(g, s, eps=1e-10, options=OPTS, seed=6)[t]
+        c = commute_time(g, s, t, eps=1e-10, options=OPTS, seed=7)
+        assert h_st + h_ts == pytest.approx(c, rel=1e-3)
+
+    def test_target_validation(self):
+        with pytest.raises(ReproError):
+            hitting_times(G.path(4), 9)
