@@ -19,7 +19,8 @@ def main() -> None:
     # Factor once; solve many right-hand sides.
     solver = LaplacianSolver(g, options=practical_options(), seed=0)
     print(f"block Cholesky chain: d={solver.chain.d} levels, "
-          f"{solver.multigraph.m} multi-edges after splitting")
+          f"{solver.multigraph.m_logical} multi-edges after splitting "
+          f"({solver.multigraph.m} stored groups)")
 
     # Unit current in at the top-left corner, out at the bottom-right.
     b = np.zeros(g.n)

@@ -39,7 +39,7 @@ def main() -> None:
         # Compare on the boundary block only.
         LH = laplacian(H).toarray()[np.ix_(boundary, boundary)]
         measured = approximation_factor(LH, SC)
-        print(f"eps={eps:4.2f}: {H.m} multi-edges "
+        print(f"eps={eps:4.2f}: {H.m_logical} multi-edges "
               f"(<= {report.edges_per_round[0]} after alpha-splitting; "
               f"{H.coalesced().m} distinct edges, {report.rounds} rounds), "
               f"measured approximation factor = {measured:.3f}")

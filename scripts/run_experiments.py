@@ -108,7 +108,7 @@ def e02_e03(fast):
         works.append(build_ledger.work)
         d = max(solver.chain.d, 1)
         l = max((lvl.jacobi.l for lvl in solver.chain.levels), default=1)
-        logm = math.log2(max(solver.multigraph.m, 2))
+        logm = math.log2(max(solver.multigraph.m_logical, 2))
         ratio = apply_ledger.depth / (d * l * logm)
         rows.append([g.n, g.m, f"{build_ledger.work:.3e}",
                      f"{build_ledger.work / g.m:.0f}",
@@ -141,8 +141,9 @@ def e04_e05(fast):
         chain = block_cholesky(H, opts, seed=0)
         counts = chain.edge_counts
         bound = math.log(g.n) / math.log(40 / 39)
-        rows.append([name, H.m, max(counts), chain.d, f"{bound:.0f}",
-                     "PASS" if max(counts) <= H.m else "FAIL"])
+        rows.append([name, H.m_logical, max(counts), chain.d,
+                     f"{bound:.0f}",
+                     "PASS" if max(counts) <= H.m_logical else "FAIL"])
     return ("E4+E5 · Theorem 3.9-(1),(4) — edge budget and level count",
             "every `G^(k)` has ≤ m multi-edges; `d ≤ log_{40/39} n`",
             md_table(["workload", "m (split)", "max level edges",
@@ -174,9 +175,10 @@ def e07(fast):
         F = five_dd_subset(g, seed=0)
         C = np.setdiff1d(np.arange(g.n), F)
         _, stats = terminal_walks(g, C, seed=1, return_stats=True)
-        rows.append([name, g.m, f"{stats.mean_walk_length:.2f}",
+        rows.append([name, g.m_logical,
+                     f"{stats.mean_walk_length:.2f}",
                      stats.max_walk_length,
-                     f"{stats.total_steps / g.m:.2f}"])
+                     f"{stats.total_steps / g.m_logical:.2f}"])
     return ("E7 · Lemma 5.4 — terminal-walk lengths",
             "mean length O(1); max O(log m) whp; total steps O(m)",
             md_table(["workload", "m", "mean len", "max len",
@@ -265,7 +267,7 @@ def e11(fast):
         LH = laplacian(H).toarray()[np.ix_(C, C)]
         measured = approximation_factor(LH, SC)
         rows.append([eps, f"{measured:.3f}", report.edges_per_round[0],
-                     H.m, report.rounds,
+                     H.m_logical, report.rounds,
                      "PASS" if measured <= eps else "FAIL"])
     return ("E11 · Theorem 7.1 — ApproxSchur",
             "`L_{G_S} ≈_ε SC(L, C)` with ≤ m multi-edges, O(log s) rounds",
@@ -342,8 +344,8 @@ def e14(fast):
         lev = leverage_split(g, alpha, K=3, seed=0,
                              options=practical_options())
         naive = naive_split(g, alpha)
-        rows.append([name, g.m, naive.m, lev.m,
-                     f"{naive.m / lev.m:.2f}x"])
+        rows.append([name, g.m, naive.m_logical, lev.m_logical,
+                     f"{naive.m_logical / lev.m_logical:.2f}x"])
     g = G.complete(36)
     tau = leverage_scores(g)
     from repro.core.lev_est import leverage_overestimates

@@ -14,6 +14,27 @@ Quickstart
 >>> b = np.zeros(g.n); b[0], b[-1] = 1.0, -1.0
 >>> x = solver.solve(b, eps=1e-6)
 
+Compact representation (performance architecture)
+-------------------------------------------------
+The α-bounded splitting of Lemma 3.2 conceptually multiplies the edge
+count by ``⌈1/α⌉ = Θ(ε⁻² log² n)``; this implementation never
+materialises those copies.  ``MultiGraph`` carries an optional ``mult``
+array — row ``i`` stands for ``mult[i]`` logical parallel copies of
+total weight ``w[i]`` — so ``naive_split``/``leverage_split`` are O(m)
+in time *and* memory, Laplacian-level code sees the exact unsplit
+totals, and the walk layer samples from a compact CSR while scaling
+traversed resistance by the local copy count.  Per elimination round,
+adjacency is rebuilt by an O(m + n) counting sort restricted to the
+rows walkers can actually sample (the interior), and retired walkers
+are compacted out of the stepping loop.  ``graph.m`` counts stored
+groups; ``graph.m_logical`` counts the paper's multi-edges.  See
+DESIGN.md §1-§2 for the invariants.
+
+Measure the hot path (writes BENCH_hotpath.json; ``--smoke`` for the
+CI-sized check)::
+
+    PYTHONPATH=src python benchmarks/bench_p01_hotpath.py
+
 Package layout
 --------------
 * :mod:`repro.core` — the paper's algorithms (Algorithms 1-6).

@@ -28,7 +28,7 @@ import numpy as np
 from repro.config import practical_options
 from repro.core.solver import LaplacianSolver
 from repro.errors import ReproError
-from repro.graphs.multigraph import MultiGraph
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair
 
 __all__ = ["approx_max_flow", "MaxFlowResult", "flow_feasibility"]
 
@@ -153,9 +153,8 @@ def approx_max_flow(graph: MultiGraph, s: int, t: int,
 def flow_feasibility(graph: MultiGraph, flow: np.ndarray, s: int,
                      t: int) -> tuple[float, float]:
     """``(routed value, max conservation violation)`` of a signed flow."""
-    net = np.zeros(graph.n)
-    np.add.at(net, graph.u, flow)
-    np.subtract.at(net, graph.v, flow)
+    net = scatter_add_pair(graph.u, flow, graph.v, flow,
+                           graph.n, subtract=True)
     value = float(net[s])
     interior = np.delete(np.arange(graph.n), [s, t])
     violation = float(np.abs(net[interior]).max()) if interior.size else 0.0

@@ -17,7 +17,7 @@ import numpy as np
 from repro.config import SolverOptions
 from repro.core.solver import LaplacianSolver
 from repro.errors import DimensionMismatchError
-from repro.graphs.multigraph import MultiGraph
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair
 from repro.rng import as_generator
 
 __all__ = ["ResistanceOracle"]
@@ -55,9 +55,9 @@ class ResistanceOracle:
         Z = np.empty((q, graph.n))
         for i in range(q):
             signs = rng.choice([-1.0, 1.0], size=graph.m) / math.sqrt(q)
-            row = np.zeros(graph.n)
-            np.add.at(row, graph.u, signs * sqrt_w)
-            np.subtract.at(row, graph.v, signs * sqrt_w)
+            contrib = signs * sqrt_w
+            row = scatter_add_pair(graph.u, contrib, graph.v, contrib,
+                                   graph.n, subtract=True)
             Z[i] = solver.solve(row, eps=solver_eps)
         self._Z = Z
 

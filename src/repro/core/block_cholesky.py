@@ -114,7 +114,7 @@ def block_cholesky(graph: MultiGraph,
         blocks = laplacian_blocks(current, F, C)
         nxt = _sample_schur_connected(current, C, rng, opts)
         levels.append(Level(F=F, C=C, idxF=idxF, idxC=idxC,
-                            blocks=blocks, parent_edges=current.m))
+                            blocks=blocks, parent_edges=current.m_logical))
         graphs.append(nxt)
         current = nxt
         active = C

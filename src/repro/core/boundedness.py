@@ -11,6 +11,13 @@ Since ``τ(e) ≤ 1`` always holds (a leverage score is the fraction of
 ``⌈1/α⌉`` parallel copies of ``1/⌈1/α⌉`` times the weight makes every
 copy α-bounded while preserving the Laplacian exactly — that is
 Lemma 3.2, implemented by :func:`naive_split`.
+
+The split is *implicit* by default: rather than materialising
+``m·⌈1/α⌉`` edge rows, the result carries a ``mult`` array marking each
+stored group as ``⌈1/α⌉`` logical copies — O(m) memory, and the
+Laplacian is not merely close but bit-identical to the input's (the
+stored totals are untouched).  See DESIGN.md §"Implicit α-split
+multigraphs".
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import numpy as np
 from repro.errors import GraphStructureError
 from repro.graphs.multigraph import MultiGraph
 from repro.linalg.pinv import exact_effective_resistances
-from repro.pram import charge
+from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 
 __all__ = [
@@ -33,7 +40,12 @@ __all__ = [
 
 def leverage_scores(graph: MultiGraph,
                     reference: MultiGraph | None = None) -> np.ndarray:
-    """Exact leverage scores ``τ(e) = w(e) R_eff(e)`` per multi-edge.
+    """Exact per-*copy* leverage scores ``τ(e) = w_copy(e) R_eff(e)``.
+
+    For a graph with implicit multiplicities the returned array has one
+    entry per stored group — the score of each of the group's
+    ``mult`` identical logical copies, i.e. ``(w/mult)·R_eff``.  For
+    plain graphs this is the usual ``w·R_eff``.
 
     ``reference`` lets you measure the edges of ``graph`` against a
     *different* Laplacian (Lemma 5.2 speaks of boundedness w.r.t. the
@@ -46,13 +58,15 @@ def leverage_scores(graph: MultiGraph,
         raise GraphStructureError("reference graph must share vertex set")
     pairs = np.stack([graph.u, graph.v], axis=1)
     reff = exact_effective_resistances(ref, pairs)
-    return graph.w * reff
+    w_copy = graph.w if graph.mult is None else graph.w / graph.mult
+    return w_copy * reff
 
 
 def is_alpha_bounded(graph: MultiGraph, alpha: float,
                      reference: MultiGraph | None = None,
                      rtol: float = 1e-9) -> bool:
-    """Check every multi-edge of ``graph`` is α-bounded (dense oracle)."""
+    """Check every logical multi-edge of ``graph`` is α-bounded (dense
+    oracle; implicit copies are checked via their per-copy weight)."""
     tau = leverage_scores(graph, reference)
     return bool(np.all(tau <= alpha * (1.0 + rtol) + 1e-12))
 
@@ -66,17 +80,21 @@ def split_counts_for_alpha(alpha: float) -> int:
     return int(np.ceil(1.0 / alpha))
 
 
-def naive_split(graph: MultiGraph, alpha: float) -> MultiGraph:
+def naive_split(graph: MultiGraph, alpha: float,
+                materialize: bool = False) -> MultiGraph:
     """Lemma 3.2: split every edge into ``⌈1/α⌉`` α-bounded copies.
 
-    Returns a multigraph ``H`` with ``m·⌈1/α⌉`` multi-edges and
-    ``L_H = L_G`` exactly.  Cost: ``O(m/α)`` work, ``O(log n)`` depth.
+    Returns a multigraph ``H`` with ``m·⌈1/α⌉`` *logical* multi-edges
+    and ``L_H = L_G`` exactly.  By default the copies are implicit
+    (``H.m == graph.m`` stored groups carrying ``mult = ⌈1/α⌉``), so
+    the split costs O(m) work and memory rather than O(m/α).  Pass
+    ``materialize=True`` to expand the copies into explicit rows — the
+    seed representation, kept for benchmark baselines and equivalence
+    tests.
     """
     k = split_counts_for_alpha(alpha)
     if k == 1:
-        return graph.copy()
-    u = np.repeat(graph.u, k)
-    v = np.repeat(graph.v, k)
-    w = np.repeat(graph.w / k, k)
-    charge(*P.map_cost(graph.m * k), label="naive_split")
-    return MultiGraph(graph.n, u, v, w, validate=False)
+        return graph.materialized() if materialize else graph.copy()
+    if ledger_active():
+        charge(*P.map_cost(graph.m), label="naive_split")
+    return graph.split_copies(k, materialize=materialize)

@@ -94,7 +94,15 @@ class CholeskyChain:
     @property
     def edge_counts(self) -> list[int]:
         """``m(G^(0)), …, m(G^(d))`` — Theorem 3.9-(1) says this never
-        exceeds ``m(G^(0))``."""
+        exceeds ``m(G^(0))``.  Counts *logical* multi-edges (implicit
+        multiplicities expanded)."""
+        return [g.m_logical for g in self.graphs]
+
+    @property
+    def stored_edge_counts(self) -> list[int]:
+        """Edge *groups* physically held per level — the memory story;
+        with implicit multiplicities this is far below
+        :attr:`edge_counts`."""
         return [g.m for g in self.graphs]
 
     @property
@@ -106,7 +114,8 @@ class CholeskyChain:
         return counts
 
     def total_stored_edges(self) -> int:
-        return sum(g.m for g in self.graphs)
+        """Sum of physically stored edge groups across all levels."""
+        return sum(self.stored_edge_counts)
 
     # -- dense reconstruction (test oracle) --------------------------------
 
@@ -151,8 +160,8 @@ class CholeskyChain:
         for k, level in enumerate(self.levels):
             lines.append(
                 f"  level {k + 1}: |F|={level.nf} |C|={level.nc} "
-                f"edges(G^{k})={self.graphs[k].m} -> "
-                f"edges(G^{k + 1})={self.graphs[k + 1].m}")
+                f"edges(G^{k})={self.graphs[k].m_logical} -> "
+                f"edges(G^{k + 1})={self.graphs[k + 1].m_logical}")
         lines.append(f"  base case: {actives[-1]} vertices, "
-                     f"{self.graphs[-1].m} multi-edges")
+                     f"{self.graphs[-1].m_logical} multi-edges")
         return "\n".join(lines)

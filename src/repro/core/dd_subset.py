@@ -20,8 +20,8 @@ import numpy as np
 
 from repro.config import SolverOptions, default_options
 from repro.errors import FactorizationError
-from repro.graphs.multigraph import MultiGraph
-from repro.pram import charge
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair
+from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 from repro.rng import as_generator
 
@@ -45,11 +45,10 @@ def _within_subset_degrees(graph: MultiGraph, member: np.ndarray
     """Weighted degree of each vertex counting only edges with *both*
     endpoints flagged in the boolean ``member`` mask."""
     both = member[graph.u] & member[graph.v]
-    deg = np.zeros(graph.n, dtype=np.float64)
-    if both.any():
-        np.add.at(deg, graph.u[both], graph.w[both])
-        np.add.at(deg, graph.v[both], graph.w[both])
-    return deg
+    if not both.any():
+        return np.zeros(graph.n, dtype=np.float64)
+    return scatter_add_pair(graph.u[both], graph.w[both],
+                            graph.v[both], graph.w[both], graph.n)
 
 
 def five_dd_subset(graph: MultiGraph,
@@ -107,7 +106,8 @@ def five_dd_subset(graph: MultiGraph,
         deg_in = _within_subset_degrees(graph, member)
         keep = deg_in[cand] <= opts.dd_threshold * wdeg[cand]
         F = cand[keep]
-        charge(*P.map_cost(graph.m), label="dd_subset_round")
+        if ledger_active():
+            charge(*P.map_cost(graph.m), label="dd_subset_round")
         if stats is not None:
             stats.record(int(F.size))
         if F.size > target or F.size == eligible.size:

@@ -36,8 +36,8 @@ import numpy as np
 
 from repro.config import SolverOptions, default_options
 from repro.errors import SamplingError
-from repro.graphs.multigraph import MultiGraph
-from repro.pram import charge
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair
+from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 from repro.rng import as_generator
 
@@ -121,9 +121,9 @@ def leverage_overestimates(graph: MultiGraph,
     Z = np.empty((q, n), dtype=np.float64)
     for i in range(q):
         signs = rng.choice([-1.0, 1.0], size=mq) / math.sqrt(q)
-        row = np.zeros(n)
-        np.add.at(row, gprime.u, signs * sqrt_w)
-        np.subtract.at(row, gprime.v, signs * sqrt_w)
+        contrib = signs * sqrt_w
+        row = scatter_add_pair(gprime.u, contrib, gprime.v, contrib, n,
+                               subtract=True)
         Z[i] = inner.solve(row, eps=solver_eps)
         charge(*P.map_cost(mq), label="jl_row")
 
@@ -141,10 +141,13 @@ def leverage_split(graph: MultiGraph, alpha: float,
                    K: float | None = None,
                    seed=None,
                    options: SolverOptions | None = None,
-                   tau_hat: np.ndarray | None = None) -> MultiGraph:
+                   tau_hat: np.ndarray | None = None,
+                   materialize: bool = False) -> MultiGraph:
     """Lemma 3.3: split edge ``e`` into ``⌈τ̂(e)/α⌉`` α-bounded copies.
 
-    The output has ``O(m + nKα⁻¹)`` multi-edges and the same Laplacian.
+    The output has ``O(m + nKα⁻¹)`` *logical* multi-edges and the same
+    Laplacian.  By default the copies are implicit multiplicities
+    (O(m) stored groups); pass ``materialize=True`` for explicit rows.
     Pass ``tau_hat`` to reuse precomputed overestimates.
     """
     opts = options or default_options()
@@ -155,9 +158,14 @@ def leverage_split(graph: MultiGraph, alpha: float,
     tau_hat = np.asarray(tau_hat, dtype=np.float64)
     if tau_hat.shape != (graph.m,):
         raise SamplingError("tau_hat must have one entry per edge")
-    copies = np.maximum(1, np.ceil(tau_hat / alpha)).astype(np.int64)
-    u = np.repeat(graph.u, copies)
-    v = np.repeat(graph.v, copies)
-    w = np.repeat(graph.w / copies, copies)
-    charge(*P.map_cost(int(copies.sum())), label="leverage_split")
-    return MultiGraph(graph.n, u, v, w, validate=False)
+    # tau_hat estimates the *group-total* leverage w·R; when the input
+    # already carries multiplicities, each existing copy's leverage is
+    # tau_hat/mult, so the per-copy split factor composes from that —
+    # otherwise pre-split inputs would be over-split by mult×.
+    tau_copy = tau_hat / graph.multiplicities()
+    copies = np.maximum(1, np.ceil(tau_copy / alpha)).astype(np.int64)
+    if ledger_active():
+        charge(*P.map_cost(graph.m), label="leverage_split")
+    if graph.mult is None and np.all(copies == 1):
+        return graph.copy()
+    return graph.split_copies(copies, materialize=materialize)

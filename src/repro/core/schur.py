@@ -13,6 +13,13 @@ provided the input multi-edges are α-bounded for
 ``α⁻¹ = Θ(ε⁻² log² n)``.  Note the sharper α compared to the solver:
 here the approximation must hold to ε, not just a constant.
 
+The α-split is *implicit* (Lemma 3.2 via multiplicities, DESIGN.md):
+the working graph stays O(m)-sized groups instead of O(m/α) rows, and
+each round's rebuild — degrees, interior masks, the walk engine's
+restricted CSR — is linear in the stored groups, not the logical edge
+count.  ``legacy=True`` reruns the seed hot path (materialised split,
+full CSR per round, uncompacted walkers) for benchmarking.
+
 Paper-notation note (documented in DESIGN.md): Algorithm 6's line 5
 writes ``C_k ← C_{k-1} ∖ F_k``; the consistent reading — used in the
 Theorem 7.1 proof — is that round ``k``'s walks terminate on all
@@ -25,7 +32,7 @@ guarantee still applies.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -50,12 +57,22 @@ def schur_alpha_inverse(n: int, eps: float, scale: float = 0.25) -> int:
 
 @dataclass
 class ApproxSchurReport:
-    """Diagnostics for one ``ApproxSchur`` run."""
+    """Diagnostics for one ``ApproxSchur`` run.
+
+    ``edges_per_round`` counts *logical* multi-edges (the paper's
+    ``m``); ``stored_edges_per_round`` counts the compact groups
+    actually held.  ``peak_edge_bytes`` is the largest per-round
+    edge-array footprint: working graph + its successor + the walk
+    engine's CSR and walker state.
+    """
 
     graph: MultiGraph
     rounds: int
     edges_per_round: list[int]
     interior_per_round: list[int]
+    stored_edges_per_round: list[int] = field(default_factory=list)
+    peak_edge_bytes: int = 0
+    total_walkers: int = 0
 
 
 def approx_schur(graph: MultiGraph,
@@ -65,7 +82,8 @@ def approx_schur(graph: MultiGraph,
                  options: SolverOptions | None = None,
                  split: bool = True,
                  alpha_scale: float = 0.25,
-                 return_report: bool = False
+                 return_report: bool = False,
+                 legacy: bool = False
                  ) -> MultiGraph | ApproxSchurReport:
     """Sparse ε-approximation of ``SC(L_G, C)``.
 
@@ -82,6 +100,11 @@ def approx_schur(graph: MultiGraph,
         Pass ``False`` when the input is already suitably α-bounded.
     alpha_scale:
         Constant in front of ``ε⁻² log² n`` (benchmark E11 sweeps it).
+    legacy:
+        Benchmark baseline: materialise the split and run the seed hot
+        path (full per-round CSR, one walker per stored edge,
+        uncompacted stepping).  Statistically equivalent, O(m/α)
+        memory.
 
     Returns
     -------
@@ -97,15 +120,18 @@ def approx_schur(graph: MultiGraph,
         raise SamplingError("C contains out-of-range vertex ids")
 
     work = naive_split(graph, 1.0 / schur_alpha_inverse(
-        graph.n, eps, alpha_scale)) if split else graph
+        graph.n, eps, alpha_scale), materialize=legacy) if split else graph
 
     in_C = np.zeros(graph.n, dtype=bool)
     in_C[C] = True
     U = np.nonzero(~in_C)[0]
     active = np.arange(graph.n, dtype=np.int64)
 
-    edges_per_round = [work.m]
+    edges_per_round = [work.m_logical]
+    stored_per_round = [work.m]
     interior_per_round = [U.size]
+    peak_bytes = work.edge_nbytes
+    total_walkers = 0
     rounds = 0
     max_rounds = int(np.ceil(np.log(max(U.size, 2))
                              / np.log(40.0 / 39.0))) + 10
@@ -129,16 +155,31 @@ def approx_schur(graph: MultiGraph,
                                        seed=rng, options=opts)
             F = np.union1d(F_sampled, trivially_dd)
         terminals = np.setdiff1d(active, F)
-        work = terminal_walks(work, terminals, seed=rng,
-                              max_steps=opts.max_walk_steps)
+        # The induced subgraph only exists to pick F: release it before
+        # the walk phase so the two big per-round footprints (5DD scan
+        # vs walk emission) never coexist.
+        dd_bytes = work.edge_nbytes + induced.edge_nbytes
+        induced = None
+        nxt, stats = terminal_walks(work, terminals, seed=rng,
+                                    max_steps=opts.max_walk_steps,
+                                    return_stats=True, legacy=legacy)
+        walk_bytes = (work.edge_nbytes + stats.csr_nbytes
+                      + stats.walker_nbytes + nxt.edge_nbytes)
+        peak_bytes = max(peak_bytes, dd_bytes, walk_bytes)
+        total_walkers += stats.walkers
+        work = nxt
         active = terminals
         U = np.setdiff1d(U, F)
         rounds += 1
-        edges_per_round.append(work.m)
+        edges_per_round.append(work.m_logical)
+        stored_per_round.append(work.m)
         interior_per_round.append(U.size)
 
     if return_report:
         return ApproxSchurReport(graph=work, rounds=rounds,
                                  edges_per_round=edges_per_round,
-                                 interior_per_round=interior_per_round)
+                                 interior_per_round=interior_per_round,
+                                 stored_edges_per_round=stored_per_round,
+                                 peak_edge_bytes=peak_bytes,
+                                 total_walkers=total_walkers)
     return work

@@ -168,7 +168,7 @@ class LaplacianSolver:
                            residual_2norm=residual_norm(
                                self.apply_L, x, b),
                            chain_depth=self.chain.d,
-                           multiedges=self.multigraph.m)
+                           multiedges=self.multigraph.m_logical)
 
 
 def solve_laplacian(L_or_graph, b: np.ndarray, eps: float = 1e-6,

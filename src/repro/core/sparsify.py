@@ -56,7 +56,10 @@ def spectral_sparsify(graph: MultiGraph,
         if exact_leverage:
             from repro.core.boundedness import leverage_scores
 
-            leverage = leverage_scores(graph)
+            # leverage_scores is per logical copy; sampling reweights
+            # whole groups by their total weight, so scale back to the
+            # group-total leverage w·R_eff (= per-copy × mult).
+            leverage = leverage_scores(graph) * graph.multiplicities()
         else:
             from repro.apps.resistance import ResistanceOracle
 

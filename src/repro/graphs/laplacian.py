@@ -19,8 +19,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import DimensionMismatchError
-from repro.graphs.multigraph import MultiGraph
-from repro.pram import charge
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair
+from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 
 __all__ = [
@@ -66,10 +66,10 @@ def apply_laplacian(graph: MultiGraph, x: np.ndarray) -> np.ndarray:
             f"vector has {x.shape[0]} entries for a {graph.n}-vertex graph")
     diff = x[graph.u] - x[graph.v]
     contrib = graph.w * diff
-    out = np.zeros_like(x)
-    np.add.at(out, graph.u, contrib)
-    np.subtract.at(out, graph.v, contrib)
-    charge(*P.matvec_cost(graph.m), label="apply_laplacian")
+    out = scatter_add_pair(graph.u, contrib, graph.v, contrib,
+                           graph.n, subtract=True)
+    if ledger_active():
+        charge(*P.matvec_cost(graph.m), label="apply_laplacian")
     return out
 
 
@@ -125,20 +125,17 @@ def laplacian_blocks(graph: MultiGraph, F: np.ndarray,
             "edge endpoint outside F ∪ C; pass the level's full vertex set")
 
     # Total weighted degree of each F vertex (all incident edges).
-    deg_F = np.zeros(nf, dtype=np.float64)
     mask_uF = su == 0
     mask_vF = sv == 0
-    np.add.at(deg_F, pos[graph.u[mask_uF]], graph.w[mask_uF])
-    np.add.at(deg_F, pos[graph.v[mask_vF]], graph.w[mask_vF])
+    deg_F = scatter_add_pair(pos[graph.u[mask_uF]], graph.w[mask_uF],
+                             pos[graph.v[mask_vF]], graph.w[mask_vF], nf)
 
     # Induced subgraph G[F] Laplacian Y.
     ff = mask_uF & mask_vF
     uf = pos[graph.u[ff]]
     vf = pos[graph.v[ff]]
     wf = graph.w[ff]
-    deg_in_F = np.zeros(nf, dtype=np.float64)
-    np.add.at(deg_in_F, uf, wf)
-    np.add.at(deg_in_F, vf, wf)
+    deg_in_F = scatter_add_pair(uf, wf, vf, wf, nf)
     if wf.size:
         A_F = sp.coo_matrix(
             (np.concatenate([wf, wf]),

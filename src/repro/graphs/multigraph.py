@@ -1,15 +1,30 @@
-"""Edge-array weighted undirected multigraph.
+"""Edge-array weighted undirected multigraph with implicit multiplicities.
 
-A :class:`MultiGraph` stores ``m`` multi-edges as three parallel arrays
-``(u, v, w)``.  Parallel edges are first-class citizens — the solver's
-α-bounded splitting (Lemma 3.2) deliberately creates many copies of each
-edge, and ``TerminalWalks`` both consumes and produces multi-edges.
-Self-loops are disallowed: a self-loop contributes ``0`` to a Laplacian,
-and ``TerminalWalks`` explicitly drops walks with ``c1 = c2``.
+A :class:`MultiGraph` stores ``m`` edge *groups* as parallel arrays
+``(u, v, w)`` plus an optional multiplicity array ``mult``: group ``i``
+represents ``mult[i]`` logical parallel copies of the edge
+``{u[i], v[i]}``, each of weight ``w[i] / mult[i]`` (``w`` is always the
+*total* weight of the group).  Parallel edges are first-class citizens —
+the solver's α-bounded splitting (Lemma 3.2) deliberately creates many
+copies of each edge, and with ``mult`` it can do so in ``O(m)`` memory
+instead of ``O(m/α)``.  A graph with ``mult is None`` is the plain case:
+every group is a single logical edge.  Self-loops are disallowed: a
+self-loop contributes ``0`` to a Laplacian, and ``TerminalWalks``
+explicitly drops walks with ``c1 = c2``.
+
+Because ``w`` stores group totals, every Laplacian-level quantity
+(degrees, ``L = D - A``, block extractions) is computed from the compact
+arrays unchanged — ``L`` of the implicit split equals ``L`` of the
+original graph *exactly*.  Only the random-walk layer needs ``mult``:
+the transition distribution of a split graph is identical to the
+unsplit one, while the resistance of one traversed logical copy is
+``mult/w`` (see DESIGN.md §"Implicit α-split multigraphs").
 
 The adjacency view (CSR over the 2m directed half-edges) is built
-lazily and cached; it is the representation random walks consume.  Cost
-accounting: the CSR build charges Lemma 2.7's ``(O(m), O(log m))``.
+lazily and cached; it is the representation random walks consume.  The
+build uses a stable counting sort (scipy's C ``coo→csr`` kernel), i.e.
+``O(m + n)`` — the parallel edge-list → adjacency-list conversion of
+Lemma 2.7, charged ``(O(m), O(log m))``.
 """
 
 from __future__ import annotations
@@ -18,16 +33,70 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.errors import (
     DimensionMismatchError,
     EmptyGraphError,
     GraphStructureError,
 )
-from repro.pram import charge
+from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 
-__all__ = ["MultiGraph", "AdjacencyView"]
+__all__ = ["MultiGraph", "AdjacencyView", "weighted_bincount",
+           "scatter_add_pair"]
+
+
+def weighted_bincount(idx: np.ndarray, weights: np.ndarray,
+                      minlength: int) -> np.ndarray:
+    """``np.bincount(idx, weights, minlength)`` with float64 output.
+
+    ``np.bincount`` returns *int64 zeros* when ``idx`` is empty, which
+    breaks in-place float accumulation; every weighted scatter-add in
+    the hot path goes through this wrapper instead of re-deriving that
+    trap.
+    """
+    return np.bincount(idx, weights=weights, minlength=minlength) \
+        .astype(np.float64, copy=False)
+
+
+def scatter_add_pair(idx_a: np.ndarray, w_a: np.ndarray,
+                     idx_b: np.ndarray, w_b: np.ndarray,
+                     minlength: int, subtract: bool = False) -> np.ndarray:
+    """Two-leg weighted scatter-add: ``Σ w_a → idx_a  ±  Σ w_b → idx_b``.
+
+    The canonical per-vertex accumulation over both edge endpoints
+    (degrees, Laplacian applies, block extractions) — every such site
+    goes through here so the empty-input dtype trap of
+    :func:`weighted_bincount` is handled exactly once.
+    """
+    out = weighted_bincount(idx_a, w_a, minlength)
+    second = weighted_bincount(idx_b, w_b, minlength)
+    if subtract:
+        out -= second
+    else:
+        out += second
+    return out
+
+
+def _counting_sort_halfedges(ends: np.ndarray, n: int
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Stable counting sort of half-edges by endpoint in ``O(len + n)``.
+
+    Returns ``(indptr, order)`` where ``order`` permutes the half-edge
+    arrays into CSR layout (grouped by endpoint, original order
+    preserved within each group).  Delegates the scatter pass to scipy's
+    C ``coo→csr`` kernel: with one strictly increasing column id per
+    half-edge, the resulting ``indices`` array *is* the stable
+    counting-sort permutation — no ``O(m log m)`` comparison sort.
+    """
+    if ends.size == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    cols = np.arange(ends.size, dtype=np.int64)
+    perm = sp.csr_matrix(
+        (np.ones(ends.size, dtype=np.int8), (ends, cols)),
+        shape=(n, ends.size))
+    return perm.indptr.astype(np.int64), perm.indices.astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -37,8 +106,8 @@ class AdjacencyView:
     For vertex ``x``, its incident half-edges occupy the slice
     ``indptr[x]:indptr[x+1]`` of the arrays:
 
-    * ``neighbor`` — the other endpoint of each incident multi-edge,
-    * ``weight`` — the multi-edge weight,
+    * ``neighbor`` — the other endpoint of each incident edge group,
+    * ``weight`` — the group's *total* weight (all logical copies),
     * ``edge_id`` — index into the parent graph's edge arrays,
     * ``cumweight`` — *globally shifted* inclusive prefix sums of
       ``weight`` within each row; row ``x`` spans the half-open value
@@ -46,6 +115,11 @@ class AdjacencyView:
       ``base[x] = cumweight[indptr[x]-1]`` (0 for the first row).  This
       lets a single vectorised ``searchsorted`` sample a
       weight-proportional neighbour for millions of walkers at once.
+
+    A view may be *restricted* (see
+    :meth:`MultiGraph.adjacency_restricted`): rows outside the requested
+    source set are empty, which keeps per-round CSR rebuilds O(edges
+    incident to the interior) in the elimination loop.
     """
 
     indptr: np.ndarray
@@ -67,6 +141,13 @@ class AdjacencyView:
                         0.0)
         return base
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the CSR arrays (perf accounting)."""
+        return (self.indptr.nbytes + self.neighbor.nbytes
+                + self.weight.nbytes + self.edge_id.nbytes
+                + self.cumweight.nbytes)
+
 
 class MultiGraph:
     """Weighted undirected multigraph on vertices ``0 .. n-1``.
@@ -76,20 +157,26 @@ class MultiGraph:
     n:
         Number of vertices.
     u, v:
-        Endpoint arrays of the ``m`` multi-edges (any integer dtype).
+        Endpoint arrays of the ``m`` edge groups (any integer dtype).
     w:
-        Strictly positive edge weights.
+        Strictly positive *total* group weights.
+    mult:
+        Optional per-group multiplicities (positive integers): group
+        ``i`` stands for ``mult[i]`` logical parallel copies of weight
+        ``w[i] / mult[i]`` each.  ``None`` (default) means every group
+        is one logical edge.
     validate:
-        When true (default), check index ranges, weight positivity, and
-        reject self-loops.
+        When true (default), check index ranges, weight positivity,
+        multiplicity positivity, and reject self-loops.
     """
 
-    __slots__ = ("n", "u", "v", "w", "_adj", "_wdeg")
+    __slots__ = ("n", "u", "v", "w", "mult", "_adj", "_wdeg")
 
     def __init__(self, n: int,
                  u: Iterable[int] | np.ndarray,
                  v: Iterable[int] | np.ndarray,
                  w: Iterable[float] | np.ndarray,
+                 mult: Iterable[int] | np.ndarray | None = None,
                  validate: bool = True) -> None:
         if n <= 0:
             raise EmptyGraphError("graph must have at least one vertex")
@@ -97,12 +184,35 @@ class MultiGraph:
         self.u = np.ascontiguousarray(u, dtype=np.int64)
         self.v = np.ascontiguousarray(v, dtype=np.int64)
         self.w = np.ascontiguousarray(w, dtype=np.float64)
+        # int32: multiplicities are copy counts (⌈1/α⌉-scale); walker
+        # expansion would exhaust memory long before 2^31 copies.  The
+        # range check is unconditional — a silently wrapped cast would
+        # corrupt m_logical and per-copy resistances downstream.
+        if mult is None:
+            self.mult = None
+        else:
+            marr = np.ascontiguousarray(mult)
+            if marr.dtype != np.int32:
+                if not np.issubdtype(marr.dtype, np.integer):
+                    raise GraphStructureError(
+                        f"edge multiplicities must be integers, got "
+                        f"dtype {marr.dtype}")
+                if marr.size and (marr.max() > np.iinfo(np.int32).max
+                                  or marr.min() < np.iinfo(np.int32).min):
+                    raise GraphStructureError(
+                        "edge multiplicity exceeds the int32 range; "
+                        "split factors this large cannot be walked anyway")
+                marr = marr.astype(np.int32)
+            self.mult = marr
         if not (self.u.shape == self.v.shape == self.w.shape):
             raise DimensionMismatchError(
                 f"edge arrays disagree: u{self.u.shape} v{self.v.shape} "
                 f"w{self.w.shape}")
         if self.u.ndim != 1:
             raise DimensionMismatchError("edge arrays must be 1-D")
+        if self.mult is not None and self.mult.shape != self.u.shape:
+            raise DimensionMismatchError(
+                f"mult{self.mult.shape} disagrees with u{self.u.shape}")
         if validate and self.m:
             if self.u.min(initial=0) < 0 or self.v.min(initial=0) < 0 \
                     or self.u.max(initial=0) >= n or self.v.max(initial=0) >= n:
@@ -114,6 +224,9 @@ class MultiGraph:
             if not np.all(np.isfinite(self.w)) or np.any(self.w <= 0):
                 raise GraphStructureError(
                     "edge weights must be finite and strictly positive")
+            if self.mult is not None and np.any(self.mult < 1):
+                raise GraphStructureError(
+                    "edge multiplicities must be >= 1")
         self._adj: AdjacencyView | None = None
         self._wdeg: np.ndarray | None = None
 
@@ -121,29 +234,62 @@ class MultiGraph:
 
     @property
     def m(self) -> int:
-        """Number of multi-edges."""
+        """Number of stored edge groups (rows of the edge arrays)."""
         return self.u.shape[0]
 
+    @property
+    def m_logical(self) -> int:
+        """Number of logical multi-edges, ``Σ_i mult[i]``.
+
+        This is the ``m`` the paper's lemmas speak about (Theorem
+        3.9-(1), Lemma 5.4, ...); ``m`` itself counts the compact
+        groups actually held in memory.
+        """
+        if self.mult is None:
+            return self.m
+        return int(self.mult.sum(dtype=np.int64))
+
+    def multiplicities(self) -> np.ndarray:
+        """Per-group multiplicity array (all-ones when ``mult is None``)."""
+        if self.mult is None:
+            return np.ones(self.m, dtype=np.int32)
+        return self.mult
+
     def weighted_degrees(self) -> np.ndarray:
-        """``w(x) = Σ_{e ∋ x} w(e)`` for every vertex (cached)."""
+        """``w(x) = Σ_{e ∋ x} w(e)`` for every vertex (cached).
+
+        Multiplicities are transparent here: group totals already sum
+        the copies.
+        """
         if self._wdeg is None:
-            deg = np.zeros(self.n, dtype=np.float64)
-            np.add.at(deg, self.u, self.w)
-            np.add.at(deg, self.v, self.w)
-            charge(*P.reduce_cost(2 * self.m), label="weighted_degrees")
+            deg = scatter_add_pair(self.u, self.w, self.v, self.w, self.n)
+            if ledger_active():
+                charge(*P.reduce_cost(2 * self.m), label="weighted_degrees")
             self._wdeg = deg
         return self._wdeg
 
     def multi_degrees(self) -> np.ndarray:
-        """Number of incident multi-edges per vertex."""
-        deg = np.zeros(self.n, dtype=np.int64)
-        np.add.at(deg, self.u, 1)
-        np.add.at(deg, self.v, 1)
-        return deg
+        """Number of incident *logical* multi-edges per vertex."""
+        mult = self.multiplicities().astype(np.float64)
+        deg = scatter_add_pair(self.u, mult, self.v, mult, self.n)
+        return deg.astype(np.int64)
 
     def total_weight(self) -> float:
         """Sum of all multi-edge weights."""
         return float(self.w.sum())
+
+    @property
+    def edge_nbytes(self) -> int:
+        """Bytes held by the edge arrays (perf accounting)."""
+        total = self.u.nbytes + self.v.nbytes + self.w.nbytes
+        if self.mult is not None:
+            total += self.mult.nbytes
+        return total
+
+    @property
+    def adjacency_nbytes(self) -> int:
+        """Bytes held by the cached adjacency view (0 when not built)."""
+        return self._adj.nbytes if self._adj is not None else 0
 
     # -- adjacency ----------------------------------------------------------
 
@@ -157,26 +303,53 @@ class MultiGraph:
             self._adj = self._build_adjacency()
         return self._adj
 
-    def _build_adjacency(self) -> AdjacencyView:
-        m, n = self.m, self.n
-        ends = np.concatenate([self.u, self.v])
-        others = np.concatenate([self.v, self.u])
-        ws = np.concatenate([self.w, self.w])
-        eid = np.concatenate([np.arange(m, dtype=np.int64),
-                              np.arange(m, dtype=np.int64)])
-        order = np.argsort(ends, kind="stable")
-        ends_sorted = ends[order]
-        counts = np.bincount(ends_sorted, minlength=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
+    @staticmethod
+    def _assemble_csr(ends: np.ndarray, others: np.ndarray,
+                      ws: np.ndarray, eid: np.ndarray,
+                      n: int) -> AdjacencyView:
+        """Shared CSR assembly tail: counting sort + prefix weights."""
+        indptr, order = _counting_sort_halfedges(ends, n)
         weight = ws[order]
         cumweight = np.cumsum(weight)
-        charge(*P.convert_cost(2 * m), label="adjacency_build")
+        if ledger_active():
+            charge(*P.convert_cost(ends.size), label="adjacency_build")
         return AdjacencyView(indptr=indptr,
                              neighbor=others[order],
                              weight=weight,
                              edge_id=eid[order],
                              cumweight=cumweight)
+
+    def _build_adjacency(self) -> AdjacencyView:
+        m = self.m
+        ends = np.concatenate([self.u, self.v])
+        others = np.concatenate([self.v, self.u])
+        ws = np.concatenate([self.w, self.w])
+        eid = np.concatenate([np.arange(m, dtype=np.int64),
+                              np.arange(m, dtype=np.int64)])
+        return self._assemble_csr(ends, others, ws, eid, self.n)
+
+    def adjacency_restricted(self, source_mask: np.ndarray) -> AdjacencyView:
+        """CSR over the half-edges whose *source* vertex is flagged.
+
+        Rows of unflagged vertices are empty; flagged rows contain all
+        their incident edge groups, in the same within-row order as the
+        full :meth:`adjacency` (so walk sampling is bit-identical).
+        ``WalkEngine`` uses this to build only the interior rows it can
+        ever sample from — O(edges incident to the interior) per
+        elimination round instead of O(m).  Not cached.
+        """
+        source_mask = np.asarray(source_mask, dtype=bool)
+        if source_mask.shape != (self.n,):
+            raise DimensionMismatchError(
+                "source_mask must have one flag per vertex")
+        keep_u = source_mask[self.u]
+        keep_v = source_mask[self.v]
+        ids = np.arange(self.m, dtype=np.int64)
+        ends = np.concatenate([self.u[keep_u], self.v[keep_v]])
+        others = np.concatenate([self.v[keep_u], self.u[keep_v]])
+        ws = np.concatenate([self.w[keep_u], self.w[keep_v]])
+        eid = np.concatenate([ids[keep_u], ids[keep_v]])
+        return self._assemble_csr(ends, others, ws, eid, self.n)
 
     def neighbors(self, x: int) -> np.ndarray:
         """Distinct sorted neighbours of vertex ``x``."""
@@ -187,7 +360,9 @@ class MultiGraph:
 
     def copy(self) -> "MultiGraph":
         return MultiGraph(self.n, self.u.copy(), self.v.copy(),
-                          self.w.copy(), validate=False)
+                          self.w.copy(),
+                          mult=None if self.mult is None else self.mult.copy(),
+                          validate=False)
 
     def with_edges(self, u: np.ndarray, v: np.ndarray,
                    w: np.ndarray) -> "MultiGraph":
@@ -195,10 +370,11 @@ class MultiGraph:
         return MultiGraph(self.n, u, v, w)
 
     def edge_subset(self, mask: np.ndarray) -> "MultiGraph":
-        """Keep only the multi-edges selected by boolean ``mask``."""
+        """Keep only the edge groups selected by boolean ``mask``."""
         if mask.shape != (self.m,):
             raise DimensionMismatchError("mask must have one entry per edge")
         return MultiGraph(self.n, self.u[mask], self.v[mask], self.w[mask],
+                          mult=None if self.mult is None else self.mult[mask],
                           validate=False)
 
     def induced_subgraph(self, vertices: np.ndarray
@@ -215,47 +391,111 @@ class MultiGraph:
         pos = np.full(self.n, -1, dtype=np.int64)
         pos[vertices] = np.arange(vertices.size)
         keep = (pos[self.u] >= 0) & (pos[self.v] >= 0)
-        charge(*P.map_cost(self.m), label="induced_subgraph")
+        if ledger_active():
+            charge(*P.map_cost(self.m), label="induced_subgraph")
         return (MultiGraph(vertices.size, pos[self.u[keep]],
-                           pos[self.v[keep]], self.w[keep], validate=False),
+                           pos[self.v[keep]], self.w[keep],
+                           mult=None if self.mult is None
+                           else self.mult[keep],
+                           validate=False),
                 vertices)
 
     def coalesced(self) -> "MultiGraph":
         """Merge parallel multi-edges into single edges (weights add).
 
-        The resulting graph is simple and has the same Laplacian.
+        The resulting graph is simple (``mult is None`` — logical copies
+        merge like any other parallel edges) and has the same Laplacian.
+        The packed ``lo * n + hi`` key is used only while ``n²`` fits in
+        int64; beyond that the stacked ``(lo, hi)`` pair takes over, so
+        arbitrarily large vertex counts cannot overflow.
         """
         if self.m == 0:
-            return self.copy()
+            return MultiGraph(self.n, self.u.copy(), self.v.copy(),
+                              self.w.copy(), validate=False)
         lo = np.minimum(self.u, self.v)
         hi = np.maximum(self.u, self.v)
-        key = lo * self.n + hi
-        uniq, inverse = np.unique(key, return_inverse=True)
-        w = np.zeros(uniq.size, dtype=np.float64)
-        np.add.at(w, inverse, self.w)
-        charge(*P.sort_cost(self.m), label="coalesce")
-        return MultiGraph(self.n, uniq // self.n, uniq % self.n, w,
-                          validate=False)
+        if self.n <= 3_037_000_499:  # n² - 1 fits in int64
+            key = lo * self.n + hi
+            uniq, inverse = np.unique(key, return_inverse=True)
+            out_u, out_v = uniq // self.n, uniq % self.n
+            n_uniq = uniq.size
+        else:
+            key = np.stack([lo, hi], axis=1)
+            uniq, inverse = np.unique(key, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)  # numpy >= 2.0: may be (m, 1)
+            out_u, out_v = uniq[:, 0], uniq[:, 1]
+            n_uniq = uniq.shape[0]
+        w = weighted_bincount(inverse, self.w, n_uniq)
+        if ledger_active():
+            charge(*P.sort_cost(self.m), label="coalesce")
+        return MultiGraph(self.n, out_u, out_v, w, validate=False)
+
+    def split_copies(self, copies: int | np.ndarray,
+                     materialize: bool = False) -> "MultiGraph":
+        """Split each group into ``copies`` (scalar or per-group array)
+        times its current number of logical copies, totals preserved.
+
+        This is the shared tail of Lemma 3.2/3.3 splitting: compose the
+        new copy counts with any existing multiplicities in int64 (the
+        constructor rejects products beyond int32 rather than letting
+        them wrap), then optionally expand for the materialised
+        baseline representation.
+        """
+        copies = np.asarray(copies)
+        if np.any(copies < 1):
+            raise GraphStructureError(
+                "split factors must be >= 1 (0 would silently drop "
+                "edges from walks while keeping their Laplacian weight)")
+        mult = self.multiplicities().astype(np.int64) * copies
+        H = MultiGraph(self.n, self.u.copy(), self.v.copy(),
+                       self.w.copy(), mult=mult, validate=False)
+        return H.materialized() if materialize else H
+
+    def materialized(self) -> "MultiGraph":
+        """Expand implicit multiplicities into explicit parallel edges.
+
+        Group ``i`` becomes ``mult[i]`` rows of weight ``w[i]/mult[i]``
+        each; the result has ``mult is None`` and ``m == m_logical``.
+        O(m_logical) memory — benchmark baselines and equivalence tests
+        only; the solver stack never needs it.
+        """
+        if self.mult is None:
+            return self.copy()
+        k = self.mult
+        u = np.repeat(self.u, k)
+        v = np.repeat(self.v, k)
+        w = np.repeat(self.w / k, k)
+        if ledger_active():
+            charge(*P.map_cost(self.m_logical), label="materialize")
+        return MultiGraph(self.n, u, v, w, validate=False)
 
     def relabeled(self, new_ids: np.ndarray, n_new: int) -> "MultiGraph":
         """Map vertex ``x`` to ``new_ids[x]`` (must be injective on the
         support of the edge arrays)."""
         return MultiGraph(n_new, new_ids[self.u], new_ids[self.v],
-                          self.w.copy())
+                          self.w.copy(),
+                          mult=None if self.mult is None
+                          else self.mult.copy())
 
     # -- dunder -----------------------------------------------------------
 
     def __repr__(self) -> str:
-        return f"MultiGraph(n={self.n}, m={self.m})"
+        if self.mult is None:
+            return f"MultiGraph(n={self.n}, m={self.m})"
+        return (f"MultiGraph(n={self.n}, m={self.m}, "
+                f"m_logical={self.m_logical})")
 
     def __eq__(self, other: object) -> bool:
-        """Structural equality of the edge arrays (order-sensitive)."""
+        """Structural equality of the edge arrays (order-sensitive);
+        multiplicities compare logically (``None`` ≡ all-ones)."""
         if not isinstance(other, MultiGraph):
             return NotImplemented
         return (self.n == other.n
                 and np.array_equal(self.u, other.u)
                 and np.array_equal(self.v, other.v)
-                and np.array_equal(self.w, other.w))
+                and np.array_equal(self.w, other.w)
+                and np.array_equal(self.multiplicities(),
+                                   other.multiplicities()))
 
     def __hash__(self) -> int:  # pragma: no cover - not hashable
         raise TypeError("MultiGraph is mutable-array backed; not hashable")

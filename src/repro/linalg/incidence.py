@@ -13,7 +13,7 @@ import math
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graphs.multigraph import MultiGraph
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair
 from repro.rng import as_generator
 
 __all__ = ["incidence_matrix", "weighted_incidence", "sketch_rows",
@@ -41,11 +41,12 @@ def sketch_rows(graph: MultiGraph, q: int, seed=None) -> np.ndarray:
     edge-wise without materialising ``Q`` (q × n output)."""
     rng = as_generator(seed)
     sqrt_w = np.sqrt(graph.w)
-    out = np.zeros((q, graph.n))
+    out = np.empty((q, graph.n))
     for i in range(q):
         signs = rng.choice([-1.0, 1.0], size=graph.m) / math.sqrt(q)
-        np.add.at(out[i], graph.u, signs * sqrt_w)
-        np.subtract.at(out[i], graph.v, signs * sqrt_w)
+        contrib = signs * sqrt_w
+        out[i] = scatter_add_pair(graph.u, contrib, graph.v, contrib,
+                                  graph.n, subtract=True)
     return out
 
 

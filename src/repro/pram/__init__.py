@@ -21,6 +21,7 @@ from repro.pram.ledger import (
     WorkDepthLedger,
     CostSnapshot,
     current_ledger,
+    ledger_active,
     use_ledger,
     charge,
     parallel_region,
@@ -32,6 +33,7 @@ __all__ = [
     "WorkDepthLedger",
     "CostSnapshot",
     "current_ledger",
+    "ledger_active",
     "use_ledger",
     "charge",
     "parallel_region",

@@ -39,6 +39,7 @@ __all__ = [
     "CostSnapshot",
     "ParallelRegion",
     "current_ledger",
+    "ledger_active",
     "use_ledger",
     "charge",
     "parallel_region",
@@ -146,6 +147,17 @@ _current: contextvars.ContextVar[WorkDepthLedger | None] = \
 def current_ledger() -> WorkDepthLedger | None:
     """The ledger installed by the innermost :func:`use_ledger`, if any."""
     return _current.get()
+
+
+def ledger_active() -> bool:
+    """True when a cost ledger is installed.
+
+    Hot loops guard their :func:`charge` calls with this so that, in
+    production runs (no ledger), cost accounting costs nothing — not
+    even building the ``(work, depth)`` tuple and label string the
+    charge would have recorded.
+    """
+    return _current.get() is not None
 
 
 @contextlib.contextmanager

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import SamplingError
 from repro.graphs.multigraph import AdjacencyView
-from repro.pram import charge
+from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 from repro.rng import as_generator
 
@@ -49,7 +49,8 @@ class RowSampler:
         top[nonempty] = cum[indptr[1:][nonempty] - 1]
         self._base = base
         self._top = top
-        charge(*P.sampler_build_cost(n), label="rowsampler_build")
+        if ledger_active():
+            charge(*P.sampler_build_cost(n), label="rowsampler_build")
 
     def row_totals(self) -> np.ndarray:
         """Total weight per row (the weighted degrees)."""
@@ -77,5 +78,6 @@ class RowSampler:
         lo = self.adj.indptr[rows]
         hi = self.adj.indptr[rows + 1] - 1
         slot = np.clip(slot, lo, hi)
-        charge(*P.sampler_query_cost(rows.size), label="rowsampler_query")
+        if ledger_active():
+            charge(*P.sampler_query_cost(rows.size), label="rowsampler_query")
         return slot

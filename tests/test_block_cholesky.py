@@ -25,7 +25,7 @@ class TestTheorem39Invariants:
                       lambda: G.random_regular(120, 4, seed=1),
                       lambda: G.erdos_renyi(100, 0.08, seed=2)):
             H, chain = _chain(maker())
-            assert all(mk <= H.m for mk in chain.edge_counts)
+            assert all(mk <= H.m_logical for mk in chain.edge_counts)
 
     def test_every_F_is_5dd_in_parent(self):
         # Theorem 3.9-(2).

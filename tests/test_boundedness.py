@@ -56,8 +56,19 @@ class TestNaiveSplit:
                            laplacian(zoo_graph).toarray())
 
     def test_edge_count(self, zoo_graph):
+        # Implicit split: O(m) stored groups, m * ceil(1/alpha) logical
+        # copies carried as multiplicities.
         H = naive_split(zoo_graph, alpha=0.2)
+        assert H.m == zoo_graph.m
+        assert H.m_logical == 5 * zoo_graph.m
+        assert np.all(H.multiplicities() == 5)
+
+    def test_materialized_edge_count(self, zoo_graph):
+        H = naive_split(zoo_graph, alpha=0.2, materialize=True)
         assert H.m == 5 * zoo_graph.m
+        assert H.mult is None
+        implicit = naive_split(zoo_graph, alpha=0.2)
+        assert implicit.materialized() == H
 
     def test_achieves_alpha_boundedness(self):
         g = G.barbell(5, 1)  # contains a leverage-1 bridge
@@ -73,7 +84,11 @@ class TestNaiveSplit:
     def test_copies_have_equal_weight(self):
         g = G.path(3)
         H = naive_split(g, 1.0 / 3.0)
-        assert np.allclose(H.w, 1.0 / 3.0)
+        # Per-copy weight is w/mult; totals are untouched.
+        assert np.allclose(H.w / H.multiplicities(), 1.0 / 3.0)
+        assert np.allclose(H.w, g.w)
+        assert np.allclose(naive_split(g, 1.0 / 3.0, materialize=True).w,
+                           1.0 / 3.0)
 
     def test_lemma_3_2_bound_formula(self, zoo_graph):
         # leverage of each copy = tau(e)/k <= 1/k <= alpha

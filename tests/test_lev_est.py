@@ -99,13 +99,18 @@ class TestLeverageSplit:
         lev = leverage_split(g, alpha, K=3, seed=2,
                              options=practical_options())
         naive = naive_split(g, alpha)
-        assert lev.m < 0.6 * naive.m
+        assert lev.m_logical < 0.6 * naive.m_logical
 
     def test_tau_hat_reuse(self):
         g = G.complete(20)
         tau_hat = np.full(g.m, 0.5)
         H = leverage_split(g, alpha=0.25, tau_hat=tau_hat)
-        assert H.m == 2 * g.m  # ceil(0.5/0.25) = 2 copies each
+        assert H.m == g.m  # stored groups stay compact
+        assert H.m_logical == 2 * g.m  # ceil(0.5/0.25) = 2 copies each
+        mat = leverage_split(g, alpha=0.25, tau_hat=tau_hat,
+                             materialize=True)
+        assert mat.m == 2 * g.m
+        assert H.materialized() == mat
 
     def test_tau_hat_shape_checked(self):
         with pytest.raises(SamplingError):

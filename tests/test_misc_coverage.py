@@ -52,7 +52,8 @@ class TestChainDiagnostics:
         counts = chain.active_counts
         assert counts[0] == g.n
         assert counts[-1] == chain.final_active.size
-        assert chain.total_stored_edges() == sum(chain.edge_counts)
+        assert chain.total_stored_edges() == sum(chain.stored_edge_counts)
+        assert chain.total_stored_edges() <= sum(chain.edge_counts)
         assert f"d={chain.d}" in chain.summary()
 
 
@@ -104,4 +105,6 @@ class TestSchurReport:
         assert len(rep.edges_per_round) == rep.rounds + 1
         assert len(rep.interior_per_round) == rep.rounds + 1
         assert rep.interior_per_round[-1] == 0
-        assert rep.graph.m == rep.edges_per_round[-1]
+        assert rep.graph.m_logical == rep.edges_per_round[-1]
+        assert rep.graph.m == rep.stored_edges_per_round[-1]
+        assert rep.peak_edge_bytes > 0

@@ -147,6 +147,21 @@ class TestDerivedGraphs:
         assert h.m == 2
         assert h.total_weight() == 8.0
 
+    def test_coalesced_huge_vertex_count_no_overflow(self):
+        # Regression: the old packed key `lo * n + hi` overflowed int64
+        # for n > ~3e9; the stacked (lo, hi) key cannot.
+        n = 2 ** 33
+        a, b = n - 2, n - 1
+        g = MultiGraph(n, [a, a, 0], [b, b, a], [1.0, 2.0, 4.0],
+                       validate=False)
+        h = g.coalesced()
+        assert h.m == 2
+        pairs = {(int(u), int(v)) for u, v in zip(h.u, h.v)}
+        assert pairs == {(a, b), (0, a)}
+        assert h.total_weight() == 7.0
+        merged = h.w[(h.u == a) & (h.v == b)]
+        assert np.allclose(merged, [3.0])
+
     def test_coalesced_preserves_laplacian(self, zoo_graph):
         from repro.graphs.laplacian import laplacian
 
@@ -169,3 +184,63 @@ class TestDerivedGraphs:
 
     def test_repr(self):
         assert repr(G.path(3)) == "MultiGraph(n=3, m=2)"
+
+
+class TestImplicitMultiplicity:
+    def test_default_is_single_copy(self):
+        g = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0])
+        assert g.mult is None
+        assert g.m_logical == g.m == 2
+        assert np.all(g.multiplicities() == 1)
+
+    def test_logical_count(self):
+        g = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0], mult=[3, 5])
+        assert g.m == 2
+        assert g.m_logical == 8
+        assert repr(g) == "MultiGraph(n=3, m=2, m_logical=8)"
+
+    def test_rejects_nonpositive_mult(self):
+        with pytest.raises(GraphStructureError, match="multiplicities"):
+            MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0], mult=[1, 0])
+
+    def test_rejects_mult_beyond_int32(self):
+        # Regression: oversized multiplicities must raise, not wrap.
+        with pytest.raises(GraphStructureError, match="int32"):
+            MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0],
+                       mult=np.array([1, 2 ** 31], dtype=np.int64),
+                       validate=False)
+
+    def test_rejects_mismatched_mult_shape(self):
+        with pytest.raises(DimensionMismatchError):
+            MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0], mult=[1])
+
+    def test_weighted_degrees_use_totals(self):
+        a = MultiGraph(2, [0], [1], [4.0], mult=[4])
+        b = MultiGraph(2, [0, 0, 0, 0], [1, 1, 1, 1], [1.0] * 4)
+        assert np.allclose(a.weighted_degrees(), b.weighted_degrees())
+
+    def test_multi_degrees_count_logical_copies(self):
+        g = MultiGraph(3, [0, 1], [1, 2], [1.0, 1.0], mult=[3, 2])
+        assert list(g.multi_degrees()) == [3, 5, 2]
+
+    def test_materialized_expands(self):
+        g = MultiGraph(3, [0, 1], [1, 2], [3.0, 2.0], mult=[3, 2])
+        x = g.materialized()
+        assert x.mult is None
+        assert x.m == 5
+        assert np.allclose(np.sort(x.w), [1.0, 1.0, 1.0, 1.0, 1.0])
+        from repro.graphs.laplacian import laplacian
+
+        assert np.allclose(laplacian(x).toarray(), laplacian(g).toarray())
+
+    def test_equality_compares_logical_multiplicity(self):
+        plain = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0])
+        ones = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0], mult=[1, 1])
+        double = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0], mult=[2, 1])
+        assert plain == ones
+        assert plain != double
+
+    def test_edge_nbytes_accounts_mult(self):
+        plain = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0])
+        with_mult = MultiGraph(3, [0, 1], [1, 2], [1.0, 2.0], mult=[2, 2])
+        assert with_mult.edge_nbytes > plain.edge_nbytes

@@ -71,6 +71,28 @@ class TestAmbientLedger:
         assert inner.work == 1
         assert outer.work == 10
 
+    def test_ledger_active_flag(self):
+        from repro.pram import ledger_active
+
+        assert not ledger_active()
+        with use_ledger():
+            assert ledger_active()
+        assert not ledger_active()
+
+    def test_guarded_hot_paths_still_charge(self):
+        # The walk/sampler/adjacency charges are guarded by
+        # ledger_active(); with a ledger installed they must still
+        # record their Lemma 2.6/2.7/5.4 costs.
+        from repro.core.terminal_walks import terminal_walks
+        from repro.graphs import generators as G
+
+        g = G.grid2d(5, 5)
+        with use_ledger() as ledger:
+            terminal_walks(g, np.arange(0, g.n, 2), seed=0)
+        assert "walk_steps" in ledger.by_label
+        assert "rowsampler_query" in ledger.by_label
+        assert "adjacency_build" in ledger.by_label
+
 
 class TestParallelRegion:
     def test_fork_join_semantics(self):

@@ -71,7 +71,7 @@ class TestTheorem71:
         H = naive_split(g, 1.0 / schur_alpha_inverse(g.n, 0.5))
         measured, out = _measured_eps(H, C, eps=0.5, seed=5, split=False)
         assert measured <= 0.5
-        assert out.m <= H.m
+        assert out.m_logical <= H.m_logical
 
 
 class TestInterface:

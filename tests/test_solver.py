@@ -96,7 +96,7 @@ class TestSolveVariants:
         assert rep.target_eps == 1e-4
         assert rep.iterations >= 1
         assert rep.chain_depth == solver.chain.d
-        assert rep.multiedges == solver.multigraph.m
+        assert rep.multiedges == solver.multigraph.m_logical
 
     def test_unbalanced_rhs_projected(self):
         g = G.grid2d(8, 8)
