@@ -40,14 +40,26 @@ def electrical_voltages(graph: MultiGraph, b: np.ndarray,
                         solver: LaplacianSolver | None = None,
                         options: SolverOptions | None = None,
                         seed=None) -> np.ndarray:
-    """Voltages ``x = L⁺ b`` for demand ``b`` (must have zero sum)."""
+    """Voltages ``x = L⁺ b`` for demand ``b`` (must have zero sum).
+
+    ``b`` may be one demand ``(n,)`` or ``k`` demands as ``(n, k)``
+    (each column sums to zero); the blocked case factors once and
+    solves all demands with one blocked multi-RHS call.
+    """
     b = np.asarray(b, dtype=np.float64)
-    if b.shape != (graph.n,):
+    if b.ndim not in (1, 2) or b.shape[0] != graph.n:
         raise DimensionMismatchError("demand must have one entry/vertex")
-    if abs(b.sum()) > 1e-9 * max(np.abs(b).max(), 1.0):
+    sums = np.atleast_1d(np.abs(b.sum(axis=0)))
+    # Each column is checked at its own scale — a tiny demand next to a
+    # huge one must still sum to zero relative to itself.
+    scale = np.maximum(np.atleast_1d(np.abs(b).max(axis=0, initial=0.0)),
+                       1.0)
+    if np.any(sums > 1e-9 * scale):
         raise ReproError("demand vector must sum to zero (KCL)")
     if solver is None:
         solver = LaplacianSolver(graph, options=options, seed=seed)
+    if b.ndim == 2:
+        return solver.solve_many(b, eps=eps)
     return solver.solve(b, eps=eps)
 
 
@@ -60,11 +72,13 @@ def electrical_flow(graph: MultiGraph, b: np.ndarray,
 
     The flow routes demand ``b`` (up to the solver's ε) and minimises
     energy among all feasible flows — the primitive inside
-    electrical-flow max-flow algorithms.
+    electrical-flow max-flow algorithms.  A blocked ``b`` of shape
+    ``(n, k)`` yields ``(m, k)`` flows and ``(n, k)`` voltages.
     """
     x = electrical_voltages(graph, b, eps=eps, solver=solver,
                             options=options, seed=seed)
-    flow = graph.w * (x[graph.u] - x[graph.v])
+    w = graph.w if x.ndim == 1 else graph.w[:, None]
+    flow = w * (x[graph.u] - x[graph.v])
     return flow, x
 
 
@@ -80,9 +94,16 @@ def effective_resistance(graph: MultiGraph, s: int, t: int,
     return float(x[s] - x[t])
 
 
-def dissipated_power(graph: MultiGraph, flow: np.ndarray) -> float:
-    """``Σ_e flow(e)² / w(e)`` — the energy the flow dissipates."""
+def dissipated_power(graph: MultiGraph, flow: np.ndarray
+                     ) -> float | np.ndarray:
+    """``Σ_e flow(e)² / w(e)`` — the energy the flow dissipates.
+
+    For a blocked ``(m, k)`` flow matrix, returns the ``k`` per-column
+    energies.
+    """
     flow = np.asarray(flow, dtype=np.float64)
-    if flow.shape != (graph.m,):
+    if flow.ndim not in (1, 2) or flow.shape[0] != graph.m:
         raise DimensionMismatchError("flow must have one entry per edge")
-    return float(np.sum(flow * flow / graph.w))
+    w = graph.w if flow.ndim == 1 else graph.w[:, None]
+    power = np.sum(flow * flow / w, axis=0)
+    return float(power) if flow.ndim == 1 else power

@@ -17,7 +17,7 @@ import numpy as np
 from repro.config import SolverOptions
 from repro.core.solver import LaplacianSolver
 from repro.errors import DimensionMismatchError
-from repro.graphs.multigraph import MultiGraph, scatter_add_pair
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair_cols
 from repro.rng import as_generator
 
 __all__ = ["ResistanceOracle"]
@@ -51,15 +51,18 @@ class ResistanceOracle:
         q = max(4, int(math.ceil(24.0 * math.log(max(graph.n, 3))
                                  / (gamma * gamma))))
         self.q = q
+        # All q sketch rows as one (n, q) right-hand-side block, solved
+        # with a single blocked multi-RHS call against the shared
+        # factorization (signs stay row-by-row for stream stability).
         sqrt_w = np.sqrt(graph.w)
-        Z = np.empty((q, graph.n))
+        S = np.empty((graph.m, q))
         for i in range(q):
-            signs = rng.choice([-1.0, 1.0], size=graph.m) / math.sqrt(q)
-            contrib = signs * sqrt_w
-            row = scatter_add_pair(graph.u, contrib, graph.v, contrib,
-                                   graph.n, subtract=True)
-            Z[i] = solver.solve(row, eps=solver_eps)
-        self._Z = Z
+            S[:, i] = rng.choice([-1.0, 1.0], size=graph.m)
+        S /= math.sqrt(q)
+        contrib = sqrt_w[:, None] * S
+        rows = scatter_add_pair_cols(graph.u, contrib, graph.v, contrib,
+                                     graph.n, subtract=True)
+        self._Z = solver.solve_many(rows, eps=solver_eps).T
 
     def query(self, u, v) -> np.ndarray | float:
         """``R̂(u, v)``; accepts scalars or aligned index arrays."""

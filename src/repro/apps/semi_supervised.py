@@ -98,15 +98,19 @@ def harmonic_label_propagation(graph: MultiGraph,
     augmented = MultiGraph(n2, u2, v2, w2, validate=False)
     solver = LaplacianSolver(augmented, options=options, seed=seed)
 
-    scores = np.zeros((graph.n, k))
-    for c in range(k):
-        b = np.zeros(n2)
-        members = labeled[labels == c]
-        b[members] = clamp_weight
-        b[gidx] = -clamp_weight * members.size
-        x = solver.solve(b, eps=eps)
-        # Voltages relative to ground approximate the indicator's
-        # harmonic extension.
-        scores[:, c] = x[: graph.n] - x[gidx]
+    # One (n2, k) demand block — class c's column injects current at
+    # its labelled members and balances at ground — solved with a
+    # single blocked multi-RHS call against the one factorization.
+    B = np.zeros((n2, k))
+    # Out-of-range labels (negative sentinels, ids >= num_classes)
+    # contribute to no class — matching the per-class loop this block
+    # replaced.
+    in_range = (labels >= 0) & (labels < k)
+    B[labeled[in_range], labels[in_range]] = clamp_weight
+    B[gidx] = -clamp_weight * np.bincount(labels[in_range], minlength=k)
+    X = solver.solve_many(B, eps=eps)
+    # Voltages relative to ground approximate each indicator's
+    # harmonic extension.
+    scores = X[: graph.n] - X[gidx]
     assignment = np.argmax(scores, axis=1)
     return assignment, scores

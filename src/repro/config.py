@@ -69,6 +69,13 @@ class SolverOptions:
         (which would indicate the 5-DD property was violated).
     lev_sample_K:
         ``K`` of Lemma 3.3; ``None`` = ``Θ(log³ n)`` per Theorem 1.2.
+    keep_graphs:
+        Keep every per-level graph of the block Cholesky chain alive
+        for diagnostics (default).  ``False`` streams the factorization
+        — each level's graph is dropped once its blocks are extracted,
+        cutting the chain's retained memory to the blocks themselves
+        (solves and edge-count diagnostics are unaffected; see
+        :func:`repro.core.block_cholesky.block_cholesky`).
     seed:
         Default seed threaded to all stochastic routines.
     """
@@ -83,6 +90,7 @@ class SolverOptions:
     richardson_delta: float = 1.0
     max_walk_steps: int = 10_000
     lev_sample_K: int | None = None
+    keep_graphs: bool = True
     seed: int | None = None
     track_costs: bool = True
 

@@ -45,11 +45,19 @@ class ApplyCholeskyOperator:
     # -- the operator -------------------------------------------------------
 
     def apply(self, b: np.ndarray) -> np.ndarray:
-        """``W b`` (Algorithm 2 forward + base solve + backward)."""
+        """``W b`` (Algorithm 2 forward + base solve + backward).
+
+        ``b`` may be one right-hand side ``(n,)`` or a block ``(n, k)``;
+        the block path performs the same substitutions on whole columns
+        at once, so every per-level ``Z^(k)`` apply and coupling-block
+        product is a sparse×dense-matrix (BLAS-3-style) kernel.
+        """
         b = np.asarray(b, dtype=np.float64)
-        if b.shape != (self.n,):
+        if b.ndim not in (1, 2) or b.shape[0] != self.n:
             raise DimensionMismatchError(
-                f"b must have shape ({self.n},), got {b.shape}")
+                f"b must have shape ({self.n},) or ({self.n}, k), "
+                f"got {b.shape}")
+        k = 1 if b.ndim == 1 else b.shape[1]
         levels = self.chain.levels
 
         # Forward substitution (Algorithm 2, lines 3-5):
@@ -61,23 +69,25 @@ class ApplyCholeskyOperator:
             bC = b_cur[level.idxC]
             yF = level.jacobi.apply(bF)
             yC = bC - level.L_CF @ yF
-            charge(*P.matvec_cost(level.L_CF.nnz), label="forward_coupling")
+            charge(*P.matvec_cost(level.L_CF.nnz * k),
+                   label="forward_coupling")
             saved_yF.append(yF)
             b_cur = yC
 
         # Base case (line 6): x^(d) = L_{G^(d)}⁺ b^(d).
         x_cur = self.chain.final_pinv @ b_cur
-        charge(*P.matvec_cost(self.chain.final_pinv.size),
+        charge(*P.matvec_cost(self.chain.final_pinv.size * k),
                label="base_case_solve")
 
         # Backward substitution (lines 7-8):
         #   x_F = y_F - Z^(k) (L_FC x_C);   interleave (x_F, x_C).
         for level, yF in zip(reversed(levels), reversed(saved_yF)):
             corr = level.jacobi.apply(level.blocks.L_FC @ x_cur)
-            charge(*P.matvec_cost(level.blocks.L_FC.nnz),
+            charge(*P.matvec_cost(level.blocks.L_FC.nnz * k),
                    label="backward_coupling")
             xF = yF - corr
-            x_parent = np.empty(level.nf + level.nc, dtype=np.float64)
+            x_parent = np.empty((level.nf + level.nc,) + b.shape[1:],
+                                dtype=np.float64)
             x_parent[level.idxF] = xF
             x_parent[level.idxC] = x_cur
             x_cur = x_parent
@@ -92,13 +102,10 @@ class ApplyCholeskyOperator:
         preconditioner, e.g. in ``scipy.sparse.linalg.cg``)."""
         return spla.LinearOperator(shape=(self.n, self.n),
                                    matvec=self.apply, rmatvec=self.apply,
+                                   matmat=self.apply,
                                    dtype=np.float64)
 
     def dense_operator(self) -> np.ndarray:
-        """Materialise ``W`` column-by-column (small-n test oracle)."""
-        W = np.zeros((self.n, self.n))
-        for j in range(self.n):
-            e = np.zeros(self.n)
-            e[j] = 1.0
-            W[:, j] = self.apply(e)
+        """Materialise ``W`` via one blocked apply (small-n test oracle)."""
+        W = self.apply(np.eye(self.n))
         return 0.5 * (W + W.T)

@@ -78,7 +78,8 @@ def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
 
 def block_cholesky(graph: MultiGraph,
                    options: SolverOptions | None = None,
-                   seed=None) -> CholeskyChain:
+                   seed=None,
+                   keep_graphs: bool = True) -> CholeskyChain:
     """Build the approximate block Cholesky chain for ``graph``.
 
     ``graph`` should be a connected multigraph whose multi-edges are
@@ -87,6 +88,15 @@ def block_cholesky(graph: MultiGraph,
     :func:`repro.core.lev_est.leverage_split` to establish it — the
     top-level :class:`repro.core.solver.LaplacianSolver` does this
     automatically).
+
+    With ``keep_graphs=False`` (streaming mode) each per-level graph is
+    dropped as soon as its blocks are extracted and the next level is
+    sampled, so only one working graph is alive at a time.  Solving is
+    unaffected — ``ApplyCholesky`` consumes only the levels' blocks and
+    the base pseudoinverse; edge-count diagnostics stay available
+    through the chain's cached count lists, but graph-level
+    introspection (``dense_factorization``, per-level subgraphs) needs
+    ``keep_graphs=True``.
     """
     opts = options or default_options()
     rng = as_generator(seed if seed is not None else opts.seed)
@@ -94,6 +104,8 @@ def block_cholesky(graph: MultiGraph,
     active = np.arange(graph.n, dtype=np.int64)
     current = graph
     graphs: list[MultiGraph] = [graph]
+    logical_edges: list[int] = [graph.m_logical]
+    stored_edges: list[int] = [graph.m]
     levels: list[Level] = []
     max_levels = int(np.ceil(np.log(max(graph.n, 2))
                              / np.log(40.0 / 39.0))) + 10
@@ -115,7 +127,15 @@ def block_cholesky(graph: MultiGraph,
         nxt = _sample_schur_connected(current, C, rng, opts)
         levels.append(Level(F=F, C=C, idxF=idxF, idxC=idxC,
                             blocks=blocks, parent_edges=current.m_logical))
-        graphs.append(nxt)
+        if keep_graphs:
+            graphs.append(nxt)
+        else:
+            # Streaming mode: the parent graph's blocks are extracted
+            # and its Schur sample drawn — drop the reference so its
+            # edge arrays can be reclaimed before the next round.
+            graphs.clear()
+        logical_edges.append(nxt.m_logical)
+        stored_edges.append(nxt.m)
         current = nxt
         active = C
         charge(*P.map_cost(current.m), label="block_cholesky_bookkeeping")
@@ -138,6 +158,10 @@ def block_cholesky(graph: MultiGraph,
     charge(float(active.size) ** 3, P.log2p(active.size),
            label="base_case_pinv")
 
-    return CholeskyChain(n=graph.n, graphs=graphs, levels=levels,
+    return CholeskyChain(n=graph.n,
+                         graphs=graphs if keep_graphs else None,
+                         levels=levels,
                          final_active=active, final_pinv=final_pinv,
-                         jacobi_eps=jacobi_eps)
+                         jacobi_eps=jacobi_eps,
+                         logical_edges=logical_edges,
+                         stored_edges=stored_edges)

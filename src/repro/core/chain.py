@@ -77,33 +77,56 @@ class Level:
 
 @dataclass
 class CholeskyChain:
-    """Output of ``BlockCholesky``: the graphs, levels, and base case."""
+    """Output of ``BlockCholesky``: the graphs, levels, and base case.
+
+    ``graphs`` is ``None`` when the chain was built with
+    ``keep_graphs=False`` (streaming mode — each per-level graph is
+    dropped once its blocks are extracted).  Edge-count diagnostics
+    keep working through the cached ``logical_edges``/``stored_edges``
+    lists; only :meth:`dense_factorization` (and other consumers of the
+    graphs themselves) require ``keep_graphs=True``.
+    """
 
     n: int
-    graphs: list[MultiGraph]
+    graphs: list[MultiGraph] | None
     levels: list[Level]
     final_active: np.ndarray
     final_pinv: np.ndarray
     jacobi_eps: float
+    logical_edges: list[int] | None = None
+    stored_edges: list[int] | None = None
 
     @property
     def d(self) -> int:
         """Number of elimination rounds (paper's ``d = O(log n)``)."""
         return len(self.levels)
 
+    def _require_graphs(self) -> list[MultiGraph]:
+        if self.graphs is None:
+            from repro.errors import FactorizationError
+            raise FactorizationError(
+                "chain was built with keep_graphs=False; per-level "
+                "graphs were dropped after block extraction — rebuild "
+                "with keep_graphs=True for graph-level diagnostics")
+        return self.graphs
+
     @property
     def edge_counts(self) -> list[int]:
         """``m(G^(0)), …, m(G^(d))`` — Theorem 3.9-(1) says this never
         exceeds ``m(G^(0))``.  Counts *logical* multi-edges (implicit
         multiplicities expanded)."""
-        return [g.m_logical for g in self.graphs]
+        if self.logical_edges is not None:
+            return list(self.logical_edges)
+        return [g.m_logical for g in self._require_graphs()]
 
     @property
     def stored_edge_counts(self) -> list[int]:
         """Edge *groups* physically held per level — the memory story;
         with implicit multiplicities this is far below
         :attr:`edge_counts`."""
-        return [g.m for g in self.graphs]
+        if self.stored_edges is not None:
+            return list(self.stored_edges)
+        return [g.m for g in self._require_graphs()]
 
     @property
     def active_counts(self) -> list[int]:
@@ -125,7 +148,7 @@ class CholeskyChain:
         O(n³)-ish; small-n tests/benches only.
         """
         # Base case: L_{G^(d)} on the final active set, in sorted order.
-        base = laplacian(self.graphs[-1]).toarray()
+        base = laplacian(self._require_graphs()[-1]).toarray()
         S = base[np.ix_(self.final_active, self.final_active)]
         # Fold levels back up:
         #   L^{(d,k)} = [I 0; L_CF L_FF⁻¹ I] [L_FF 0; 0 L^{(d,k+1)}]
@@ -157,11 +180,12 @@ class CholeskyChain:
         lines = [f"CholeskyChain: n={self.n} d={self.d} "
                  f"jacobi_eps={self.jacobi_eps:.4g}"]
         actives = self.active_counts
+        counts = self.edge_counts
         for k, level in enumerate(self.levels):
             lines.append(
                 f"  level {k + 1}: |F|={level.nf} |C|={level.nc} "
-                f"edges(G^{k})={self.graphs[k].m_logical} -> "
-                f"edges(G^{k + 1})={self.graphs[k + 1].m_logical}")
+                f"edges(G^{k})={counts[k]} -> "
+                f"edges(G^{k + 1})={counts[k + 1]}")
         lines.append(f"  base case: {actives[-1]} vertices, "
-                     f"{self.graphs[-1].m_logical} multi-edges")
+                     f"{counts[-1]} multi-edges")
         return "\n".join(lines)

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.config import SolverOptions, default_options
 from repro.errors import SamplingError
-from repro.graphs.multigraph import MultiGraph, scatter_add_pair
+from repro.graphs.multigraph import MultiGraph, scatter_add_pair_cols
 from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 from repro.rng import as_generator
@@ -46,16 +46,42 @@ __all__ = ["uniform_edge_sample", "leverage_overestimates",
 
 
 def _spanning_edges(graph: MultiGraph) -> np.ndarray:
-    """Indices of a spanning sub-forest of the graph's edges (union-find
-    over the edge list — the connectivity patch for ``G'``)."""
-    from repro.graphs.validation import _DSU
+    """Indices of a spanning sub-forest of the graph's edges (the
+    connectivity patch for ``G'``).
 
-    dsu = _DSU(graph.n)
-    keep = []
-    for i, (a, b) in enumerate(zip(graph.u.tolist(), graph.v.tolist())):
-        if dsu.union(a, b):
-            keep.append(i)
-    return np.asarray(keep, dtype=np.int64)
+    Vectorised via ``scipy.sparse.csgraph``: parallel edges are
+    deduplicated to their first occurrence, each surviving edge carries
+    its original index (+1, to dodge the sparse zero) as its "weight",
+    and a minimum spanning forest extraction returns one edge per
+    merged pair — all C-side, no Python union-find loop over ``m``
+    edges (this sits on the leverage-split hot path).
+    """
+    import scipy.sparse as sp
+    from scipy.sparse.csgraph import minimum_spanning_tree
+
+    m = graph.m
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    lo = np.minimum(graph.u, graph.v)
+    hi = np.maximum(graph.u, graph.v)
+    # One representative (the first occurrence) per distinct vertex pair
+    # so the sparse constructor cannot sum parallel edges' index-keys.
+    # Same overflow guard as MultiGraph.coalesced: the packed key is
+    # only valid while n² fits in int64.
+    if graph.n <= 3_037_000_499:
+        _, first = np.unique(lo.astype(np.int64) * graph.n + hi,
+                             return_index=True)
+    else:  # pragma: no cover - needs > 3e9 vertices
+        _, first = np.unique(np.stack([lo, hi], axis=1), axis=0,
+                             return_index=True)
+    A = sp.csr_matrix(
+        ((first + 1).astype(np.float64), (lo[first], hi[first])),
+        shape=(graph.n, graph.n))
+    forest = minimum_spanning_tree(A)
+    keep = np.sort(forest.data.astype(np.int64) - 1)
+    if ledger_active():
+        charge(*P.sort_cost(m), label="spanning_forest")
+    return keep
 
 
 def uniform_edge_sample(graph: MultiGraph, K: float, seed=None
@@ -71,7 +97,8 @@ def uniform_edge_sample(graph: MultiGraph, K: float, seed=None
     chosen = rng.choice(m, size=min(take, m), replace=False)
     tree = _spanning_edges(graph)
     keep = np.union1d(chosen, tree)
-    charge(*P.map_cost(m), label="uniform_edge_sample")
+    if ledger_active():
+        charge(*P.map_cost(m), label="uniform_edge_sample")
     return MultiGraph(graph.n, graph.u[keep], graph.v[keep], graph.w[keep],
                       validate=False)
 
@@ -82,7 +109,8 @@ def leverage_overestimates(graph: MultiGraph,
                            options: SolverOptions | None = None,
                            jl_rows: int | None = None,
                            solver_eps: float = 0.25,
-                           inflation: float = 2.0) -> np.ndarray:
+                           inflation: float = 2.0,
+                           blocked: bool = True) -> np.ndarray:
     """Per-edge ``τ̂(e) ∈ (0, 1]`` with ``τ̂ ≥ τ`` whp (Section 6).
 
     Parameters
@@ -96,6 +124,12 @@ def leverage_overestimates(graph: MultiGraph,
         suffices (Section 6 step (b)).
     inflation:
         Multiplicative safety factor absorbing JL + solver error.
+    blocked:
+        Issue all ``q`` JL solves as **one** blocked multi-RHS solve
+        against the shared inner factorization (default; the sign
+        matrix is drawn row-by-row either way, so the randomness stream
+        matches the looped baseline).  ``False`` re-runs the sequential
+        one-solve-per-row baseline for comparison benchmarks.
     """
     opts = options or default_options()
     rng = as_generator(seed if seed is not None else opts.seed)
@@ -103,35 +137,49 @@ def leverage_overestimates(graph: MultiGraph,
 
     # Inner solver: Theorem 1.1 configuration on G' (naive splitting) —
     # this is the recursion the paper describes; depth is 1 because the
-    # inner solver never calls leverage splitting again.
+    # inner solver never calls leverage splitting again.  The inner
+    # chain is solve-only, so its per-level graphs are streamed out.
     from repro.core.solver import LaplacianSolver
 
     inner = LaplacianSolver(
         gprime.coalesced(),
-        options=opts.with_(splitting="naive"),
+        options=opts.with_(splitting="naive", keep_graphs=False),
         seed=rng)
 
     n = graph.n
     q = jl_rows if jl_rows is not None \
         else int(math.ceil(8.0 * math.log(max(n, 3)))) + 4
 
-    # Rows of Q W'^{1/2} B' computed edge-wise, then one solve per row.
+    # The q sketch rows of Q W'^{1/2} B', assembled edge-wise as one
+    # (n, q) right-hand-side block.  Signs are drawn row-by-row so the
+    # stream is identical in blocked and looped mode.
     mq = gprime.m
     sqrt_w = np.sqrt(gprime.w)
-    Z = np.empty((q, n), dtype=np.float64)
+    S = np.empty((mq, q), dtype=np.float64)
     for i in range(q):
-        signs = rng.choice([-1.0, 1.0], size=mq) / math.sqrt(q)
-        contrib = signs * sqrt_w
-        row = scatter_add_pair(gprime.u, contrib, gprime.v, contrib, n,
-                               subtract=True)
-        Z[i] = inner.solve(row, eps=solver_eps)
-        charge(*P.map_cost(mq), label="jl_row")
+        S[:, i] = rng.choice([-1.0, 1.0], size=mq)
+    S /= math.sqrt(q)
+    contrib = sqrt_w[:, None] * S
+    rows = scatter_add_pair_cols(gprime.u, contrib, gprime.v, contrib,
+                                 n, subtract=True)
+    if ledger_active():
+        charge(*P.map_cost(mq * q), label="jl_row")
+
+    if blocked:
+        # One factorization, q right-hand sides: a single blocked solve
+        # where every inner operator apply is a BLAS-3-style kernel.
+        Z = inner.solve_many(rows, eps=solver_eps).T
+    else:
+        Z = np.empty((q, n), dtype=np.float64)
+        for i in range(q):
+            Z[i] = inner.solve(rows[:, i], eps=solver_eps)
 
     # R̂(u, v) = ‖Z[:, u] − Z[:, v]‖².
     diff = Z[:, graph.u] - Z[:, graph.v]
     r_hat = np.einsum("ij,ij->j", diff, diff)
     tau_hat = graph.w * r_hat * inflation
-    charge(*P.map_cost(graph.m * q), label="jl_distances")
+    if ledger_active():
+        charge(*P.map_cost(graph.m * q), label="jl_distances")
     # True leverage scores never exceed 1, so clipping keeps the
     # overestimate property; the floor keeps ceil(τ̂/α) ≥ 1.
     return np.clip(tau_hat, 1e-12, 1.0)

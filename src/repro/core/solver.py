@@ -38,10 +38,11 @@ from repro.graphs.laplacian import apply_laplacian
 from repro.graphs.multigraph import MultiGraph
 from repro.graphs.validation import require_connected
 from repro.linalg.cg import conjugate_gradient
-from repro.linalg.ops import project_out_ones, residual_norm
+from repro.linalg.ops import project_out_ones
 from repro.rng import as_generator
 
-__all__ = ["LaplacianSolver", "solve_laplacian", "SolveReport"]
+__all__ = ["LaplacianSolver", "solve_laplacian", "SolveReport",
+           "BlockSolveReport"]
 
 Method = Literal["richardson", "pcg"]
 
@@ -63,6 +64,26 @@ class SolveReport:
                 f"iterations={self.iterations}, "
                 f"target_eps={self.target_eps:g}, "
                 f"residual={self.residual_2norm:.3e})")
+
+
+@dataclass
+class BlockSolveReport:
+    """Diagnostics for one blocked multi-RHS solve (``solve_many``)."""
+
+    x: np.ndarray
+    iterations: int
+    per_column_iterations: np.ndarray | None
+    method: str
+    target_eps: np.ndarray
+    residual_2norms: np.ndarray
+    chain_depth: int
+    multiedges: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BlockSolveReport(method={self.method!r}, "
+                f"k={self.x.shape[1] if self.x.ndim == 2 else 1}, "
+                f"iterations={self.iterations}, "
+                f"max_residual={self.residual_2norms.max(initial=0.0):.3e})")
 
 
 class LaplacianSolver:
@@ -108,8 +129,10 @@ class LaplacianSolver:
         else:  # pragma: no cover - guarded by SolverOptions typing
             raise ReproError(f"unknown splitting {options.splitting!r}")
 
-        self.chain = block_cholesky(self.multigraph, options, seed=rng)
+        self.chain = block_cholesky(self.multigraph, options, seed=rng,
+                                    keep_graphs=options.keep_graphs)
         self.preconditioner = ApplyCholeskyOperator(self.chain)
+        self._L_csr = None
 
     # -- solving -------------------------------------------------------------
 
@@ -118,7 +141,23 @@ class LaplacianSolver:
         return self.graph.n
 
     def apply_L(self, x: np.ndarray) -> np.ndarray:
-        """``L x`` from the *original* graph's edges (exact)."""
+        """``L x`` from the *original* graph's edges (exact).
+
+        Accepts ``(n,)`` or a blocked ``(n, k)``; the blocked path uses
+        a cached CSR Laplacian so the product is one sparse×dense
+        (BLAS-3-style) kernel.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 2:
+            if self._L_csr is None:
+                from repro.graphs.laplacian import laplacian
+                self._L_csr = laplacian(self.graph)
+            from repro.pram import charge, ledger_active
+            from repro.pram import primitives as P
+            if ledger_active():
+                charge(*P.matvec_cost(self.graph.m * x.shape[1]),
+                       label="apply_laplacian")
+            return self._L_csr @ x
         return apply_laplacian(self.graph, x)
 
     def solve(self, b: np.ndarray, eps: float = 1e-6,
@@ -128,47 +167,99 @@ class LaplacianSolver:
 
     def solve_report(self, b: np.ndarray, eps: float = 1e-6,
                      method: Method = "richardson") -> SolveReport:
-        """Like :meth:`solve` but with iteration diagnostics."""
+        """Like :meth:`solve` but with iteration diagnostics.
+
+        A single-column view of :meth:`solve_many_report` (one code
+        path for the dispatch / divergence-fallback logic).
+        """
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.n,):
             raise DimensionMismatchError(
                 f"b must have shape ({self.n},), got {b.shape}")
-        b = project_out_ones(b)
+        rep = self.solve_many_report(b, eps=eps, method=method)
+        return SolveReport(x=rep.x, iterations=rep.iterations,
+                           method=rep.method, target_eps=eps,
+                           residual_2norm=float(rep.residual_2norms[0]),
+                           chain_depth=rep.chain_depth,
+                           multiedges=rep.multiedges)
+
+    # -- blocked multi-RHS solving ------------------------------------------
+
+    def solve_many(self, B: np.ndarray, eps: float | np.ndarray = 1e-6,
+                   method: Method = "richardson") -> np.ndarray:
+        """ε-approximate ``L⁺ B`` for ``k`` right-hand sides at once.
+
+        The "factor once, solve many" path: one blocked outer iteration
+        runs all columns against the shared factorization, so every
+        operator apply is a sparse×dense-matrix (BLAS-3-style) product
+        instead of ``k`` sequential matvecs.  ``eps`` may be a scalar
+        or a length-``k`` array — each column converges at its own
+        target and is compacted out of the active block once done.
+
+        ``B`` of shape ``(n,)`` is accepted and round-trips as ``(n,)``;
+        ``(n, k)`` returns ``(n, k)`` with columns aligned to inputs.
+        """
+        return self.solve_many_report(B, eps=eps, method=method).x
+
+    def solve_many_report(self, B: np.ndarray,
+                          eps: float | np.ndarray = 1e-6,
+                          method: Method = "richardson"
+                          ) -> BlockSolveReport:
+        """Like :meth:`solve_many` but with per-column diagnostics."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim not in (1, 2) or B.shape[0] != self.n:
+            raise DimensionMismatchError(
+                f"B must have shape ({self.n},) or ({self.n}, k), "
+                f"got {B.shape}")
+        # A 1-D input passes through as-is: the iterative solvers
+        # dispatch on ndim, so solve()/solve_report() delegating here
+        # keeps the original single-vector hot path (and its
+        # seed-faithful full a-priori budget — no early freeze).
+        squeeze = B.ndim == 1
+        k = 1 if squeeze else B.shape[1]
+        eps_col = np.broadcast_to(np.asarray(eps, dtype=np.float64),
+                                  (k,)).copy()
+        eps_arg = float(eps_col[0]) if squeeze else eps_col
+        B = project_out_ones(B)
+        per_col = None
         if method == "richardson":
             try:
                 res = preconditioned_richardson(
-                    self.apply_L, self.preconditioner.apply, b,
-                    delta=self.options.richardson_delta, eps=eps)
-                x, iters = res.x, res.iterations
+                    self.apply_L, self.preconditioner.apply, B,
+                    delta=self.options.richardson_delta, eps=eps_arg)
+                x, iters, per_col = res.x, res.iterations, \
+                    res.per_column_iterations
             except ConvergenceError:
                 # The chain came out worse than δ = 1 (possible at
                 # aggressively small splitting factors).  PCG converges
                 # for any SPD preconditioner, just more slowly, so fall
-                # back rather than return garbage.
+                # back rather than return garbage.  CG's tolerance is a
+                # 2-norm residual; aim an order of magnitude below the
+                # requested L-norm target.
                 method = "richardson->pcg"
-                # CG's tolerance is a 2-norm residual; aim an order
-                # of magnitude below the requested L-norm target.
                 res = conjugate_gradient(
-                    self.apply_L, b, tol=eps / 10.0,
+                    self.apply_L, B, tol=eps_arg / 10.0,
                     preconditioner=self.preconditioner.apply,
                     matvec_edges=self.graph.m)
-                x, iters = res.x, res.iterations
+                x, iters, per_col = res.x, res.iterations, \
+                    res.per_column_iterations
         elif method == "pcg":
-            # PCG with the same W preconditioner: an extension — same
-            # asymptotics, usually fewer iterations in practice.
             res = conjugate_gradient(
-                self.apply_L, b, tol=eps,
+                self.apply_L, B, tol=eps_arg,
                 preconditioner=self.preconditioner.apply,
                 matvec_edges=self.graph.m)
-            x, iters = res.x, res.iterations
+            x, iters, per_col = res.x, res.iterations, \
+                res.per_column_iterations
         else:
             raise ReproError(f"unknown method {method!r}")
-        return SolveReport(x=x, iterations=iters, method=method,
-                           target_eps=eps,
-                           residual_2norm=residual_norm(
-                               self.apply_L, x, b),
-                           chain_depth=self.chain.d,
-                           multiedges=self.multigraph.m_logical)
+        residuals = np.atleast_1d(
+            np.linalg.norm(self.apply_L(x) - B, axis=0))
+        return BlockSolveReport(x=x, iterations=iters,
+                                per_column_iterations=per_col,
+                                method=method, target_eps=eps_col,
+                                residual_2norms=residuals,
+                                chain_depth=self.chain.d,
+                                multiedges=self.multigraph.m_logical)
 
 
 def solve_laplacian(L_or_graph, b: np.ndarray, eps: float = 1e-6,

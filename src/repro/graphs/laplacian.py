@@ -19,7 +19,11 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import DimensionMismatchError
-from repro.graphs.multigraph import MultiGraph, scatter_add_pair
+from repro.graphs.multigraph import (
+    MultiGraph,
+    scatter_add_pair,
+    scatter_add_pair_cols,
+)
 from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 
@@ -58,18 +62,27 @@ def apply_laplacian(graph: MultiGraph, x: np.ndarray) -> np.ndarray:
 
     This is the ``O(m)`` work / ``O(log m)`` depth primitive the proof of
     Theorem 3.10 describes: per-edge products in parallel, per-vertex
-    balanced-tree sums.
+    balanced-tree sums.  ``x`` may be a vector ``(n,)`` or a block of
+    ``k`` columns ``(n, k)``; the block path flattens the per-column
+    scatter into one ``O(mk)`` bincount.
     """
     x = np.asarray(x, dtype=np.float64)
-    if x.shape[0] != graph.n:
+    if x.ndim not in (1, 2) or x.shape[0] != graph.n:
         raise DimensionMismatchError(
-            f"vector has {x.shape[0]} entries for a {graph.n}-vertex graph")
+            f"vector has leading dimension {x.shape[0] if x.ndim else 0} "
+            f"for a {graph.n}-vertex graph")
     diff = x[graph.u] - x[graph.v]
-    contrib = graph.w * diff
-    out = scatter_add_pair(graph.u, contrib, graph.v, contrib,
-                           graph.n, subtract=True)
+    if x.ndim == 1:
+        contrib = graph.w * diff
+        out = scatter_add_pair(graph.u, contrib, graph.v, contrib,
+                               graph.n, subtract=True)
+    else:
+        contrib = graph.w[:, None] * diff
+        out = scatter_add_pair_cols(graph.u, contrib, graph.v, contrib,
+                                    graph.n, subtract=True)
     if ledger_active():
-        charge(*P.matvec_cost(graph.m), label="apply_laplacian")
+        charge(*P.matvec_cost(graph.m * (1 if x.ndim == 1 else x.shape[1])),
+               label="apply_laplacian")
     return out
 
 

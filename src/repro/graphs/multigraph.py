@@ -44,7 +44,7 @@ from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 
 __all__ = ["MultiGraph", "AdjacencyView", "weighted_bincount",
-           "scatter_add_pair"]
+           "scatter_add_pair", "scatter_add_pair_cols"]
 
 
 def weighted_bincount(idx: np.ndarray, weights: np.ndarray,
@@ -77,6 +77,27 @@ def scatter_add_pair(idx_a: np.ndarray, w_a: np.ndarray,
     else:
         out += second
     return out
+
+
+def scatter_add_pair_cols(idx_a: np.ndarray, w_a: np.ndarray,
+                          idx_b: np.ndarray, w_b: np.ndarray,
+                          minlength: int, subtract: bool = False
+                          ) -> np.ndarray:
+    """Column-blocked :func:`scatter_add_pair`: ``w_a``/``w_b`` are
+    ``(m, k)`` weight blocks and column ``j`` scatters to column ``j``
+    of the ``(minlength, k)`` output.
+
+    The per-column scatters are flattened into one bincount by
+    interleaving (row-major) indices — the blocked-RHS assembly and
+    blocked Laplacian-apply kernels all share this trick through here.
+    """
+    k = w_a.shape[1]
+    cols = np.arange(k, dtype=np.int64)
+    flat_a = (idx_a[:, None] * k + cols).ravel()
+    flat_b = (idx_b[:, None] * k + cols).ravel()
+    return scatter_add_pair(flat_a, w_a.ravel(), flat_b, w_b.ravel(),
+                            minlength * k, subtract=subtract
+                            ).reshape(minlength, k)
 
 
 def _counting_sort_halfedges(ends: np.ndarray, n: int

@@ -37,6 +37,9 @@ class CGResult:
     iterations: int
     converged: bool
     residual_norms: list[float] = field(default_factory=list)
+    #: Blocked solves only: iterations each column ran before it
+    #: converged (``None`` for single-vector solves).
+    per_column_iterations: np.ndarray | None = None
 
     @property
     def final_residual(self) -> float:
@@ -57,9 +60,13 @@ def conjugate_gradient(L,
     Parameters
     ----------
     L:
-        Matrix, sparse matrix, or callable ``x ↦ L x``.
+        Matrix, sparse matrix, or callable ``x ↦ L x``.  For a blocked
+        ``b`` of shape ``(n, k)`` the callable must accept ``(n, j)``
+        blocks (converged columns are compacted out as they finish).
     tol:
-        Relative 2-norm residual target ``‖Lx − b‖ ≤ tol·‖b‖``.
+        Relative 2-norm residual target ``‖Lx − b‖ ≤ tol·‖b‖``.  For
+        blocked ``b`` this may be a scalar or a length-``k`` array of
+        per-column targets.
     preconditioner:
         Callable approximating ``L⁺`` (must be SPD on ``1⊥``).
     singular:
@@ -72,6 +79,12 @@ def conjugate_gradient(L,
     """
     apply_L = as_apply(L)
     b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 2:
+        return _blocked_cg(apply_L, b, tol=tol, max_iter=max_iter,
+                           preconditioner=preconditioner,
+                           singular=singular, matvec_edges=matvec_edges,
+                           raise_on_fail=raise_on_fail)
+    tol = float(tol)
     if singular:
         b = project_out_ones(b)
     n = b.shape[0]
@@ -127,3 +140,95 @@ def conjugate_gradient(L,
             iterations=it, residual=residuals[-1] / bnorm)
     return CGResult(x=x, iterations=it, converged=converged,
                     residual_norms=residuals)
+
+
+def _blocked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,
+                preconditioner, singular: bool,
+                matvec_edges: int | None,
+                raise_on_fail: bool) -> CGResult:
+    """``k`` independent PCG runs sharing batched matvecs.
+
+    Each column carries its own ``α``/``β`` scalars (the runs are
+    mathematically independent), but every ``L``/preconditioner apply
+    is one sparse×dense-matrix product over the still-active columns;
+    converged columns are frozen and compacted out.
+    """
+    n, k = b.shape
+    tol_col = np.broadcast_to(np.asarray(tol, dtype=np.float64),
+                              (k,)).copy()
+    if singular:
+        b = project_out_ones(b)
+    if max_iter is None:
+        max_iter = 10 * n
+
+    X = np.zeros((n, k))
+    used = np.zeros(k, dtype=np.int64)
+    bnorm = np.linalg.norm(b, axis=0)
+    residuals = [float(bnorm.max(initial=0.0))]
+    if not bnorm.any():
+        return CGResult(x=X, iterations=0, converged=True,
+                        residual_norms=[0.0],
+                        per_column_iterations=used)
+
+    def prec(V: np.ndarray) -> np.ndarray:
+        if preconditioner is None:
+            return V
+        out = preconditioner(V)
+        return project_out_ones(out) if singular else out
+
+    # Zero columns are converged immediately; start with the rest.
+    active = np.flatnonzero(bnorm > 0)
+    done_flags = np.zeros(k, dtype=bool)
+    done_flags[bnorm == 0] = True
+    R = b[:, active].copy()
+    Z = prec(R)
+    Pm = Z.copy()
+    rz = np.einsum("ij,ij->j", R, Z)
+    it = 0
+    for it in range(1, max_iter + 1):
+        LP = apply_L(Pm)
+        if matvec_edges:
+            charge(*P.matvec_cost(matvec_edges * active.size),
+                   label="cg_matvec")
+        pLp = np.einsum("ij,ij->j", Pm, LP)
+        # Columns that lost positive-definiteness stop where they are
+        # (the scalar path's `break`), without touching the others.
+        broke = pLp <= 0
+        ok = ~broke
+        alpha = np.where(ok, rz / np.where(ok, pLp, 1.0), 0.0)
+        X[:, active[ok]] += alpha[ok] * Pm[:, ok]
+        R[:, ok] -= alpha[ok] * LP[:, ok]
+        if singular:
+            R -= R.mean(axis=0)
+        rnorm = np.linalg.norm(R, axis=0)
+        residuals.append(float(rnorm.max(initial=0.0)))
+        conv = rnorm <= tol_col[active] * bnorm[active]
+        finished = broke | conv
+        if finished.any():
+            done_flags[active[conv]] = True
+            used[active[finished]] = it
+            keep = ~finished
+            active = active[keep]
+            if active.size == 0:
+                break
+            R = R[:, keep]
+            Pm = Pm[:, keep]
+            rz = rz[keep]
+        Z = prec(R)
+        rz_new = np.einsum("ij,ij->j", R, Z)
+        beta = rz_new / rz
+        rz = rz_new
+        Pm = Z + beta * Pm
+    if active.size:
+        used[active] = it
+    if singular:
+        X = project_out_ones(X)
+    converged = bool(done_flags.all())
+    if raise_on_fail and not converged:
+        raise ConvergenceError(
+            f"blocked CG: {int((~done_flags).sum())}/{k} columns failed "
+            f"to reach tolerance in {it} iterations",
+            iterations=it, residual=residuals[-1] / max(bnorm.max(), 1e-300))
+    return CGResult(x=X, iterations=it, converged=converged,
+                    residual_norms=residuals,
+                    per_column_iterations=used)

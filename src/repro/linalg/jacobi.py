@@ -87,15 +87,23 @@ class JacobiOperator:
         return self.Y.nnz // 2
 
     def apply(self, b: np.ndarray) -> np.ndarray:
-        """``Z b`` by the recurrence ``x⁽ⁱ⁾ = X⁻¹b − X⁻¹ Y x⁽ⁱ⁻¹⁾``."""
+        """``Z b`` by the recurrence ``x⁽ⁱ⁾ = X⁻¹b − X⁻¹ Y x⁽ⁱ⁻¹⁾``.
+
+        ``b`` may be a vector ``(|F|,)`` or a block ``(|F|, k)``; the
+        block path runs the same recurrence with sparse×dense-matrix
+        products (``Y @ x`` is one BLAS-3-style kernel per term instead
+        of ``k`` matvecs).
+        """
         b = np.asarray(b, dtype=np.float64)
-        if b.shape[0] != self.n:
+        if b.ndim not in (1, 2) or b.shape[0] != self.n:
             raise DimensionMismatchError("b has wrong length for Z")
-        xinv_b = self._xinv * b
+        xinv = self._xinv if b.ndim == 1 else self._xinv[:, None]
+        xinv_b = xinv * b
         x = xinv_b.copy()
         for _ in range(self.l):
-            x = xinv_b - self._xinv * (self.Y @ x)
-        charge(self.l * max(self.Y.nnz, self.n),
+            x = xinv_b - xinv * (self.Y @ x)
+        k = 1 if b.ndim == 1 else b.shape[1]
+        charge(self.l * max(self.Y.nnz, self.n) * k,
                self.l * P.log2p(max(self.Y.nnz, 2)),
                label="jacobi_apply")
         return x
@@ -104,12 +112,7 @@ class JacobiOperator:
 
     def dense_Z(self) -> np.ndarray:
         """Materialise ``Z`` (test oracle; O(n²·l))."""
-        n = self.n
-        Z = np.zeros((n, n))
-        for j in range(n):
-            e = np.zeros(n)
-            e[j] = 1.0
-            Z[:, j] = self.apply(e)
+        Z = self.apply(np.eye(self.n))
         return 0.5 * (Z + Z.T)
 
     def dense_Zinv(self) -> np.ndarray:

@@ -27,10 +27,15 @@ MatLike = "sp.spmatrix | np.ndarray | Callable[[np.ndarray], np.ndarray]"
 
 
 def as_apply(L) -> Callable[[np.ndarray], np.ndarray]:
-    """Coerce a matrix-ish object into an ``x ↦ L x`` callable."""
+    """Coerce a matrix-ish object into an ``x ↦ L x`` callable.
+
+    The callable is shape-preserving: a ``(n,)`` input yields ``(n,)``
+    and a blocked ``(n, k)`` input yields ``(n, k)`` (sparse ``@`` on a
+    dense block is one BLAS-3-style product).
+    """
     if callable(L) and not sp.issparse(L) and not isinstance(L, np.ndarray):
         return L
-    return lambda x: np.asarray(L @ x).ravel()
+    return lambda x: np.asarray(L @ x).reshape(np.shape(x))
 
 
 def energy_norm(L, x: np.ndarray) -> float:
@@ -66,10 +71,12 @@ def project_out_ones(b: np.ndarray) -> np.ndarray:
     """Project onto ``1⊥`` — the row space of a connected Laplacian.
 
     ``L x = b`` is solvable iff ``b ⊥ 1`` (Fact 2.3); the solver
-    projects right-hand sides so callers may pass any vector.
+    projects right-hand sides so callers may pass any vector.  Accepts
+    a single vector ``(n,)`` or a block of columns ``(n, k)`` — each
+    column is projected independently.
     """
     b = np.asarray(b, dtype=np.float64)
-    return b - b.mean()
+    return b - b.mean(axis=0)
 
 
 def residual_norm(L, x: np.ndarray, b: np.ndarray) -> float:

@@ -82,21 +82,23 @@ def solve_dense_pseudo(L, b: np.ndarray) -> np.ndarray:
 
     Solves ``(L + J/n) y = b_proj`` and re-centres; equivalent to
     ``dense_laplacian_pinv(L) @ b`` but one factorisation instead of an
-    inversion.
+    inversion.  ``b`` may be one vector ``(n,)`` or a block ``(n, k)``
+    — one LAPACK factorisation serves all ``k`` columns.
     """
     Ld = _as_dense(L)
     n = Ld.shape[0]
     b = np.asarray(b, dtype=np.float64)
-    if b.shape[0] != n:
+    if b.ndim not in (1, 2) or b.shape[0] != n:
         raise DimensionMismatchError("b has wrong length")
-    b0 = b - b.mean()
+    b0 = b - b.mean(axis=0)
     J = np.full((n, n), 1.0 / n)
     y = scipy.linalg.solve(Ld + J, b0, assume_a="sym")
-    return y - y.mean()
+    return y - y.mean(axis=0)
 
 
 def exact_solution(graph: MultiGraph, b: np.ndarray) -> np.ndarray:
-    """Ground-truth ``x* = L_G⁺ b`` for a graph instance."""
+    """Ground-truth ``x* = L_G⁺ b`` for a graph instance (``b`` may be
+    a single vector or an ``(n, k)`` block)."""
     return solve_dense_pseudo(laplacian(graph), b)
 
 

@@ -43,10 +43,11 @@ def martingale_deviation_trace(graph: MultiGraph, chain: CholeskyChain
     L = laplacian(graph).toarray()
     half = _normalizer(L)
     devs: list[float] = []
+    graphs = chain._require_graphs()  # informative error on streamed chains
     for k in range(1, chain.d + 1):
         truncated = CholeskyChain(
             n=chain.n,
-            graphs=chain.graphs[: k + 1],
+            graphs=graphs[: k + 1],
             levels=chain.levels[:k],
             final_active=chain.levels[k - 1].C,
             final_pinv=np.empty((0, 0)),
