@@ -74,7 +74,7 @@ from repro.errors import (
     SamplingError,
 )
 from repro.graphs import MultiGraph, generators, laplacian
-from repro.pram import WorkDepthLedger, use_ledger
+from repro.pram import ExecutionContext, WorkDepthLedger, use_ledger
 
 __version__ = "1.0.0"
 
@@ -104,5 +104,6 @@ __all__ = [
     "laplacian",
     "WorkDepthLedger",
     "use_ledger",
+    "ExecutionContext",
     "__version__",
 ]

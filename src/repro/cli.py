@@ -74,8 +74,10 @@ def _cmd_solve(args) -> int:
         b = np.zeros(g.n)
         b[args.source], b[args.sink] = 1.0, -1.0
     t0 = time.time()
-    solver = LaplacianSolver(g, options=default_options(),
-                             seed=args.seed)
+    options = default_options()
+    if args.workers is not None:
+        options = options.with_(workers=args.workers)
+    solver = LaplacianSolver(g, options=options, seed=args.seed)
     t_build = time.time() - t0
     t0 = time.time()
     report = solver.solve_report(b, eps=args.eps, method=args.method)
@@ -132,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--method", choices=["richardson", "pcg"],
                    default="richardson")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread count for the parallel phases "
+                        "(default: REPRO_WORKERS env var / CPU count; "
+                        "results are worker-count independent)")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 

@@ -76,6 +76,26 @@ class SolverOptions:
         cutting the chain's retained memory to the blocks themselves
         (solves and edge-count diagnostics are unaffected; see
         :func:`repro.core.block_cholesky.block_cholesky`).
+    workers:
+        Thread count for the embarrassingly parallel phases (walker
+        stepping, column-blocked solves).  ``None`` (default) consults
+        the ``REPRO_WORKERS`` env var / CPU count lazily at every
+        dispatch.  Results are bit-identical for a fixed seed
+        regardless of this value — see
+        :class:`repro.pram.ExecutionContext`'s determinism contract.
+    chunk_items / chunk_columns:
+        Chunk-policy overrides for the execution context (``None`` =
+        library defaults).  Chunk layout is part of the *result* for a
+        fixed seed (it decides the per-chunk RNG streams), so these are
+        solver options, not runtime knobs.
+    incremental_csr:
+        Maintain the elimination loops' restricted walk CSR
+        incrementally across rounds
+        (:class:`repro.sampling.IncrementalWalkCSR`).  Extracted views
+        are bit-identical to from-scratch rebuilds, so this never
+        changes results; ``False`` trades the store's O(m) footprint
+        for per-round rebuilds (e.g. for memory-constrained streaming
+        factorizations).
     seed:
         Default seed threaded to all stochastic routines.
     """
@@ -91,6 +111,10 @@ class SolverOptions:
     max_walk_steps: int = 10_000
     lev_sample_K: int | None = None
     keep_graphs: bool = True
+    workers: int | None = None
+    chunk_items: int | None = None
+    chunk_columns: int | None = None
+    incremental_csr: bool = True
     seed: int | None = None
     track_costs: bool = True
 
@@ -115,6 +139,19 @@ class SolverOptions:
     def with_(self, **kwargs) -> "SolverOptions":
         """Functional update (``dataclasses.replace`` wrapper)."""
         return replace(self, **kwargs)
+
+    def execution(self) -> "ExecutionContext":
+        """The :class:`repro.pram.ExecutionContext` these options imply."""
+        from repro.pram.executor import ExecutionContext
+
+        kwargs = {}
+        if self.chunk_items is not None:
+            kwargs["chunk_items"] = self.chunk_items
+        if self.chunk_columns is not None:
+            kwargs["chunk_columns"] = self.chunk_columns
+        if not kwargs and self.workers is None:
+            return ExecutionContext.DEFAULT
+        return ExecutionContext(workers=self.workers, **kwargs)
 
 
 def default_options() -> SolverOptions:

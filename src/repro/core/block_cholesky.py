@@ -23,20 +23,23 @@ import numpy as np
 from repro.config import SolverOptions, default_options
 from repro.core.chain import CholeskyChain, Level
 from repro.core.dd_subset import five_dd_subset
-from repro.core.terminal_walks import terminal_walks
+from repro.core.terminal_walks import TerminalWalkStats, terminal_walks
 from repro.errors import FactorizationError
 from repro.graphs.laplacian import laplacian, laplacian_blocks
 from repro.graphs.multigraph import MultiGraph
 from repro.pram import charge
 from repro.pram import primitives as P
 from repro.rng import as_generator
+from repro.sampling.walks import WalkEngine
 
 __all__ = ["block_cholesky"]
 
 
 def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
                             rng, opts: SolverOptions,
-                            max_retries: int = 25) -> MultiGraph:
+                            max_retries: int = 25,
+                            engine=None, ctx=None
+                            ) -> "tuple[MultiGraph, TerminalWalkStats]":
     """``TerminalWalks`` with a connectivity certificate.
 
     Fact 2.4: the *exact* Schur complement of a connected graph is
@@ -49,6 +52,12 @@ def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
     exists for aggressively small splitting factors on graphs with
     cut edges (e.g. barbells), where a level has a constant chance of
     dropping every copy of a bridge.
+
+    ``engine``/``ctx`` thread a prebuilt walk engine (shared across
+    retries — the CSR does not change between resamples) and the
+    execution context through to :func:`terminal_walks`.  Returns the
+    accepted sample together with its :class:`TerminalWalkStats` (the
+    incremental store consumes ``passthrough_stored``).
     """
     from repro.graphs.validation import connected_components
 
@@ -62,18 +71,21 @@ def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
 
     last = None
     for _ in range(max_retries):
-        nxt = terminal_walks(current, C, seed=rng,
-                             max_steps=opts.max_walk_steps)
+        nxt, stats = terminal_walks(current, C, seed=rng,
+                                    max_steps=opts.max_walk_steps,
+                                    return_stats=True,
+                                    engine=engine, ctx=ctx)
         sub, _ = nxt.induced_subgraph(C)
         labels = connected_components(sub)
         if int(labels.max(initial=0)) <= baseline:
-            return nxt
-        last = nxt
+            return nxt, stats
+        last = nxt, stats
     # Give up and return the last sample: the dense base case and the
     # outer Richardson/PCG loop still behave (slowly) with a weak
     # preconditioner, and pathological inputs shouldn't hard-fail.
     return last if last is not None else terminal_walks(
-        current, C, seed=rng, max_steps=opts.max_walk_steps)
+        current, C, seed=rng, max_steps=opts.max_walk_steps,
+        return_stats=True, engine=engine, ctx=ctx)
 
 
 def block_cholesky(graph: MultiGraph,
@@ -100,6 +112,12 @@ def block_cholesky(graph: MultiGraph,
     """
     opts = options or default_options()
     rng = as_generator(seed if seed is not None else opts.seed)
+    ctx = opts.execution()
+    inc = None
+    if opts.incremental_csr and graph.m:
+        from repro.sampling.inc_csr import IncrementalWalkCSR
+
+        inc = IncrementalWalkCSR(graph)
 
     active = np.arange(graph.n, dtype=np.int64)
     current = graph
@@ -124,7 +142,21 @@ def block_cholesky(graph: MultiGraph,
         idxF = np.searchsorted(active, F)
         idxC = np.searchsorted(active, C)
         blocks = laplacian_blocks(current, F, C)
-        nxt = _sample_schur_connected(current, C, rng, opts)
+        engine = None
+        if inc is not None:
+            is_term = np.zeros(graph.n, dtype=bool)
+            is_term[C] = True
+            view, slot_mult = inc.restricted_view(F)
+            engine = WalkEngine.from_adjacency(view, slot_mult, is_term)
+        nxt, walk_stats = _sample_schur_connected(current, C, rng, opts,
+                                                  engine=engine, ctx=ctx)
+        if inc is not None:
+            # The accepted sample's layout is pass-through groups (the
+            # edges not incident to F, order preserved) followed by the
+            # emitted edges — mirror it into the incremental store.
+            p = walk_stats.passthrough_stored
+            inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
+                        None if nxt.mult is None else nxt.mult[p:])
         levels.append(Level(F=F, C=C, idxF=idxF, idxC=idxC,
                             blocks=blocks, parent_edges=current.m_logical))
         if keep_graphs:

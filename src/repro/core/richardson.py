@@ -62,7 +62,10 @@ class RichardsonResult:
     x: np.ndarray
     iterations: int
     alpha: float
-    error_history: list[float] = field(default_factory=list)
+    #: ``track_errors`` samples: one float per iteration for
+    #: single-vector solves, one per-column ``(k,)`` array per
+    #: iteration for blocked solves.
+    error_history: list = field(default_factory=list)
     #: Blocked solves only: iterations each column actually ran before
     #: it converged/was frozen (``None`` for single-vector solves).
     per_column_iterations: np.ndarray | None = None
@@ -78,7 +81,8 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
                               track_errors: Callable[[np.ndarray], float]
                               | None = None,
                               divergence_guard: bool = True,
-                              freeze: bool = True
+                              freeze: bool = True,
+                              ctx=None
                               ) -> RichardsonResult:
     """Solve ``A x = b`` given a δ-quality preconditioner ``B ≈_δ A⁺``.
 
@@ -104,9 +108,14 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
         Override the iteration count (benchmarks sweep this).  For
         blocked solves this caps every column uniformly.
     track_errors:
-        Optional callback ``x ↦ error``; evaluated every iteration and
-        stored in ``error_history`` (used by benchmark E10 to expose the
-        geometric decay).  Single-vector solves only.
+        Optional callback evaluated on the full iterate every iteration
+        and stored in ``error_history`` (used by benchmark E10 to
+        expose the geometric decay).  For single-vector solves it
+        receives/returns a scalar; for blocked solves it receives the
+        complete ``(n, k)`` iterate (frozen columns included at their
+        frozen values) and should return per-column errors.  Error
+        tracking runs in-block — it disables ``ctx`` column chunking
+        so the history covers all columns at every iteration.
     divergence_guard:
         Theorem 3.8's convergence *assumes* ``B ≈_δ A⁺``; if the
         supplied preconditioner is worse than claimed the iteration can
@@ -120,14 +129,29 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
         (see :data:`FREEZE_FACTOR`).  ``False`` runs every column to
         its full a-priori budget — the seed-faithful baseline, and
         what the single-vector path always does.
+    ctx:
+        Optional :class:`repro.pram.ExecutionContext`.  Blocked solves
+        split their columns into the context's (size-determined, hence
+        worker-independent) column chunks and iterate each chunk on the
+        thread pool — column results are identical to the unchunked
+        block up to each chunk's own freeze decisions, and identical
+        across worker counts.
     """
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
+        if ctx is not None and track_errors is None:
+            pieces = ctx.column_chunks(b.shape[1])
+            if len(pieces) > 1:
+                return _chunked_richardson(apply_A, apply_B, b, delta,
+                                           eps, project, iterations,
+                                           divergence_guard, freeze,
+                                           ctx, pieces)
         return _blocked_richardson(apply_A, apply_B, b, delta=delta,
                                    eps=eps, project=project,
                                    iterations=iterations,
                                    divergence_guard=divergence_guard,
-                                   freeze=freeze)
+                                   freeze=freeze,
+                                   track_errors=track_errors)
     from repro.errors import ConvergenceError
     eps = float(eps)
     if project:
@@ -165,11 +189,44 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
                             error_history=history)
 
 
+def _chunked_richardson(apply_A, apply_B, b: np.ndarray, delta: float,
+                        eps, project: bool, iterations: int | None,
+                        divergence_guard: bool, freeze: bool,
+                        ctx, pieces) -> RichardsonResult:
+    """Column-chunked blocked Richardson: each chunk iterates
+    independently on the execution context's pool.
+
+    The chunk layout is a function of the column count only, so results
+    do not depend on the worker count.  A diverging chunk raises
+    :class:`repro.errors.ConvergenceError` exactly as the unchunked
+    block would (the caller's fallback covers the whole block).
+    """
+    k = b.shape[1]
+    eps_col = np.broadcast_to(np.asarray(eps, dtype=np.float64),
+                              (k,)).copy()
+
+    def one(lo: int, hi: int) -> RichardsonResult:
+        return _blocked_richardson(apply_A, apply_B, b[:, lo:hi],
+                                   delta=delta, eps=eps_col[lo:hi],
+                                   project=project, iterations=iterations,
+                                   divergence_guard=divergence_guard,
+                                   freeze=freeze)
+
+    results = ctx.run_chunks(one, pieces)
+    return RichardsonResult(
+        x=np.hstack([r.x for r in results]),
+        iterations=max(r.iterations for r in results),
+        alpha=results[0].alpha,
+        per_column_iterations=np.concatenate(
+            [r.per_column_iterations for r in results]))
+
+
 def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
                         delta: float, eps, project: bool,
                         iterations: int | None,
                         divergence_guard: bool,
-                        freeze: bool = True) -> RichardsonResult:
+                        freeze: bool = True,
+                        track_errors=None) -> RichardsonResult:
     """Algorithm 5 on an ``(n, k)`` block with column-wise convergence."""
     from repro.errors import ConvergenceError
     n, k = b.shape
@@ -195,6 +252,10 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
     out = np.empty((n, k), dtype=np.float64)
     used = np.zeros(k, dtype=np.int64)
     active = np.arange(k)
+    frozen = np.zeros(k, dtype=bool)
+    history: list = []
+    if track_errors is not None:
+        history.append(track_errors(X))
     b_act, X0_act, X_act = b, X0, X
     caps_act, bnorm_act, freeze_act = caps, bnorm, freeze_at
     max_iters = int(caps.max(initial=1))
@@ -217,6 +278,7 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
         if done.any():
             out[:, active[done]] = X_act[:, done]
             used[active[done]] = it
+            frozen[active[done]] = True
             keep = ~done
             active = active[keep]
             if active.size == 0:
@@ -232,8 +294,16 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
         if project:
             corr = project_out_ones(corr)
         X_act = X_act - alpha * corr + alpha * X0_act
+        if track_errors is not None:
+            # Mirror the scalar path's per-iteration sampling on the
+            # full-width iterate (frozen columns at frozen values).
+            full = np.empty((n, k), dtype=np.float64)
+            full[:, frozen] = out[:, frozen]
+            full[:, active] = X_act
+            history.append(track_errors(full))
     if active.size:
         out[:, active] = X_act
         used[active] = max_iters
     return RichardsonResult(x=out, iterations=int(used.max(initial=0)),
-                            alpha=alpha, per_column_iterations=used)
+                            alpha=alpha, error_history=history,
+                            per_column_iterations=used)

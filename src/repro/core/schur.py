@@ -43,6 +43,7 @@ from repro.core.terminal_walks import terminal_walks
 from repro.errors import FactorizationError, SamplingError
 from repro.graphs.multigraph import MultiGraph
 from repro.rng import as_generator
+from repro.sampling.walks import WalkEngine
 
 __all__ = ["approx_schur", "schur_alpha_inverse", "ApproxSchurReport"]
 
@@ -83,7 +84,8 @@ def approx_schur(graph: MultiGraph,
                  split: bool = True,
                  alpha_scale: float = 0.25,
                  return_report: bool = False,
-                 legacy: bool = False
+                 legacy: bool = False,
+                 incremental: bool | None = None
                  ) -> MultiGraph | ApproxSchurReport:
     """Sparse ε-approximation of ``SC(L_G, C)``.
 
@@ -105,6 +107,18 @@ def approx_schur(graph: MultiGraph,
         path (full per-round CSR, one walker per stored edge,
         uncompacted stepping).  Statistically equivalent, O(m/α)
         memory.
+    incremental:
+        Maintain the walk engine's restricted CSR incrementally across
+        rounds (delete eliminated-``F`` rows, insert emitted edges —
+        :class:`repro.sampling.IncrementalWalkCSR`) instead of
+        rebuilding it per round.  The extracted views are bit-identical
+        to from-scratch builds, so the output is unchanged; ``False``
+        re-runs the per-round rebuild for comparison.  ``None``
+        (default) follows ``options.incremental_csr``.
+
+    The walker batches step through ``options``' execution context in
+    deterministic disjoint chunks, so for a fixed seed the output is
+    bit-identical no matter how many worker threads run them.
 
     Returns
     -------
@@ -113,6 +127,7 @@ def approx_schur(graph: MultiGraph,
     """
     opts = options or default_options()
     rng = as_generator(seed if seed is not None else opts.seed)
+    ctx = opts.execution()
     C = np.unique(np.asarray(C, dtype=np.int64))
     if C.size == 0 or C.size >= graph.n:
         raise SamplingError("C must be a non-trivial vertex subset")
@@ -121,6 +136,13 @@ def approx_schur(graph: MultiGraph,
 
     work = naive_split(graph, 1.0 / schur_alpha_inverse(
         graph.n, eps, alpha_scale), materialize=legacy) if split else graph
+    if incremental is None:
+        incremental = opts.incremental_csr
+    inc = None
+    if incremental and not legacy:
+        from repro.sampling.inc_csr import IncrementalWalkCSR
+
+        inc = IncrementalWalkCSR(work)
 
     in_C = np.zeros(graph.n, dtype=bool)
     in_C[C] = True
@@ -160,12 +182,24 @@ def approx_schur(graph: MultiGraph,
         # vs walk emission) never coexist.
         dd_bytes = work.edge_nbytes + induced.edge_nbytes
         induced = None
+        engine = None
+        if inc is not None:
+            is_term = np.zeros(graph.n, dtype=bool)
+            is_term[terminals] = True
+            view, slot_mult = inc.restricted_view(F)
+            engine = WalkEngine.from_adjacency(view, slot_mult, is_term)
         nxt, stats = terminal_walks(work, terminals, seed=rng,
                                     max_steps=opts.max_walk_steps,
-                                    return_stats=True, legacy=legacy)
+                                    return_stats=True, legacy=legacy,
+                                    engine=engine, ctx=ctx)
+        if inc is not None:
+            p = stats.passthrough_stored
+            inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
+                        None if nxt.mult is None else nxt.mult[p:])
+        inc_bytes = 0 if inc is None else inc.nbytes
         walk_bytes = (work.edge_nbytes + stats.csr_nbytes
-                      + stats.walker_nbytes + nxt.edge_nbytes)
-        peak_bytes = max(peak_bytes, dd_bytes, walk_bytes)
+                      + stats.walker_nbytes + nxt.edge_nbytes + inc_bytes)
+        peak_bytes = max(peak_bytes, dd_bytes + inc_bytes, walk_bytes)
         total_walkers += stats.walkers
         work = nxt
         active = terminals

@@ -132,6 +132,9 @@ class LaplacianSolver:
         self.chain = block_cholesky(self.multigraph, options, seed=rng,
                                     keep_graphs=options.keep_graphs)
         self.preconditioner = ApplyCholeskyOperator(self.chain)
+        #: Execution context for the blocked solve paths (walker
+        #: stepping inside ``block_cholesky`` already went through it).
+        self.ctx = options.execution()
         self._L_csr = None
 
     # -- solving -------------------------------------------------------------
@@ -217,6 +220,12 @@ class LaplacianSolver:
         # seed-faithful full a-priori budget — no early freeze).
         squeeze = B.ndim == 1
         k = 1 if squeeze else B.shape[1]
+        if not squeeze and self._L_csr is None:
+            # Build the cached CSR Laplacian before the column-chunked
+            # solvers fan out, so concurrent apply_L calls from pool
+            # threads don't each rebuild it.
+            from repro.graphs.laplacian import laplacian
+            self._L_csr = laplacian(self.graph)
         eps_col = np.broadcast_to(np.asarray(eps, dtype=np.float64),
                                   (k,)).copy()
         eps_arg = float(eps_col[0]) if squeeze else eps_col
@@ -226,7 +235,8 @@ class LaplacianSolver:
             try:
                 res = preconditioned_richardson(
                     self.apply_L, self.preconditioner.apply, B,
-                    delta=self.options.richardson_delta, eps=eps_arg)
+                    delta=self.options.richardson_delta, eps=eps_arg,
+                    ctx=self.ctx)
                 x, iters, per_col = res.x, res.iterations, \
                     res.per_column_iterations
             except ConvergenceError:
@@ -240,14 +250,14 @@ class LaplacianSolver:
                 res = conjugate_gradient(
                     self.apply_L, B, tol=eps_arg / 10.0,
                     preconditioner=self.preconditioner.apply,
-                    matvec_edges=self.graph.m)
+                    matvec_edges=self.graph.m, ctx=self.ctx)
                 x, iters, per_col = res.x, res.iterations, \
                     res.per_column_iterations
         elif method == "pcg":
             res = conjugate_gradient(
                 self.apply_L, B, tol=eps_arg,
                 preconditioner=self.preconditioner.apply,
-                matvec_edges=self.graph.m)
+                matvec_edges=self.graph.m, ctx=self.ctx)
             x, iters, per_col = res.x, res.iterations, \
                 res.per_column_iterations
         else:

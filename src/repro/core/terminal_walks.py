@@ -62,6 +62,11 @@ class TerminalWalkStats:
     walkers: int = 0
     csr_nbytes: int = 0
     walker_nbytes: int = 0
+    #: Stored edge groups that passed through verbatim (both endpoints
+    #: terminal) — the prefix of the output's edge arrays.  Callers
+    #: maintaining an incremental CSR use it to locate the emitted
+    #: suffix.
+    passthrough_stored: int = 0
 
 
 def terminal_walks(graph: MultiGraph,
@@ -69,7 +74,9 @@ def terminal_walks(graph: MultiGraph,
                    seed=None,
                    max_steps: int = 10_000,
                    return_stats: bool = False,
-                   legacy: bool = False
+                   legacy: bool = False,
+                   engine: WalkEngine | None = None,
+                   ctx=None
                    ) -> MultiGraph | tuple[MultiGraph, TerminalWalkStats]:
     """Sample a sparse approximation to ``SC(L_G, C)``.
 
@@ -91,6 +98,16 @@ def terminal_walks(graph: MultiGraph,
         of *every* stored edge, full (unrestricted) CSR, uncompacted
         stepping.  Requires an explicit graph (``mult is None``).
         Benchmark baselines only.
+    engine:
+        Prebuilt :class:`WalkEngine` over ``graph``'s current edges
+        with terminals ``C`` (e.g. from an incrementally maintained
+        restricted CSR).  ``None`` builds one from scratch.
+    ctx:
+        Optional :class:`repro.pram.ExecutionContext`.  When given, the
+        walkers step in deterministic disjoint chunks (one spawned RNG
+        stream per chunk) through the context's thread pool — results
+        are bit-identical for a fixed seed regardless of its worker
+        count.  ``None`` keeps the single-stream serial stepping.
 
     Returns
     -------
@@ -140,7 +157,7 @@ def terminal_walks(graph: MultiGraph,
             stats = TerminalWalkStats(
                 total_steps=0, max_walk_length=0, mean_walk_length=0.0,
                 edges_in=m_logical, edges_out=m_logical,
-                self_loops_dropped=0)
+                self_loops_dropped=0, passthrough_stored=pu.size)
             return H, stats
         return H
 
@@ -153,8 +170,13 @@ def terminal_walks(graph: MultiGraph,
     mw = base_res.size
     starts = np.concatenate([np.repeat(graph.u[widx], k),
                              np.repeat(graph.v[widx], k)])
-    engine = WalkEngine(graph, is_terminal)
-    result = engine.run(starts, seed=rng, max_steps=max_steps)
+    if engine is None:
+        engine = WalkEngine(graph, is_terminal)
+    if ctx is not None:
+        result = engine.run_chunked(starts, seed=rng, max_steps=max_steps,
+                                    ctx=ctx)
+    else:
+        result = engine.run(starts, seed=rng, max_steps=max_steps)
 
     c1 = result.terminal[:mw]
     c2 = result.terminal[mw:]
@@ -185,7 +207,8 @@ def terminal_walks(graph: MultiGraph,
             self_loops_dropped=mw - kept,
             walkers=2 * mw,
             csr_nbytes=engine.adj.nbytes,
-            walker_nbytes=2 * mw * engine.state_nbytes_per_walker)
+            walker_nbytes=2 * mw * engine.state_nbytes_per_walker,
+            passthrough_stored=pu.size)
         return H, stats
     return H
 

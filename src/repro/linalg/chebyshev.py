@@ -10,19 +10,37 @@ is a practically useful knob and exercises the operator interfaces.
 Accepts one right-hand side ``(n,)`` or a block ``(n, k)``.  The
 Chebyshev recurrence scalars (``ρ``, ``σ₁``) depend only on the spectral
 bounds, so a block iterates all columns in lockstep with sparse×dense
-products; with ``tol`` set, each column is frozen (and compacted out of
-the active block) as soon as its own 2-norm residual target is met.
+products; with ``tol`` set, converged columns are frozen (and compacted
+out of the active block).
+
+Stopping rules
+--------------
+``stop_rule="preconditioned"`` (default) freezes a column from the
+*preconditioned* quantities the recurrence already holds: the update
+``d ≈ (2ρ/δ)·B(b − Lx) + momentum`` is a constant-factor proxy for the
+preconditioned residual, so a column whose update norm has fallen below
+``(λ_min/λ_max) · tol_j · ‖B b_j‖`` is frozen **before** the next
+iteration's operator applies — each converged column saves the one
+``apply_L`` (and one ``B`` apply) per iteration that a raw-residual
+check would spend just to confirm convergence.  The ``λ_min/λ_max``
+factor compensates the metric change conservatively.
+
+``stop_rule="raw"`` keeps the previous behaviour: freeze once the raw
+residual satisfies ``‖L x_j − b_j‖ ≤ tol_j · ‖b_j‖`` (measured at the
+top of the next iteration, i.e. one extra ``apply_L`` per column).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Literal
 
 import numpy as np
 
 from repro.linalg.ops import as_apply, project_out_ones
 
 __all__ = ["chebyshev_iteration"]
+
+StopRule = Literal["preconditioned", "raw"]
 
 
 def chebyshev_iteration(L,
@@ -32,8 +50,9 @@ def chebyshev_iteration(L,
                         lam_max: float,
                         iterations: int,
                         singular: bool = True,
-                        tol: float | np.ndarray | None = None
-                        ) -> np.ndarray:
+                        tol: float | np.ndarray | None = None,
+                        stop_rule: StopRule = "preconditioned",
+                        ctx=None) -> np.ndarray:
     """Approximate ``L⁺ b`` by Chebyshev-accelerated iteration on ``BA``.
 
     Parameters
@@ -47,19 +66,42 @@ def chebyshev_iteration(L,
     iterations:
         Number of Chebyshev steps (a cap when ``tol`` is given).
     tol:
-        Optional relative 2-norm residual target; scalar or per-column
-        array for blocked ``b``.  A column is frozen once
-        ``‖L x_j − b_j‖ ≤ tol_j · ‖b_j‖``.
+        Optional relative stopping target; scalar or per-column array
+        for blocked ``b``.  Interpreted per ``stop_rule`` (see module
+        docstring).
+    stop_rule:
+        ``"preconditioned"`` (default; cheap, no confirmation
+        ``apply_L``) or ``"raw"`` (previous raw-residual behaviour).
+    ctx:
+        Optional :class:`repro.pram.ExecutionContext`: blocked calls
+        split their columns into the context's size-determined chunks
+        and iterate the chunks on its thread pool.
     """
     if not (0 < lam_min <= lam_max):
         raise ValueError("need 0 < lam_min <= lam_max")
     if iterations < 1:
         raise ValueError("need at least one iteration")
+    if stop_rule not in ("preconditioned", "raw"):
+        raise ValueError(f"unknown stop_rule {stop_rule!r}")
     apply_L = as_apply(L)
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
+        if ctx is not None:
+            pieces = ctx.column_chunks(b.shape[1])
+            if len(pieces) > 1:
+                tol_col = None if tol is None else np.broadcast_to(
+                    np.asarray(tol, dtype=np.float64), (b.shape[1],))
+
+                def one(lo: int, hi: int) -> np.ndarray:
+                    return _blocked_chebyshev(
+                        apply_L, B, b[:, lo:hi], lam_min, lam_max,
+                        iterations, singular,
+                        None if tol_col is None else tol_col[lo:hi],
+                        stop_rule)
+
+                return np.hstack(ctx.run_chunks(one, pieces))
         return _blocked_chebyshev(apply_L, B, b, lam_min, lam_max,
-                                  iterations, singular, tol)
+                                  iterations, singular, tol, stop_rule)
     if singular:
         b = project_out_ones(b)
 
@@ -76,18 +118,23 @@ def chebyshev_iteration(L,
 
     # Standard Chebyshev recurrence (Saad, "Iterative Methods", Alg. 12.1)
     x = np.zeros_like(b)
-    raw = residual(x)
-    r = precondition(raw)
+    r = precondition(b)
+    pre_norm0 = float(np.linalg.norm(r))
     d = r / theta
     x = x + d
     if delta == 0.0 or iterations == 1:
         return x
     sigma1 = theta / delta
     rho_old = 1.0 / sigma1
+    stop_pre = None if tol is None \
+        else (lam_min / lam_max) * float(np.max(tol)) * pre_norm0
     for _ in range(iterations - 1):
+        if stop_pre is not None and stop_rule == "preconditioned" \
+                and float(np.linalg.norm(d)) <= stop_pre:
+            break
         raw = residual(x)
-        if tol is not None and float(np.linalg.norm(raw)) \
-                <= float(tol) * bnorm:
+        if stop_pre is not None and stop_rule == "raw" \
+                and float(np.linalg.norm(raw)) <= float(np.max(tol)) * bnorm:
             break
         r = precondition(raw)
         rho = 1.0 / (2.0 * sigma1 - rho_old)
@@ -100,7 +147,8 @@ def chebyshev_iteration(L,
 def _blocked_chebyshev(apply_L, B, b: np.ndarray,
                        lam_min: float, lam_max: float,
                        iterations: int, singular: bool,
-                       tol) -> np.ndarray:
+                       tol, stop_rule: StopRule = "preconditioned"
+                       ) -> np.ndarray:
     """Chebyshev on an ``(n, k)`` block with column-wise freezing."""
     n, k = b.shape
     if singular:
@@ -108,11 +156,6 @@ def _blocked_chebyshev(apply_L, B, b: np.ndarray,
     theta = 0.5 * (lam_max + lam_min)
     delta = 0.5 * (lam_max - lam_min)
     bnorm = np.linalg.norm(b, axis=0)
-    if tol is None:
-        stop = None
-    else:
-        stop = np.broadcast_to(np.asarray(tol, dtype=np.float64),
-                               (k,)) * bnorm
 
     def precondition(r: np.ndarray) -> np.ndarray:
         z = B(r)
@@ -122,6 +165,13 @@ def _blocked_chebyshev(apply_L, B, b: np.ndarray,
     active = np.arange(k)
     b_act = b
     r = precondition(b_act)
+    pre_norm0 = np.linalg.norm(r, axis=0)
+    if tol is None:
+        stop = stop_pre = None
+    else:
+        tol_col = np.broadcast_to(np.asarray(tol, dtype=np.float64), (k,))
+        stop = tol_col * bnorm
+        stop_pre = (lam_min / lam_max) * tol_col * pre_norm0
     d = r / theta
     x = d.copy()
     if delta == 0.0 or iterations == 1:
@@ -130,8 +180,21 @@ def _blocked_chebyshev(apply_L, B, b: np.ndarray,
     sigma1 = theta / delta
     rho_old = 1.0 / sigma1
     for _ in range(iterations - 1):
+        if stop_pre is not None and stop_rule == "preconditioned":
+            # Freeze on the just-applied preconditioned update — no
+            # confirmation apply_L/B for converged columns.
+            done = np.linalg.norm(d, axis=0) <= stop_pre[active]
+            if done.any():
+                out[:, active[done]] = x[:, done]
+                keep = ~done
+                active = active[keep]
+                if active.size == 0:
+                    return out
+                b_act = b_act[:, keep]
+                x = x[:, keep]
+                d = d[:, keep]
         raw = b_act - apply_L(x)
-        if stop is not None:
+        if stop is not None and stop_rule == "raw":
             done = np.linalg.norm(raw, axis=0) <= stop[active]
             if done.any():
                 out[:, active[done]] = x[:, done]

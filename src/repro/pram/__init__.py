@@ -27,7 +27,12 @@ from repro.pram.ledger import (
     parallel_region,
 )
 from repro.pram import primitives
-from repro.pram.executor import parallel_map, chunk_ranges
+from repro.pram.executor import (
+    ExecutionContext,
+    parallel_map,
+    chunk_ranges,
+    default_workers,
+)
 
 __all__ = [
     "WorkDepthLedger",
@@ -38,6 +43,8 @@ __all__ = [
     "charge",
     "parallel_region",
     "primitives",
+    "ExecutionContext",
     "parallel_map",
     "chunk_ranges",
+    "default_workers",
 ]

@@ -3,38 +3,86 @@
 numpy kernels release the GIL, so a thread pool gives genuine
 concurrency for the embarrassingly parallel phases of the solver
 (per-edge weight transforms, batched walk stepping on disjoint walker
-chunks, per-system JL solves in Lemma 3.3).  This module is the
+chunks, per-column-block iterative solves).  This module is the
 "real machine" counterpart of the idealised cost ledger: the ledger
 measures PRAM work/depth; the executor demonstrates the dataflow is
 actually parallelisable.
 
-The API is deliberately tiny: :func:`chunk_ranges` splits an index range
+:class:`ExecutionContext` is the solver stack's single dispatch point
+for that parallelism.  Its determinism contract (DESIGN.md §6):
+
+* **Chunk layout depends only on problem size** (item count + the
+  context's chunk policy), never on the worker count.  Worker count
+  only decides how the fixed chunks are scheduled onto threads.
+* **Randomness is per-chunk**: each chunk receives its own
+  ``SeedSequence``-spawned child stream, drawn in chunk order from the
+  caller's generator.  Spawning is itself deterministic and does not
+  consume the parent's bit stream.
+* **Ledger charges fork/join**: each chunk records its costs into a
+  private sub-ledger; at the join the parent ledger absorbs the sum of
+  chunk works and the max of chunk depths.
+
+Together these make every chunked phase bit-identical for a fixed seed
+regardless of ``REPRO_WORKERS`` — the property the worker-invariance
+tests assert.
+
+The lower-level API remains: :func:`chunk_ranges` splits an index range
 into contiguous chunks, :func:`parallel_map` maps a function over items
 with an optional thread pool.  ``workers=None`` or ``workers<=1`` runs
-serially (default — keeps unit tests deterministic and cheap).
+serially (no pool overhead).
 """
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["parallel_map", "chunk_ranges", "default_workers"]
+import numpy as np
+
+__all__ = ["ExecutionContext", "parallel_map", "chunk_ranges",
+           "default_workers", "DEFAULT_CHUNK_ITEMS",
+           "DEFAULT_CHUNK_COLUMNS", "MAX_CHUNKS"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Work items (walkers, edges) per chunk — large enough that each
+#: chunk's numpy kernels dominate its Python dispatch overhead.
+DEFAULT_CHUNK_ITEMS = 65536
+
+#: Right-hand-side columns per chunk for blocked iterative solves.
+DEFAULT_CHUNK_COLUMNS = 16
+
+#: Hard cap on chunks per dispatch (bounds RNG spawns and pool queue
+#: length).  Part of the chunk policy, hence worker-independent.
+MAX_CHUNKS = 256
+
+# ``default_workers`` caches its (env string → value) lookup so hot
+# loops can consult it lazily at every dispatch; keying the cache on the
+# raw env value keeps ``monkeypatch.setenv("REPRO_WORKERS", ...)``
+# reliable — a changed env invalidates the cache on the next call.
+_workers_cache: tuple[str | None, int] | None = None
+
 
 def default_workers() -> int:
     """Worker count from ``REPRO_WORKERS`` env var or CPU count."""
+    global _workers_cache
     env = os.environ.get("REPRO_WORKERS")
+    if _workers_cache is not None and _workers_cache[0] == env:
+        return _workers_cache[1]
+    value = 0
     if env:
         try:
-            return max(1, int(env))
+            value = max(1, int(env))
         except ValueError:
-            pass
-    return os.cpu_count() or 1
+            value = 0
+    if value == 0:
+        value = os.cpu_count() or 1
+    _workers_cache = (env, value)
+    return value
 
 
 def chunk_ranges(n: int, chunks: int) -> list[tuple[int, int]]:
@@ -71,3 +119,129 @@ def parallel_map(fn: Callable[[T], R],
         return [fn(x) for x in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Parallel-dispatch policy threaded through the solver stack.
+
+    Parameters
+    ----------
+    workers:
+        Thread count.  ``None`` (default) consults
+        :func:`default_workers` lazily *at each dispatch*, so changing
+        ``REPRO_WORKERS`` mid-session (or monkeypatching it in a test)
+        takes effect immediately.  The worker count never influences
+        results — only wall-clock.
+    chunk_items:
+        Target work items (walkers) per chunk for :meth:`item_chunks`.
+    chunk_columns:
+        Target right-hand-side columns per chunk for
+        :meth:`column_chunks`.
+    max_chunks:
+        Cap on the number of chunks per dispatch.
+
+    The three chunk-policy fields fully determine chunk boundaries from
+    the problem size alone — see the module docstring for the
+    determinism contract.
+    """
+
+    workers: int | None = None
+    chunk_items: int = DEFAULT_CHUNK_ITEMS
+    chunk_columns: int = DEFAULT_CHUNK_COLUMNS
+    max_chunks: int = MAX_CHUNKS
+
+    def __post_init__(self) -> None:
+        if self.chunk_items < 1 or self.chunk_columns < 1 \
+                or self.max_chunks < 1:
+            raise ValueError("chunk policy values must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be None or >= 1")
+
+    # -- worker resolution --------------------------------------------------
+
+    def resolve_workers(self) -> int:
+        """The thread count to use *right now* (lazy env consultation)."""
+        if self.workers is not None:
+            return self.workers
+        return default_workers()
+
+    # -- deterministic chunk layout ------------------------------------------
+
+    def _chunk_count(self, n: int, grain: int) -> int:
+        if n <= 0:
+            return 1
+        return max(1, min(self.max_chunks, math.ceil(n / grain)))
+
+    def item_chunks(self, n: int) -> list[tuple[int, int]]:
+        """Chunk ``range(n)`` work items; layout depends only on ``n``."""
+        return chunk_ranges(n, self._chunk_count(n, self.chunk_items))
+
+    def column_chunks(self, k: int) -> list[tuple[int, int]]:
+        """Chunk ``k`` RHS columns; layout depends only on ``k``."""
+        return chunk_ranges(k, self._chunk_count(k, self.chunk_columns))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """:func:`parallel_map` with this context's (lazy) worker count."""
+        return parallel_map(fn, items, workers=self.resolve_workers())
+
+    def run_chunks(self,
+                   fn: Callable[..., R],
+                   pieces: Sequence[tuple[int, int]],
+                   rng: np.random.Generator | None = None) -> list[R]:
+        """Run ``fn(lo, hi[, stream])`` over ``pieces``, in parallel.
+
+        ``pieces`` must come from :meth:`item_chunks` /
+        :meth:`column_chunks` (or any layout derived from problem size
+        only).  When ``rng`` is given, one independent child stream is
+        spawned per piece — in piece order — and passed as the third
+        argument; the parent generator's bit stream is not consumed.
+
+        Ledger charges made inside each chunk are collected in private
+        sub-ledgers and joined into the ambient ledger as a fork/join
+        region (works add, depths max), so ledger totals are identical
+        whether the chunks ran on one thread or many.  A raising chunk
+        does not short-circuit the others: every chunk runs (and
+        charges) regardless of worker count, then the lowest-index
+        chunk's exception is re-raised — keeping both the ledger totals
+        and the surfaced error deterministic.
+        """
+        from repro.pram.ledger import current_ledger, use_ledger
+
+        streams: Sequence[np.random.Generator | None]
+        if rng is not None:
+            streams = rng.spawn(len(pieces))
+        else:
+            streams = [None] * len(pieces)
+
+        parent = current_ledger()
+        subs = [parent.__class__() for _ in pieces] \
+            if parent is not None else None
+        errors: list[BaseException | None] = [None] * len(pieces)
+
+        def one(i: int) -> R | None:
+            lo, hi = pieces[i]
+            args = (lo, hi) if streams[i] is None else (lo, hi, streams[i])
+            try:
+                if subs is None:
+                    return fn(*args)
+                with use_ledger(subs[i]):
+                    return fn(*args)
+            except BaseException as exc:  # re-raised after the join
+                errors[i] = exc
+                return None
+
+        results = parallel_map(one, range(len(pieces)),
+                               workers=self.resolve_workers())
+        if parent is not None and subs:
+            parent.absorb_parallel(subs)
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+
+#: Shared all-defaults context (lazy ``REPRO_WORKERS`` resolution).
+ExecutionContext.DEFAULT = ExecutionContext()

@@ -113,6 +113,30 @@ class WorkDepthLedger:
         cost = region.cost
         self.charge(cost.work, cost.depth, label=region.label)
 
+    def absorb_parallel(self, subledgers: "list[WorkDepthLedger]") -> None:
+        """Join sub-ledgers recorded by concurrent branches (fork/join).
+
+        Branch works add; the joined depth is the maximum branch depth
+        (the branches ran in parallel).  Per-label subtotals merge the
+        same way across branches before being added to this ledger, so
+        phase attribution survives chunked execution.  The result is
+        independent of how many threads actually ran the branches —
+        the executor uses this to keep ledger totals worker-invariant.
+        """
+        if not subledgers:
+            return
+        self.charge(sum(s.work for s in subledgers),
+                    max(s.depth for s in subledgers))
+        labels: dict[str, CostSnapshot] = {}
+        for sub in subledgers:
+            for label, cost in sub.by_label.items():
+                prev = labels.get(label)
+                labels[label] = cost if prev is None \
+                    else prev.parallel_join(cost)
+        for label, cost in labels.items():
+            prev = self.by_label.get(label, CostSnapshot())
+            self.by_label[label] = prev + cost
+
     # -- inspection --------------------------------------------------------
 
     @property

@@ -1,12 +1,16 @@
 """Parallel weighted random sampling and vectorised random walks.
 
 Implements the [HS19] primitive the paper cites as Lemma 2.6 (alias
-tables: ``O(n)`` work, ``O(log n)`` depth build; ``O(1)`` per query) and
-the batched row sampler + walk engine that ``TerminalWalks`` runs on.
+tables: ``O(n)`` work, ``O(log n)`` depth build; ``O(1)`` per query),
+the batched row sampler + walk engine that ``TerminalWalks`` runs on,
+and the incrementally maintained restricted CSR the elimination loops
+extract their per-round walk adjacency from.
 """
 
 from repro.sampling.alias import AliasTable
+from repro.sampling.inc_csr import IncrementalWalkCSR
 from repro.sampling.rowsample import RowSampler
 from repro.sampling.walks import WalkEngine, WalkResult
 
-__all__ = ["AliasTable", "RowSampler", "WalkEngine", "WalkResult"]
+__all__ = ["AliasTable", "IncrementalWalkCSR", "RowSampler", "WalkEngine",
+           "WalkResult"]

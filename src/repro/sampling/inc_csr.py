@@ -1,0 +1,325 @@
+"""Incrementally maintained restricted CSR for the elimination loop.
+
+Every round of ``ApproxSchur`` / ``BlockCholesky`` needs a CSR over the
+half-edges whose source vertex is about to be eliminated (the rows the
+walk engine can sample from).  Rebuilding that CSR from scratch costs a
+counting sort over *all* stored edges per round;
+:class:`IncrementalWalkCSR` instead maintains the edge store across
+rounds — **delete** the edges consumed by a round's walks (everything
+incident to the eliminated set ``F``), **insert** the edges the walks
+emitted — and extracts each round's restricted view by gathering only
+the rows it needs: ``O(deg F + inserts-since-epoch)`` instead of
+``O(m)``.
+
+Invariants (asserted by the equality tests, documented in DESIGN.md §6):
+
+* **Order.**  The live edges, in store order, are exactly the working
+  graph's edge arrays: survivors keep their relative order, inserted
+  edges append.  This matches ``terminal_walks``'s output layout
+  (pass-through groups first, emitted edges after).
+* **View equality.**  :meth:`restricted_view` returns an
+  ``AdjacencyView`` whose ``indptr``/``neighbor``/``weight``/
+  ``cumweight`` (and per-slot multiplicities) are *bit-identical* to
+  ``MultiGraph.adjacency_restricted`` on the equivalent compacted
+  graph — same per-row slot order (all ``u``-side half-edges by edge
+  index, then all ``v``-side), same float summation order — so walk
+  sampling cannot tell the two builds apart.  Only ``edge_id`` differs:
+  an incremental view's ids index this store, not the compacted arrays.
+* **Epochs.**  A full per-vertex index (two stable counting sorts, one
+  per edge side) is built over the store at construction and rebuilt —
+  with dead-edge compaction — only when the appended tail outgrows
+  ``rebuild_factor`` × the live edge count, keeping the amortised
+  per-round index cost linear in the *churn*, not the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.multigraph import (
+    AdjacencyView,
+    MultiGraph,
+    _counting_sort_halfedges,
+)
+from repro.pram import charge, ledger_active
+from repro.pram import primitives as P
+
+__all__ = ["IncrementalWalkCSR"]
+
+
+def _gather_row_slices(indptr: np.ndarray, slots: np.ndarray,
+                       rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``slots[indptr[r]:indptr[r+1]]`` for each row.
+
+    Returns ``(values, row_of_value)`` with rows visited in the given
+    (ascending) order — O(output) with no Python per-row loop.
+    """
+    starts = indptr[rows]
+    lens = indptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return (np.empty(0, dtype=slots.dtype),
+                np.empty(0, dtype=np.int64))
+    offsets = np.cumsum(lens) - lens
+    pos = np.repeat(starts - offsets, lens) + np.arange(total,
+                                                        dtype=np.int64)
+    return slots[pos], np.repeat(rows, lens)
+
+
+class IncrementalWalkCSR:
+    """Edge store with delete-rows / insert-edges and restricted views.
+
+    Parameters
+    ----------
+    graph:
+        The initial working multigraph (its arrays are copied).
+    rebuild_factor:
+        Rebuild (and compact) the epoch index once the appended tail
+        exceeds this fraction of the live edge count.
+    """
+
+    def __init__(self, graph: MultiGraph,
+                 rebuild_factor: float = 1.0) -> None:
+        if rebuild_factor <= 0:
+            raise ValueError("rebuild_factor must be positive")
+        self.n = graph.n
+        self.rebuild_factor = float(rebuild_factor)
+        self._size = graph.m
+        self._has_mult = graph.mult is not None
+        cap = max(16, graph.m)
+        self._bu = np.empty(cap, dtype=np.int64)
+        self._bv = np.empty(cap, dtype=np.int64)
+        self._bw = np.empty(cap, dtype=np.float64)
+        self._bmult = np.empty(cap, dtype=np.int32) if self._has_mult \
+            else None
+        self._balive = np.empty(cap, dtype=bool)
+        self._bu[:graph.m] = graph.u
+        self._bv[:graph.m] = graph.v
+        self._bw[:graph.m] = graph.w
+        if self._has_mult:
+            self._bmult[:graph.m] = graph.mult
+        self._balive[:graph.m] = True
+        self._alive_count = graph.m
+        self._build_epoch()
+
+    # -- buffer views --------------------------------------------------------
+
+    @property
+    def u(self) -> np.ndarray:
+        return self._bu[:self._size]
+
+    @property
+    def v(self) -> np.ndarray:
+        return self._bv[:self._size]
+
+    @property
+    def w(self) -> np.ndarray:
+        return self._bw[:self._size]
+
+    @property
+    def mult(self) -> np.ndarray | None:
+        return self._bmult[:self._size] if self._has_mult else None
+
+    @property
+    def alive(self) -> np.ndarray:
+        return self._balive[:self._size]
+
+    @property
+    def m(self) -> int:
+        """Stored edges (live + dead + appended)."""
+        return self._size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the store: edge buffers (at capacity) plus the
+        two-sided epoch index — the footprint memory accounting must
+        charge whenever the store is alive."""
+        total = (self._bu.nbytes + self._bv.nbytes + self._bw.nbytes
+                 + self._balive.nbytes)
+        if self._has_mult:
+            total += self._bmult.nbytes
+        total += (self._u_indptr.nbytes + self._u_slots.nbytes
+                  + self._v_indptr.nbytes + self._v_slots.nbytes)
+        return total
+
+    @property
+    def m_alive(self) -> int:
+        """Live edges — the working graph's stored edge count."""
+        return self._alive_count
+
+    def _reserve(self, extra: int) -> None:
+        need = self._size + extra
+        cap = self._bu.shape[0]
+        if need <= cap:
+            return
+        cap = max(need, 2 * cap)
+
+        def grow(buf, dtype):
+            new = np.empty(cap, dtype=dtype)
+            new[:self._size] = buf[:self._size]
+            return new
+
+        self._bu = grow(self._bu, np.int64)
+        self._bv = grow(self._bv, np.int64)
+        self._bw = grow(self._bw, np.float64)
+        if self._has_mult:
+            self._bmult = grow(self._bmult, np.int32)
+        self._balive = grow(self._balive, bool)
+
+    # -- epoch index ---------------------------------------------------------
+
+    def _build_epoch(self) -> None:
+        """Compact dead edges away and re-index both edge sides."""
+        if self._alive_count != self._size:
+            keep = np.flatnonzero(self._balive[:self._size])
+            m = keep.size
+            self._bu[:m] = self._bu[keep]
+            self._bv[:m] = self._bv[keep]
+            self._bw[:m] = self._bw[keep]
+            if self._has_mult:
+                self._bmult[:m] = self._bmult[keep]
+            self._balive[:m] = True
+            self._size = m
+        self._epoch_m = self._size
+        self._u_indptr, self._u_slots = _counting_sort_halfedges(
+            self.u, self.n)
+        self._v_indptr, self._v_slots = _counting_sort_halfedges(
+            self.v, self.n)
+        if ledger_active():
+            charge(*P.convert_cost(2 * self._epoch_m),
+                   label="inc_csr_epoch_build")
+
+    def _maybe_rebuild(self) -> None:
+        appended = self.m - self._epoch_m
+        if appended > self.rebuild_factor * max(self._alive_count, 1):
+            self._build_epoch()
+
+    # -- mutation ------------------------------------------------------------
+
+    def eliminate(self, F: np.ndarray) -> None:
+        """Delete every live edge incident to a vertex of ``F``.
+
+        These are exactly the edges a round's terminal walks consume
+        (groups with an endpoint in the eliminated set).  Cost:
+        O(epoch-degree of ``F`` + appended tail).
+        """
+        F = np.asarray(F, dtype=np.int64)
+        if F.size == 0:
+            return
+        hit_u, _ = _gather_row_slices(self._u_indptr, self._u_slots, F)
+        hit_v, _ = _gather_row_slices(self._v_indptr, self._v_slots, F)
+        # An F–F edge shows up in both side gathers (and may already be
+        # dead): dedup through a scratch mask before the alive
+        # bookkeeping, not a sort.
+        alive = self.alive
+        mark = np.zeros(self._size, dtype=bool)
+        mark[hit_u] = True
+        mark[hit_v] = True
+        if self._size > self._epoch_m:
+            member = np.zeros(self.n, dtype=bool)
+            member[F] = True
+            tail_u = self._bu[self._epoch_m:self._size]
+            tail_v = self._bv[self._epoch_m:self._size]
+            mark[self._epoch_m:] |= member[tail_u] | member[tail_v]
+        newly = mark & alive
+        self._alive_count -= int(np.count_nonzero(newly))
+        alive[newly] = False
+        if ledger_active():
+            charge(*P.map_cost(hit_u.size + hit_v.size),
+                   label="inc_csr_delete")
+
+    def insert(self, u: np.ndarray, v: np.ndarray, w: np.ndarray,
+               mult: np.ndarray | None = None) -> None:
+        """Append emitted edges (they land after all current edges)."""
+        u = np.asarray(u, dtype=np.int64)
+        if u.size == 0:
+            self._maybe_rebuild()
+            return
+        if mult is not None and not self._has_mult \
+                and np.any(np.asarray(mult) != 1):
+            raise ValueError(
+                "store was built from a multiplicity-less graph; "
+                "inserting edges with mult > 1 would silently drop "
+                "their logical copies")
+        lo, hi = self._size, self._size + u.size
+        self._reserve(u.size)
+        self._bu[lo:hi] = u
+        self._bv[lo:hi] = np.asarray(v, dtype=np.int64)
+        self._bw[lo:hi] = np.asarray(w, dtype=np.float64)
+        if self._has_mult:
+            self._bmult[lo:hi] = 1 if mult is None \
+                else np.asarray(mult, dtype=np.int32)
+        self._balive[lo:hi] = True
+        self._size = hi
+        self._alive_count += u.size
+        if ledger_active():
+            charge(*P.map_cost(u.size), label="inc_csr_insert")
+        self._maybe_rebuild()
+
+    def advance(self, F: np.ndarray, emitted_u: np.ndarray,
+                emitted_v: np.ndarray, emitted_w: np.ndarray,
+                emitted_mult: np.ndarray | None = None) -> None:
+        """One elimination round: delete ``F``'s edges, insert emissions."""
+        self.eliminate(F)
+        self.insert(emitted_u, emitted_v, emitted_w, emitted_mult)
+
+    # -- extraction ----------------------------------------------------------
+
+    def restricted_view(self, rows: np.ndarray
+                        ) -> tuple[AdjacencyView, np.ndarray | None]:
+        """Restricted adjacency over the live edges, rows = ``rows``.
+
+        Returns ``(view, slot_mult)`` where ``slot_mult`` (``None`` for
+        an implicit all-ones store) gives each CSR slot's logical copy
+        count — what the walk engine needs for per-copy resistances.
+        Bit-identical to a from-scratch
+        ``adjacency_restricted`` build on the compacted live graph
+        (modulo ``edge_id``, which indexes this store).
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        eid_u, _ = _gather_row_slices(self._u_indptr, self._u_slots, rows)
+        eid_u = eid_u[self._balive[eid_u]]
+        eid_v, _ = _gather_row_slices(self._v_indptr, self._v_slots, rows)
+        eid_v = eid_v[self._balive[eid_v]]
+        if self._size > self._epoch_m:
+            member = np.zeros(self.n, dtype=bool)
+            member[rows] = True
+            sl = slice(self._epoch_m, self._size)
+            t_alive = self._balive[sl]
+            app_u = np.flatnonzero(member[self._bu[sl]] & t_alive) \
+                + self._epoch_m
+            app_v = np.flatnonzero(member[self._bv[sl]] & t_alive) \
+                + self._epoch_m
+            eid_u = np.concatenate([eid_u, app_u])
+            eid_v = np.concatenate([eid_v, app_v])
+        # Canonical slot order (matches adjacency_restricted): group by
+        # source row; within a row all u-side half-edges by edge index,
+        # then all v-side.  Epoch gathers are row-grouped with ascending
+        # ids and appended ids exceed every epoch id, so a stable
+        # lexsort on (side, row) restores exactly that order.
+        eid = np.concatenate([eid_u, eid_v])
+        side = np.zeros(eid.size, dtype=np.int8)
+        side[eid_u.size:] = 1
+        src = np.where(side == 0, self.u[eid], self.v[eid])
+        order = np.lexsort((side, src))
+        eid = eid[order]
+        src = src[order]
+        neighbor = np.where(side[order] == 0, self.v[eid], self.u[eid])
+        weight = self.w[eid]
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=self.n), out=indptr[1:])
+        view = AdjacencyView(indptr=indptr, neighbor=neighbor,
+                             weight=weight, edge_id=eid,
+                             cumweight=np.cumsum(weight))
+        slot_mult = None if self.mult is None else self.mult[eid]
+        if ledger_active():
+            charge(*P.convert_cost(eid.size), label="inc_csr_extract")
+        return view, slot_mult
+
+    def live_graph(self) -> MultiGraph:
+        """The equivalent compacted working graph (testing/diagnostics)."""
+        keep = self.alive
+        return MultiGraph(self.n, self.u[keep], self.v[keep], self.w[keep],
+                          mult=None if self.mult is None
+                          else self.mult[keep],
+                          validate=False)

@@ -115,6 +115,32 @@ class WalkEngine:
             self._slot_resistance = \
                 graph.mult[self.adj.edge_id] / self.adj.weight
 
+    @classmethod
+    def from_adjacency(cls, adj, slot_mult: np.ndarray | None,
+                       is_terminal: np.ndarray) -> "WalkEngine":
+        """Engine over a prebuilt (restricted) adjacency view.
+
+        This is how the elimination loops reuse an incrementally
+        maintained CSR (:class:`repro.sampling.inc_csr.IncrementalWalkCSR`)
+        instead of rebuilding the adjacency per round.  ``slot_mult``
+        gives each slot's logical copy count (``None`` = all ones); the
+        view's ``edge_id`` may index any backing store — the engine only
+        consumes per-slot quantities.
+        """
+        is_terminal = np.asarray(is_terminal, dtype=bool)
+        if not is_terminal.any():
+            raise SamplingError("terminal set must be non-empty")
+        engine = cls.__new__(cls)
+        engine.graph = None
+        engine.is_terminal = is_terminal
+        engine.adj = adj
+        engine.sampler = RowSampler(adj)
+        if slot_mult is None:
+            engine._slot_resistance = 1.0 / adj.weight
+        else:
+            engine._slot_resistance = slot_mult / adj.weight
+        return engine
+
     @property
     def state_nbytes_per_walker(self) -> int:
         """Bytes per launched walker (perf accounting): live stepping
@@ -206,29 +232,40 @@ class WalkEngine:
     def run_chunked(self, starts: np.ndarray, seed=None,
                     max_steps: int = 10_000,
                     workers: int | None = None,
-                    chunks: int | None = None) -> WalkResult:
+                    chunks: int | None = None,
+                    ctx=None) -> WalkResult:
         """:meth:`run` split over walker chunks (thread-pool friendly).
 
         Walkers are independent, so chunking changes nothing
         statistically (each chunk gets an independent child stream) and
         demonstrates the fork/join structure: the ledger records the
-        chunks as parallel branches.
+        chunks as parallel branches (works add, depths max — the joined
+        depth equals the unchunked one, the longest walk).
+
+        With an :class:`repro.pram.ExecutionContext` ``ctx``, the chunk
+        layout comes from ``ctx.item_chunks`` — a function of the walker
+        count alone — so for a fixed seed the result is **bit-identical
+        regardless of the worker count** (workers only schedule the
+        fixed chunks).  The explicit ``chunks``/``workers`` parameters
+        remain for callers that want a specific layout.
         """
-        from repro.pram.executor import chunk_ranges, parallel_map
+        from repro.pram.executor import ExecutionContext, chunk_ranges
 
         starts = np.asarray(starts, dtype=np.int64)
         rng = as_generator(seed)
-        if chunks is None:
-            chunks = max(1, (workers or 1))
-        pieces = chunk_ranges(starts.size, chunks)
-        streams = rng.spawn(len(pieces))
+        if ctx is None:
+            if chunks is None:
+                chunks = max(1, (workers or 1))
+            pieces = chunk_ranges(starts.size, chunks)
+            ctx = ExecutionContext(workers=workers)
+        else:
+            pieces = ctx.item_chunks(starts.size) if chunks is None \
+                else chunk_ranges(starts.size, chunks)
 
-        def one(args):
-            (lo, hi), stream = args
+        def one(lo: int, hi: int, stream) -> WalkResult:
             return self.run(starts[lo:hi], seed=stream, max_steps=max_steps)
 
-        results = parallel_map(one, list(zip(pieces, streams)),
-                               workers=workers)
+        results = ctx.run_chunks(one, pieces, rng=rng)
         if not results:
             return WalkResult(np.empty(0, np.int64), np.empty(0),
                               np.empty(0, np.int64), 0)
