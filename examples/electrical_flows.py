@@ -1,5 +1,10 @@
 """Electrical flows on a bottlenecked network [CKMST11].
 
+Paper: the §1 motivation (Laplacian solves inside flow algorithms);
+effective resistances exercise the §6 Johnson–Lindenstrauss
+leverage-score machinery (``ResistanceOracle`` issues one blocked
+solve for all JL sketch columns).
+
 Routes current across a dumbbell (two grids joined by one bridge) and
 inspects the physics: flow conservation, the bridge carrying all the
 current, energy optimality versus a naive spanning-tree routing, and

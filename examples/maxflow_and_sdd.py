@@ -1,9 +1,9 @@
 """Max-flow by electrical flows, and SDD systems by double cover.
 
-Two of the motivations from the paper's first paragraph: flow problems
-solved through Laplacian systems [CKMST11], and general SDD systems
-(the broader class all these solvers target) via the Gremban
-reduction.
+Paper: §1 motivations — flow problems solved through Laplacian
+systems [CKMST11], and general SDD systems (the broader class all
+these solvers target) reduced to Laplacians via the Gremban double
+cover; every inner solve is the paper's Theorem 1.1/1.2 solver.
 
 Run:  python examples/maxflow_and_sdd.py
 """

@@ -1,4 +1,7 @@
-"""Sparse approximate Schur complements (Section 7 / Theorem 7.1).
+"""Sparse approximate Schur complements.
+
+Paper: §7, Algorithm 6 ``ApproxSchur`` (Theorem 7.1), built on §5's
+``TerminalWalks`` (Algorithm 4) and §3's ``5DDSubset`` (Algorithm 3).
 
 Eliminates the interior of a grid onto its boundary ring.  The exact
 Schur complement onto the boundary is *dense* (every boundary pair

@@ -1,8 +1,10 @@
 """Semi-supervised learning on a similarity graph [ZGL03].
 
-Two Gaussian point clouds connected into a k-NN-style similarity graph;
-three labelled points per class are propagated to everything else by
-the harmonic-function method, each class costing one Laplacian solve.
+Paper: the §1 learning motivation.  Two Gaussian point clouds are
+connected into a k-NN-style similarity graph; three labelled points
+per class are propagated to everything else by the harmonic-function
+method — all classes solved as ONE blocked multi-RHS call against a
+single Theorem 1.1 factorization (DESIGN.md §5).
 
 Run:  python examples/semi_supervised_learning.py
 """

@@ -1,7 +1,9 @@
 """Spectral partitioning via solver-driven inverse power iteration.
 
-Recovers the planted cut of a dumbbell graph from the Fiedler vector,
-computing eigenvectors with Laplacian solves instead of dense
+Paper: the §1 scientific-computing motivation (eigenvector/spectral
+primitives through Laplacian solves).  Recovers the planted cut of a
+dumbbell graph from the Fiedler vector, computing eigenvectors with
+repeated ``LaplacianSolver`` applies instead of dense
 eigendecomposition.
 
 Run:  python examples/spectral_partitioning.py

@@ -1,0 +1,209 @@
+"""Build the HTML API reference and lint docstrings.
+
+Two jobs, one script (CI runs it as the docs step, see
+``.github/workflows/ci.yml``):
+
+1. **Docstring lint** (always runs first): every module under
+   ``src/repro`` must carry a module docstring, and every *public*
+   top-level class, function, and method must carry one too.  Gaps
+   fail the build — the generated reference is only as good as the
+   docstrings it renders, so the build doubles as the audit.
+2. **HTML build**: renders the API reference into ``--out``
+   (default ``docs/api``).  Uses `pdoc <https://pdoc.dev>`_ when it is
+   installed (CI installs it); falls back to a dependency-free
+   ``ast``-based renderer otherwise, so the docs build never needs a
+   package this container may not have.
+
+Usage::
+
+    python scripts/build_docs.py                # lint + build docs/api
+    python scripts/build_docs.py --lint-only    # just the audit
+    python scripts/build_docs.py --out build/docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import html
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+PACKAGE = "repro"
+
+
+def iter_modules() -> list[Path]:
+    """All python files of the package, sorted for stable output."""
+    return sorted((SRC / PACKAGE).rglob("*.py"))
+
+
+def module_name(path: Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def lint_module(path: Path) -> list[str]:
+    """Missing-docstring findings for one file, as display strings."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    name = module_name(path)
+    missing: list[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{name}: missing module docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{name}.{node.name}: missing docstring")
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            if ast.get_docstring(node) is None:
+                missing.append(f"{name}.{node.name}: missing docstring")
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                        and _is_public(sub.name) \
+                        and ast.get_docstring(sub) is None \
+                        and not _is_dataclass_boilerplate(sub):
+                    missing.append(f"{name}.{node.name}.{sub.name}: "
+                                   f"missing docstring")
+    return missing
+
+
+def _is_dataclass_boilerplate(fn: ast.FunctionDef) -> bool:
+    # __repr__/__eq__-style dunders never need their own docstring.
+    return fn.name.startswith("__") and fn.name.endswith("__")
+
+
+def run_lint() -> int:
+    findings: list[str] = []
+    for path in iter_modules():
+        findings.extend(lint_module(path))
+    if findings:
+        print(f"docstring lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"docstring lint: OK ({len(iter_modules())} modules)")
+    return 0
+
+
+# -- fallback HTML renderer ---------------------------------------------------
+
+_PAGE = """<!doctype html><html><head><meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font: 15px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; padding: 0 1rem; color: #222; }}
+pre {{ background: #f6f6f6; padding: .75rem; overflow-x: auto;
+      white-space: pre-wrap; }}
+h2 {{ border-bottom: 1px solid #ddd; padding-bottom: .25rem; }}
+code {{ background: #f2f2f2; padding: 0 .2rem; }}
+a {{ color: #0b62a4; }}
+</style></head><body>
+<p><a href="index.html">index</a></p>
+{body}
+</body></html>
+"""
+
+
+def _signature(fn: ast.FunctionDef) -> str:
+    return f"{fn.name}({ast.unparse(fn.args)})"
+
+
+def _doc_block(node) -> str:
+    doc = ast.get_docstring(node)
+    return f"<pre>{html.escape(doc)}</pre>" if doc else ""
+
+
+def render_module(path: Path) -> str:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    name = module_name(path)
+    parts = [f"<h1><code>{html.escape(name)}</code></h1>",
+             _doc_block(tree)]
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            parts.append(f"<h2>class <code>{html.escape(node.name)}"
+                         f"</code></h2>")
+            parts.append(_doc_block(node))
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)) \
+                        and _is_public(sub.name):
+                    parts.append(f"<h3><code>"
+                                 f"{html.escape(_signature(sub))}"
+                                 f"</code></h3>")
+                    parts.append(_doc_block(sub))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and _is_public(node.name):
+            parts.append(f"<h2><code>{html.escape(_signature(node))}"
+                         f"</code></h2>")
+            parts.append(_doc_block(node))
+    return _PAGE.format(title=html.escape(name), body="\n".join(parts))
+
+
+def build_fallback(out: Path) -> None:
+    """Render the stdlib (``ast``-based) reference into ``out``."""
+    out.mkdir(parents=True, exist_ok=True)
+    names = []
+    for path in iter_modules():
+        name = module_name(path)
+        names.append(name)
+        (out / f"{name}.html").write_text(render_module(path))
+    links = "\n".join(
+        f'<li><a href="{n}.html"><code>{html.escape(n)}</code></a></li>'
+        for n in sorted(names))
+    (out / "index.html").write_text(_PAGE.format(
+        title=f"{PACKAGE} API reference",
+        body=f"<h1><code>{PACKAGE}</code> API reference</h1>"
+             f"<ul>{links}</ul>"))
+    print(f"built fallback reference: {len(names)} pages -> {out}")
+
+
+def build_pdoc(out: Path) -> bool:
+    """Render with pdoc if available; returns False when it is not."""
+    try:
+        import pdoc  # noqa: F401
+    except ImportError:
+        return False
+    if out.exists():
+        shutil.rmtree(out)
+    env = {**os.environ,
+           "PYTHONPATH": f"{SRC}{os.pathsep}"
+                         f"{os.environ.get('PYTHONPATH', '')}"}
+    subprocess.run([sys.executable, "-m", "pdoc", PACKAGE,
+                    "-o", str(out)], check=True, env=env)
+    print(f"built pdoc reference -> {out}")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "docs" / "api",
+                    help="output directory for the HTML reference")
+    ap.add_argument("--lint-only", action="store_true",
+                    help="run the docstring audit without building")
+    args = ap.parse_args(argv)
+
+    status = run_lint()
+    if status != 0 or args.lint_only:
+        return status
+    if not build_pdoc(args.out):
+        print("pdoc not installed; using the stdlib fallback renderer")
+        build_fallback(args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

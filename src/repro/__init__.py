@@ -30,6 +30,18 @@ are compacted out of the stepping loop.  ``graph.m`` counts stored
 groups; ``graph.m_logical`` counts the paper's multi-edges.  See
 DESIGN.md §1-§2 for the invariants.
 
+Parallel execution
+------------------
+The embarrassingly parallel phases (walker stepping, column-blocked
+solves) dispatch through :class:`repro.pram.ExecutionContext` on a
+pluggable backend: ``serial``, ``thread`` (default; numpy kernels
+release the GIL), or ``process`` (walker chunks ship to a persistent
+pool through ``multiprocessing.shared_memory``).  Pick with
+``SolverOptions(workers=…, backend=…)`` or the ``REPRO_WORKERS`` /
+``REPRO_BACKEND`` env vars.  **Determinism contract:** a fixed seed
+produces bit-identical graphs, solutions, and cost-ledger totals for
+every backend × worker-count combination (DESIGN.md §6–§7).
+
 Measure the hot path (writes BENCH_hotpath.json; ``--smoke`` for the
 CI-sized check)::
 

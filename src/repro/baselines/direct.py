@@ -35,6 +35,7 @@ class DirectSolver:
         self._cho = scipy.linalg.cho_factor(L[:-1, :-1])
 
     def solve(self, b: np.ndarray) -> np.ndarray:
+        """Exact ``L⁺ b`` via the grounded Cholesky factor."""
         b = project_out_ones(np.asarray(b, dtype=np.float64))
         x = np.zeros(self.n)
         x[:-1] = scipy.linalg.cho_solve(self._cho, b[:-1])

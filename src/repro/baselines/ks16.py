@@ -172,10 +172,12 @@ class KS16Solver:
 
     def solve(self, b: np.ndarray, eps: float = 1e-8,
               max_iter: int | None = None) -> np.ndarray:
+        """PCG solve of ``L x = b`` with the KS16 preconditioner."""
         return self.solve_report(b, eps=eps, max_iter=max_iter).x
 
     def solve_report(self, b: np.ndarray, eps: float = 1e-8,
                      max_iter: int | None = None) -> CGResult:
+        """Like :meth:`solve` but returning the full :class:`CGResult`."""
         return conjugate_gradient(self._L, b, tol=eps,
                                   preconditioner=self.factor.solve,
                                   max_iter=max_iter,

@@ -77,6 +77,8 @@ def _cmd_solve(args) -> int:
     options = default_options()
     if args.workers is not None:
         options = options.with_(workers=args.workers)
+    if args.backend is not None:
+        options = options.with_(backend=args.backend)
     solver = LaplacianSolver(g, options=options, seed=args.seed)
     t_build = time.time() - t0
     t0 = time.time()
@@ -109,6 +111,7 @@ def _cmd_bench(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel Laplacian solver (Sachdeva-Zhao SPAA'23)")
@@ -135,9 +138,15 @@ def main(argv: list[str] | None = None) -> int:
                    default="richardson")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=None,
-                   help="thread count for the parallel phases "
+                   help="worker count for the parallel phases "
                         "(default: REPRO_WORKERS env var / CPU count; "
                         "results are worker-count independent)")
+    p.add_argument("--backend", choices=["serial", "thread", "process"],
+                   default=None,
+                   help="execution backend (default: REPRO_BACKEND env "
+                        "var / thread); process ships walker chunks to "
+                        "a shared-memory process pool — results are "
+                        "backend independent")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 

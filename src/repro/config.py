@@ -77,12 +77,21 @@ class SolverOptions:
         (solves and edge-count diagnostics are unaffected; see
         :func:`repro.core.block_cholesky.block_cholesky`).
     workers:
-        Thread count for the embarrassingly parallel phases (walker
+        Worker count for the embarrassingly parallel phases (walker
         stepping, column-blocked solves).  ``None`` (default) consults
         the ``REPRO_WORKERS`` env var / CPU count lazily at every
         dispatch.  Results are bit-identical for a fixed seed
         regardless of this value — see
         :class:`repro.pram.ExecutionContext`'s determinism contract.
+    backend:
+        Execution backend for those phases: ``"serial"``, ``"thread"``
+        (numpy kernels release the GIL), or ``"process"`` (walker
+        chunks ship to a process pool through shared memory — true
+        multi-core scaling for the Python-bound stepping bookkeeping).
+        ``None`` (default) consults the ``REPRO_BACKEND`` env var
+        lazily (default ``"thread"``).  Like ``workers``, the backend
+        never changes results — fixed seed ⇒ bit-identical graphs,
+        solutions, and ledger totals across all three.
     chunk_items / chunk_columns:
         Chunk-policy overrides for the execution context (``None`` =
         library defaults).  Chunk layout is part of the *result* for a
@@ -112,6 +121,7 @@ class SolverOptions:
     lev_sample_K: int | None = None
     keep_graphs: bool = True
     workers: int | None = None
+    backend: str | None = None
     chunk_items: int | None = None
     chunk_columns: int | None = None
     incremental_csr: bool = True
@@ -149,9 +159,10 @@ class SolverOptions:
             kwargs["chunk_items"] = self.chunk_items
         if self.chunk_columns is not None:
             kwargs["chunk_columns"] = self.chunk_columns
-        if not kwargs and self.workers is None:
+        if not kwargs and self.workers is None and self.backend is None:
             return ExecutionContext.DEFAULT
-        return ExecutionContext(workers=self.workers, **kwargs)
+        return ExecutionContext(workers=self.workers,
+                                backend=self.backend, **kwargs)
 
 
 def default_options() -> SolverOptions:

@@ -101,6 +101,11 @@ def block_cholesky(graph: MultiGraph,
     top-level :class:`repro.core.solver.LaplacianSolver` does this
     automatically).
 
+    Walker batches inside each level step through ``options``'
+    execution context (serial / thread / shared-memory process
+    backend); for a fixed seed the chain is bit-identical across
+    backends and worker counts (DESIGN.md §6–§7).
+
     With ``keep_graphs=False`` (streaming mode) each per-level graph is
     dropped as soon as its blocks are extracted and the next level is
     sampled, so only one working graph is alive at a time.  Solving is

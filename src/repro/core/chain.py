@@ -68,10 +68,12 @@ class Level:
 
     @property
     def nf(self) -> int:
+        """Eliminated-block size ``|F|`` of this level."""
         return self.F.size
 
     @property
     def nc(self) -> int:
+        """Surviving-block size ``|C|`` of this level."""
         return self.C.size
 
 

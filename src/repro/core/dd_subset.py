@@ -36,14 +36,22 @@ class DDSubsetStats:
         self.accepted: list[int] = []
 
     def record(self, kept: int) -> None:
+        """Log one sampling round that accepted ``kept`` vertices."""
         self.rounds += 1
         self.accepted.append(kept)
 
 
-def _within_subset_degrees(graph: MultiGraph, member: np.ndarray
-                           ) -> np.ndarray:
+def _within_subset_degrees(graph, member: np.ndarray) -> np.ndarray:
     """Weighted degree of each vertex counting only edges with *both*
-    endpoints flagged in the boolean ``member`` mask."""
+    endpoints flagged in the boolean ``member`` mask.
+
+    ``graph`` may be a :class:`MultiGraph` or any degree oracle
+    exposing ``within_subset_degrees`` (e.g.
+    :class:`repro.sampling.inc_csr.InteriorDegreeOracle`, which serves
+    the scan straight from the incremental edge store).
+    """
+    if hasattr(graph, "within_subset_degrees"):
+        return graph.within_subset_degrees(member)
     both = member[graph.u] & member[graph.v]
     if not both.any():
         return np.zeros(graph.n, dtype=np.float64)
@@ -51,7 +59,7 @@ def _within_subset_degrees(graph: MultiGraph, member: np.ndarray
                             graph.v[both], graph.w[both], graph.n)
 
 
-def five_dd_subset(graph: MultiGraph,
+def five_dd_subset(graph,
                    active: np.ndarray | None = None,
                    seed=None,
                    options: SolverOptions | None = None,
@@ -62,7 +70,14 @@ def five_dd_subset(graph: MultiGraph,
     Parameters
     ----------
     graph:
-        Multigraph whose edges all live inside ``active``.
+        Multigraph whose edges all live inside ``active`` — or a
+        degree oracle with the same ``n`` / ``m`` /
+        ``weighted_degrees()`` / ``within_subset_degrees(member)``
+        surface (:class:`repro.sampling.inc_csr.InteriorDegreeOracle`),
+        which lets the elimination loop run the scan without
+        materialising the induced interior subgraph.  Oracle degrees
+        are bit-identical to the rebuild's, so the sampled ``F`` (and
+        every downstream result) is unchanged.
     active:
         Vertex ids to draw from; defaults to all of ``0..n-1``.
         Vertices with zero weighted degree are never selected (they

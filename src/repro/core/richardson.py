@@ -132,10 +132,12 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
     ctx:
         Optional :class:`repro.pram.ExecutionContext`.  Blocked solves
         split their columns into the context's (size-determined, hence
-        worker-independent) column chunks and iterate each chunk on the
-        thread pool — column results are identical to the unchunked
-        block up to each chunk's own freeze decisions, and identical
-        across worker counts.
+        worker-independent) column chunks and iterate each chunk on
+        the context's pool (these chunks are numpy-bound closures, so
+        the process backend schedules them on threads — see
+        ``ProcessPoolBackend.map``) — column results are identical to
+        the unchunked block up to each chunk's own freeze decisions,
+        and identical across worker counts and backends.
     """
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:

@@ -118,7 +118,8 @@ def approx_schur(graph: MultiGraph,
 
     The walker batches step through ``options``' execution context in
     deterministic disjoint chunks, so for a fixed seed the output is
-    bit-identical no matter how many worker threads run them.
+    bit-identical no matter which backend (serial / thread / process)
+    or worker count runs them.
 
     Returns
     -------
@@ -162,26 +163,35 @@ def approx_schur(graph: MultiGraph,
             raise FactorizationError(
                 "ApproxSchur exceeded its round budget (Lemma 3.4 "
                 "guarantees a constant-fraction shrink per round)")
-        # Induced subgraph on the interior; 5DDSubset measures degrees
-        # within it (Algorithm 6 line 5).
-        member = np.zeros(graph.n, dtype=bool)
-        member[U] = True
-        interior_mask = member[work.u] & member[work.v]
-        induced = work.edge_subset(interior_mask)
-        deg_U = induced.weighted_degrees()
+        # 5DDSubset measures degrees within the induced interior
+        # subgraph (Algorithm 6 line 5).  With the incremental store
+        # that subgraph is never rebuilt: a degree oracle gathers only
+        # the interior rows from the store's epoch index —
+        # O(deg U + churn) instead of O(stored edges) — with degrees
+        # bit-identical to the rebuild (InteriorDegreeOracle docstring).
+        if inc is not None:
+            scan = inc.interior_degrees(U)
+            scan_bytes = scan.nbytes
+        else:
+            member = np.zeros(graph.n, dtype=bool)
+            member[U] = True
+            interior_mask = member[work.u] & member[work.v]
+            scan = work.edge_subset(interior_mask)
+            scan_bytes = scan.edge_nbytes
+        deg_U = scan.weighted_degrees()
         trivially_dd = U[deg_U[U] == 0]  # no interior edges: always 5-DD
         if trivially_dd.size == U.size:
             F = U
         else:
-            F_sampled = five_dd_subset(induced, active=U[deg_U[U] > 0],
+            F_sampled = five_dd_subset(scan, active=U[deg_U[U] > 0],
                                        seed=rng, options=opts)
             F = np.union1d(F_sampled, trivially_dd)
         terminals = np.setdiff1d(active, F)
-        # The induced subgraph only exists to pick F: release it before
+        # The scan structure only exists to pick F: release it before
         # the walk phase so the two big per-round footprints (5DD scan
         # vs walk emission) never coexist.
-        dd_bytes = work.edge_nbytes + induced.edge_nbytes
-        induced = None
+        dd_bytes = work.edge_nbytes + scan_bytes
+        scan = None
         engine = None
         if inc is not None:
             is_term = np.zeros(graph.n, dtype=bool)

@@ -121,6 +121,8 @@ class SDDSolver:
                                            options=options, seed=seed)
 
     def solve(self, b: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+        """``M⁻¹ b`` (``M⁺ b`` in the singular case) via the Gremban
+        double cover's Laplacian solve."""
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (self.n,):
             raise ReproError(f"b must have shape ({self.n},)")

@@ -102,6 +102,14 @@ class LaplacianSolver:
     seed:
         Seed/generator for all randomness (splitting, 5DDSubset,
         terminal walks).
+
+    The randomised build and the blocked solve paths both dispatch
+    through ``options``' execution context
+    (:class:`repro.pram.ExecutionContext`): ``workers`` /
+    ``REPRO_WORKERS`` and ``backend`` / ``REPRO_BACKEND`` pick the
+    machinery (serial, thread pool, shared-memory process pool) but
+    never the result — fixed seed ⇒ bit-identical factorizations and
+    solutions (DESIGN.md §6–§7).
     """
 
     def __init__(self, graph: MultiGraph,
@@ -141,6 +149,7 @@ class LaplacianSolver:
 
     @property
     def n(self) -> int:
+        """Vertex count of the input graph (RHS length)."""
         return self.graph.n
 
     def apply_L(self, x: np.ndarray) -> np.ndarray:

@@ -105,9 +105,11 @@ def terminal_walks(graph: MultiGraph,
     ctx:
         Optional :class:`repro.pram.ExecutionContext`.  When given, the
         walkers step in deterministic disjoint chunks (one spawned RNG
-        stream per chunk) through the context's thread pool — results
-        are bit-identical for a fixed seed regardless of its worker
-        count.  ``None`` keeps the single-stream serial stepping.
+        stream per chunk) on the context's backend — serial, thread
+        pool, or shared-memory process pool — and results are
+        bit-identical for a fixed seed regardless of backend and
+        worker count.  ``None`` keeps the single-stream serial
+        stepping.
 
     Returns
     -------

@@ -107,10 +107,12 @@ class LaplacianBlocks:
 
     @property
     def nf(self) -> int:
+        """Eliminated-block dimension ``|F|``."""
         return self.X.shape[0]
 
     @property
     def nc(self) -> int:
+        """Surviving-block dimension ``|C|``."""
         return self.L_FC.shape[1]
 
 

@@ -380,6 +380,7 @@ class MultiGraph:
     # -- derived graphs ------------------------------------------------------
 
     def copy(self) -> "MultiGraph":
+        """Deep copy of the edge arrays (caches are not carried)."""
         return MultiGraph(self.n, self.u.copy(), self.v.copy(),
                           self.w.copy(),
                           mult=None if self.mult is None else self.mult.copy(),

@@ -43,6 +43,7 @@ class CGResult:
 
     @property
     def final_residual(self) -> float:
+        """Last recorded 2-norm residual (NaN when none recorded)."""
         return self.residual_norms[-1] if self.residual_norms else float("nan")
 
 
@@ -80,8 +81,9 @@ def conjugate_gradient(L,
     ctx:
         Optional :class:`repro.pram.ExecutionContext`: blocked solves
         split their columns into the context's size-determined chunks
-        and run the chunks on its thread pool (column results are
-        worker-count independent).
+        and run the chunks on its pool (column results are worker- and
+        backend-independent; these chunks are numpy-bound closures, so
+        the process backend schedules them on threads).
     """
     apply_L = as_apply(L)
     b = np.asarray(b, dtype=np.float64)

@@ -75,7 +75,8 @@ def chebyshev_iteration(L,
     ctx:
         Optional :class:`repro.pram.ExecutionContext`: blocked calls
         split their columns into the context's size-determined chunks
-        and iterate the chunks on its thread pool.
+        and iterate the chunks on its pool (worker- and
+        backend-independent results).
     """
     if not (0 < lam_min <= lam_max):
         raise ValueError("need 0 < lam_min <= lam_max")

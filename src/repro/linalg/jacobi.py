@@ -79,6 +79,7 @@ class JacobiOperator:
 
     @property
     def n(self) -> int:
+        """Dimension of the operator (``|F|``)."""
         return self.X.size
 
     @property

@@ -12,9 +12,12 @@ provides:
 * :mod:`repro.pram.primitives` — cost formulas for the parallel
   primitives the paper invokes (Lemma 2.6 sampling, Lemma 2.7
   conversions, reductions, scans, sorts, sparse matvec).
-* :mod:`repro.pram.executor` — a chunked thread-pool map for the
-  numpy-heavy inner loops (numpy releases the GIL, so this gives real
-  concurrency for the embarrassingly parallel parts).
+* :mod:`repro.pram.executor` — backend-pluggable chunked execution
+  for the embarrassingly parallel phases: serial, thread-pool (numpy
+  releases the GIL inside chunk kernels), or process-pool over
+  shared-memory array payloads for the Python-bound phases the GIL
+  would otherwise serialise.  Results are bit-identical across
+  backends and worker counts for a fixed seed (DESIGN.md §6–§7).
 """
 
 from repro.pram.ledger import (
@@ -23,15 +26,24 @@ from repro.pram.ledger import (
     current_ledger,
     ledger_active,
     use_ledger,
+    detach_ledger,
     charge,
     parallel_region,
 )
 from repro.pram import primitives
 from repro.pram.executor import (
     ExecutionContext,
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    ProcessPoolBackend,
     parallel_map,
     chunk_ranges,
     default_workers,
+    default_backend,
+    get_backend,
+    live_segment_names,
+    BACKENDS,
 )
 
 __all__ = [
@@ -40,11 +52,20 @@ __all__ = [
     "current_ledger",
     "ledger_active",
     "use_ledger",
+    "detach_ledger",
     "charge",
     "parallel_region",
     "primitives",
     "ExecutionContext",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
     "parallel_map",
     "chunk_ranges",
     "default_workers",
+    "default_backend",
+    "get_backend",
+    "live_segment_names",
+    "BACKENDS",
 ]

@@ -1,30 +1,58 @@
-"""Chunked thread-pool execution for numpy-heavy inner loops.
+"""Backend-pluggable chunked execution for the solver's parallel phases.
 
-numpy kernels release the GIL, so a thread pool gives genuine
-concurrency for the embarrassingly parallel phases of the solver
-(per-edge weight transforms, batched walk stepping on disjoint walker
-chunks, per-column-block iterative solves).  This module is the
-"real machine" counterpart of the idealised cost ledger: the ledger
-measures PRAM work/depth; the executor demonstrates the dataflow is
-actually parallelisable.
+The solver stack has two kinds of embarrassingly parallel work:
 
-:class:`ExecutionContext` is the solver stack's single dispatch point
-for that parallelism.  Its determinism contract (DESIGN.md §6):
+* **numpy-bound chunks** (per-edge weight transforms, column-blocked
+  iterative solves) — the kernels release the GIL, so a thread pool
+  already scales them;
+* **Python-bound chunks** (walker-stepping bookkeeping, per-round CSR
+  maintenance, chunk orchestration) — under the GIL a thread pool tops
+  out around 1.2×, so true multi-core scaling needs separate
+  *processes*.
+
+This module is the solver's single dispatch point for both.  An
+:class:`ExecutionBackend` decides *where* a fixed set of chunks runs:
+
+* :class:`SerialBackend` — in the calling thread (no pool overhead,
+  the reference semantics);
+* :class:`ThreadPoolBackend` — a ``ThreadPoolExecutor`` (the PR-3
+  behaviour, best for numpy-bound chunks);
+* :class:`ProcessPoolBackend` — a persistent ``ProcessPoolExecutor``
+  fed through ``multiprocessing.shared_memory``: the immutable
+  per-level arrays (CSR ``indptr``/``neighbor``/weights, slot
+  resistances, terminal masks, walker starts) are published **once**
+  per dispatch as a single shared segment, and each chunk task pickles
+  only its chunk id, seed-spawn key, and slice bounds.
+
+The backend never influences *results* — only wall-clock.
+:class:`ExecutionContext`'s determinism contract (DESIGN.md §6–§7):
 
 * **Chunk layout depends only on problem size** (item count + the
-  context's chunk policy), never on the worker count.  Worker count
-  only decides how the fixed chunks are scheduled onto threads.
+  context's chunk policy), never on the worker count or backend.
 * **Randomness is per-chunk**: each chunk receives its own
   ``SeedSequence``-spawned child stream, drawn in chunk order from the
-  caller's generator.  Spawning is itself deterministic and does not
-  consume the parent's bit stream.
+  caller's generator.  The thread path spawns child *generators*
+  (``rng.spawn``); the process path ships the spawned *seed sequences*
+  and reconstructs the identical generators worker-side — same bit
+  generator type, same child seed, bit-identical stream.
 * **Ledger charges fork/join**: each chunk records its costs into a
-  private sub-ledger; at the join the parent ledger absorbs the sum of
-  chunk works and the max of chunk depths.
+  private sub-ledger — in-process via :func:`use_ledger`, in a worker
+  process via an explicit ledger handed to the shipped task — and at
+  the join the parent ledger absorbs the sum of chunk works and the
+  max of chunk depths.  Totals are identical across backends and
+  worker counts.
 
 Together these make every chunked phase bit-identical for a fixed seed
-regardless of ``REPRO_WORKERS`` — the property the worker-invariance
-tests assert.
+regardless of ``REPRO_BACKEND`` / ``REPRO_WORKERS`` — the property the
+backend-matrix invariance tests assert.
+
+Shared-memory lifecycle (crash-safe; see DESIGN.md §7): the parent
+creates each payload segment, registers it in a module-level registry,
+and closes + unlinks it in a ``finally`` as soon as the dispatch
+joins; an ``atexit`` hook unlinks anything the registry still holds
+(e.g. after a mid-dispatch crash), so no segment outlives the parent.
+Workers attach read-only, keep a small LRU of attachments, and never
+unlink — the parent owns the segment.
 
 The lower-level API remains: :func:`chunk_ranges` splits an index range
 into contiguous chunks, :func:`parallel_map` maps a function over items
@@ -34,17 +62,23 @@ serially (no pool overhead).
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import math
 import os
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["ExecutionContext", "parallel_map", "chunk_ranges",
-           "default_workers", "DEFAULT_CHUNK_ITEMS",
-           "DEFAULT_CHUNK_COLUMNS", "MAX_CHUNKS"]
+__all__ = ["ExecutionContext", "ExecutionBackend", "SerialBackend",
+           "ThreadPoolBackend", "ProcessPoolBackend", "SharedPayload",
+           "parallel_map", "chunk_ranges", "default_workers",
+           "default_backend", "get_backend", "live_segment_names",
+           "BACKENDS", "DEFAULT_CHUNK_ITEMS", "DEFAULT_CHUNK_COLUMNS",
+           "MAX_CHUNKS"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,11 +94,16 @@ DEFAULT_CHUNK_COLUMNS = 16
 #: length).  Part of the chunk policy, hence worker-independent.
 MAX_CHUNKS = 256
 
-# ``default_workers`` caches its (env string → value) lookup so hot
-# loops can consult it lazily at every dispatch; keying the cache on the
-# raw env value keeps ``monkeypatch.setenv("REPRO_WORKERS", ...)``
-# reliable — a changed env invalidates the cache on the next call.
+#: Recognised execution backends, in increasing isolation order.
+BACKENDS = ("serial", "thread", "process")
+
+# ``default_workers`` / ``default_backend`` cache their (env string →
+# value) lookup so hot loops can consult them lazily at every dispatch;
+# keying the cache on the raw env value keeps
+# ``monkeypatch.setenv(...)`` reliable — a changed env invalidates the
+# cache on the next call.
 _workers_cache: tuple[str | None, int] | None = None
+_backend_cache: tuple[str | None, str] | None = None
 
 
 def default_workers() -> int:
@@ -82,6 +121,24 @@ def default_workers() -> int:
     if value == 0:
         value = os.cpu_count() or 1
     _workers_cache = (env, value)
+    return value
+
+
+def default_backend() -> str:
+    """Backend name from ``REPRO_BACKEND`` env var (default: thread).
+
+    Raises :class:`ValueError` for anything outside :data:`BACKENDS` —
+    a typo'd environment should fail loudly, not silently fall back.
+    """
+    global _backend_cache
+    env = os.environ.get("REPRO_BACKEND")
+    if _backend_cache is not None and _backend_cache[0] == env:
+        return _backend_cache[1]
+    value = (env or "thread").strip().lower()
+    if value not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {BACKENDS}, got {env!r}")
+    _backend_cache = (env, value)
     return value
 
 
@@ -114,11 +171,390 @@ def parallel_map(fn: Callable[[T], R],
 
     Results preserve input order.  With ``workers`` ``None`` or ≤ 1 the
     map runs serially in the calling thread (no pool overhead).
+
+    The pool is deliberately *transient* (unlike the persistent process
+    pools below): keeping idle worker threads alive between dispatches
+    would mean the process backend's ``fork`` happens in a threaded
+    parent — CPython's fork-with-threads hazard.  Tearing the pool down
+    per call guarantees a thread-free fork whenever backends are mixed
+    in one session, at ~tens of µs per dispatch.
     """
     if workers is None or workers <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+# -- shared-memory payloads ---------------------------------------------------
+
+#: Byte alignment of each array inside a payload segment (cache line).
+_SHM_ALIGN = 64
+
+#: Segments created by this process that are not yet unlinked.  The
+#: dispatch sites close entries in a ``finally``; the ``atexit`` hook
+#: below sweeps whatever a crash left behind.
+_live_segments: dict[str, object] = {}
+
+_segment_counter = itertools.count()
+
+
+def _fresh_segment_name() -> str:
+    # Short (macOS caps shm names at 31 chars) and unique per process.
+    return f"repro-{os.getpid()}-{next(_segment_counter)}"
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of shared-memory segments this process currently owns.
+
+    Empty whenever no shipped dispatch is in flight — the cleanup tests
+    assert exactly that after solver teardown.
+    """
+    return tuple(_live_segments)
+
+
+@atexit.register
+def _cleanup_segments() -> None:  # pragma: no cover - crash path
+    for shm in list(_live_segments.values()):
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+    _live_segments.clear()
+
+
+class SharedPayload:
+    """One shared-memory segment holding a dict of immutable arrays.
+
+    The parent copies every array into a single aligned segment at
+    construction and hands workers a tiny picklable ``spec``
+    (segment name + per-array dtype/shape/offset).  Lifecycle: the
+    creating process owns the segment — :meth:`close` (always called in
+    the dispatch's ``finally``) closes **and unlinks** it; the
+    module-level registry plus ``atexit`` hook make the unlink
+    crash-safe.  Workers only ever attach and close.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        fields: list[tuple[str, str, tuple[int, ...], int]] = []
+        prepared: list[tuple[np.ndarray, int]] = []
+        offset = 0
+        for key, arr in arrays.items():
+            a = np.ascontiguousarray(arr)
+            offset = -(-offset // _SHM_ALIGN) * _SHM_ALIGN
+            fields.append((key, a.dtype.str, a.shape, offset))
+            prepared.append((a, offset))
+            offset += a.nbytes
+        while True:
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=max(offset, 1),
+                    name=_fresh_segment_name())
+                break
+            except FileExistsError:
+                # A hard-killed earlier run with a recycled pid left a
+                # stale segment under this name; the counter advances
+                # every attempt, so skipping to the next name converges.
+                continue
+        _live_segments[self._shm.name] = self._shm
+        for a, off in prepared:
+            if a.nbytes:
+                view = np.ndarray(a.shape, dtype=a.dtype,
+                                  buffer=self._shm.buf, offset=off)
+                view[...] = a
+        #: Picklable description workers attach from.
+        self.spec: tuple = (self._shm.name, tuple(fields))
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing segment in bytes."""
+        return self._shm.size
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        if self._shm.name in _live_segments:
+            _live_segments.pop(self._shm.name, None)
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# Worker-side attachment cache: segment name → (SharedMemory, arrays).
+# Segment names are never reused, so a cache hit can only come from
+# chunks of the *same* dispatch — one live payload suffices.  Keeping
+# the bound tight matters because an unlinked segment's pages are freed
+# only when the last mapping closes: a larger cache would pin that many
+# dead payloads in every worker's RSS.
+_attached: "OrderedDict[str, tuple]" = OrderedDict()
+_ATTACH_CACHE = 1
+
+
+def _attach_payload(spec: tuple) -> dict[str, np.ndarray]:
+    """Attach (or reuse) a payload segment and rebuild its array views."""
+    from multiprocessing import shared_memory
+
+    name, fields = spec
+    hit = _attached.get(name)
+    if hit is not None:
+        _attached.move_to_end(name)
+        return hit[1]
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13 has no ``track`` parameter: attaching would
+        # enrol the segment with the resource tracker a second time,
+        # and the tracker would see one more unregister than register
+        # once the parent unlinks.  The parent owns the lifecycle, so
+        # suppress the worker-side registration entirely.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = (
+            lambda rname, rtype: None if rtype == "shared_memory"
+            else original(rname, rtype))
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    arrays: dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in fields:
+        view = np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=shm.buf, offset=offset)
+        view.setflags(write=False)
+        arrays[key] = view
+    _attached[name] = (shm, arrays)
+    while len(_attached) > _ATTACH_CACHE:
+        _, (old_shm, old_arrays) = _attached.popitem(last=False)
+        old_arrays.clear()
+        try:
+            old_shm.close()
+        except BufferError:  # pragma: no cover - a view escaped; keep
+            pass             # the mapping alive until process exit
+    return arrays
+
+
+# -- worker-process entry -----------------------------------------------------
+
+
+def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
+                    want_ledger):
+    """Run one shipped chunk inside a worker process.
+
+    Reconstructs the array views from shared memory, rebuilds the
+    chunk's RNG stream from its spawned seed sequence (identical to the
+    in-process child stream), and hands the task an explicit fresh
+    sub-ledger — the task installs it only around the work that the
+    in-process path would have charged, so ledger totals stay
+    backend-invariant.  Exceptions are returned, not raised, so every
+    chunk runs and the parent re-raises deterministically.
+    """
+    from repro.pram.ledger import WorkDepthLedger, detach_ledger
+
+    # A fork start method may have copied the parent's ambient ledger
+    # contextvar into this process — detach it so setup work (sampler
+    # rebuilds, array reconstruction) charges nothing anywhere.
+    detach_ledger()
+    stream = None
+    if seed_seq is not None:
+        stream = np.random.Generator(bitgen_cls(seed_seq))
+    ledger = WorkDepthLedger() if want_ledger else None
+    try:
+        arrays = _attach_payload(spec)
+        return True, task(arrays, meta, lo, hi, stream, ledger), ledger
+    except Exception as exc:
+        return False, exc, ledger
+
+
+def _run_shipped_inprocess(task, arrays, meta, pieces, seed_seqs,
+                           bitgen_cls, want_ledger, workers):
+    """Shared in-process realisation of the shipped-task protocol.
+
+    Used by the serial and thread backends: same task signature, same
+    explicit sub-ledgers, same per-chunk streams as the process
+    backend — only the transport (direct references vs shared memory)
+    differs, so results and ledger totals cannot.
+    """
+    from repro.pram.ledger import WorkDepthLedger
+
+    def one(i: int):
+        lo, hi = pieces[i]
+        stream = None
+        if seed_seqs[i] is not None:
+            stream = np.random.Generator(bitgen_cls(seed_seqs[i]))
+        ledger = WorkDepthLedger() if want_ledger else None
+        try:
+            return True, task(arrays, meta, lo, hi, stream, ledger), ledger
+        except Exception as exc:
+            return False, exc, ledger
+
+    return parallel_map(one, range(len(pieces)), workers=workers)
+
+
+# -- persistent process pools -------------------------------------------------
+
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def _process_pool(workers: int) -> ProcessPoolExecutor:
+    """A persistent pool per worker count (forked lazily, reused)."""
+    pool = _pools.get(workers)
+    if pool is None:
+        import multiprocessing
+
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+            else "spawn"
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(method))
+        _pools[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter exit
+    for pool in _pools.values():
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+    _pools.clear()
+
+
+# -- backends -----------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Where a fixed chunk layout actually runs.
+
+    Backends are pure *schedulers*: they receive chunk boundaries, RNG
+    seed keys, and (for shipped tasks) an array payload, and return the
+    per-chunk ``(ok, result_or_exc, subledger)`` triples in chunk
+    order.  They must not influence chunk layout, stream assignment, or
+    charge attribution — that is what keeps results bit-identical
+    across ``{serial, thread, process}``.
+
+    Two entry points:
+
+    * :meth:`map` — run arbitrary in-process callables (closures
+      allowed).  This serves the numpy-bound chunk dispatches.
+    * :meth:`run_shipped` — run a *module-level* task function over a
+      dict of immutable arrays.  Only this form can cross a process
+      boundary (the task is pickled by reference, the arrays travel
+      through shared memory, and each chunk job pickles only
+      ``(chunk bounds, seed key)``).
+    """
+
+    name: str = "abstract"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T],
+            workers: int) -> list[R]:
+        """Run an in-process map over ``items`` (closures allowed)."""
+        raise NotImplementedError
+
+    def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
+                    bitgen_cls, want_ledger, workers) -> list:
+        """Run a shippable task; ``(ok, value, ledger)`` per chunk."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every chunk in the calling thread — the reference semantics
+    all other backends must reproduce bit-for-bit."""
+
+    name = "serial"
+
+    def map(self, fn, items, workers):
+        """Sequential in-thread map (``workers`` is ignored)."""
+        return [fn(x) for x in items]
+
+    def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
+                    bitgen_cls, want_ledger, workers):
+        """Run the shipped-task protocol sequentially in-process."""
+        return _run_shipped_inprocess(task, arrays, meta, pieces,
+                                      seed_seqs, bitgen_cls, want_ledger,
+                                      workers=1)
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Thread-pool scheduling (the PR-3 behaviour): genuine concurrency
+    for chunks whose numpy kernels release the GIL."""
+
+    name = "thread"
+
+    def map(self, fn, items, workers):
+        """Thread-pool map (serial when ``workers <= 1``)."""
+        return parallel_map(fn, items, workers=workers)
+
+    def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
+                    bitgen_cls, want_ledger, workers):
+        """Run the shipped-task protocol on the thread pool."""
+        return _run_shipped_inprocess(task, arrays, meta, pieces,
+                                      seed_seqs, bitgen_cls, want_ledger,
+                                      workers=workers)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Process-pool scheduling over shared-memory array payloads.
+
+    Shipped tasks run on a persistent worker pool; the payload arrays
+    cross the process boundary once per dispatch through one shared
+    segment, and each chunk job pickles only its slice bounds and
+    seed-spawn key.  Closure-based dispatches (:meth:`map`) cannot be
+    pickled, so they fall back to the thread pool — those sites are
+    numpy-bound column loops that already scale under threads, which is
+    exactly why only the walker phase ships.
+    """
+
+    name = "process"
+
+    def map(self, fn, items, workers):
+        """Closures cannot cross the process boundary — run them on
+        the thread pool (those dispatch sites are numpy-bound and
+        release the GIL; see the class docstring)."""
+        return parallel_map(fn, items, workers=workers)
+
+    def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
+                    bitgen_cls, want_ledger, workers):
+        """Publish ``arrays`` once via shared memory, run the chunks
+        on the persistent process pool, unlink in ``finally``."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        payload = SharedPayload(arrays)
+        try:
+            pool = _process_pool(max(1, workers))
+            futures = [
+                pool.submit(_shipped_worker, payload.spec, task, meta,
+                            lo, hi, seed_seqs[i], bitgen_cls, want_ledger)
+                for i, (lo, hi) in enumerate(pieces)]
+            try:
+                return [f.result() for f in futures]
+            except BrokenProcessPool:
+                # A worker died; drop the pool so the next dispatch
+                # starts a fresh one instead of failing forever.
+                _pools.pop(max(1, workers), None)
+                raise
+        finally:
+            payload.close()
+
+
+_BACKENDS: dict[str, ExecutionBackend] = {
+    "serial": SerialBackend(),
+    "thread": ThreadPoolBackend(),
+    "process": ProcessPoolBackend(),
+}
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The shared singleton backend instance for ``name``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {BACKENDS}") from None
 
 
 @dataclass(frozen=True)
@@ -128,11 +564,16 @@ class ExecutionContext:
     Parameters
     ----------
     workers:
-        Thread count.  ``None`` (default) consults
-        :func:`default_workers` lazily *at each dispatch*, so changing
-        ``REPRO_WORKERS`` mid-session (or monkeypatching it in a test)
-        takes effect immediately.  The worker count never influences
-        results — only wall-clock.
+        Worker count (threads or processes, per ``backend``).  ``None``
+        (default) consults :func:`default_workers` lazily *at each
+        dispatch*, so changing ``REPRO_WORKERS`` mid-session (or
+        monkeypatching it in a test) takes effect immediately.  The
+        worker count never influences results — only wall-clock.
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"`` — see
+        :class:`ExecutionBackend`.  ``None`` (default) consults the
+        ``REPRO_BACKEND`` env var lazily (default ``"thread"``).  Like
+        ``workers``, the backend never influences results.
     chunk_items:
         Target work items (walkers) per chunk for :meth:`item_chunks`.
     chunk_columns:
@@ -147,6 +588,7 @@ class ExecutionContext:
     """
 
     workers: int | None = None
+    backend: str | None = None
     chunk_items: int = DEFAULT_CHUNK_ITEMS
     chunk_columns: int = DEFAULT_CHUNK_COLUMNS
     max_chunks: int = MAX_CHUNKS
@@ -157,14 +599,24 @@ class ExecutionContext:
             raise ValueError("chunk policy values must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be None or >= 1")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be None or one of {BACKENDS}, "
+                f"got {self.backend!r}")
 
-    # -- worker resolution --------------------------------------------------
+    # -- worker/backend resolution --------------------------------------------
 
     def resolve_workers(self) -> int:
-        """The thread count to use *right now* (lazy env consultation)."""
+        """The worker count to use *right now* (lazy env consultation)."""
         if self.workers is not None:
             return self.workers
         return default_workers()
+
+    def resolve_backend(self) -> str:
+        """The backend name to use *right now* (lazy env consultation)."""
+        if self.backend is not None:
+            return self.backend
+        return default_backend()
 
     # -- deterministic chunk layout ------------------------------------------
 
@@ -183,9 +635,19 @@ class ExecutionContext:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _map_workers(self) -> int:
+        return 1 if self.resolve_backend() == "serial" \
+            else self.resolve_workers()
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        """:func:`parallel_map` with this context's (lazy) worker count."""
-        return parallel_map(fn, items, workers=self.resolve_workers())
+        """Map ``fn`` over ``items`` on this context's backend.
+
+        Closure-friendly (in-process) mapping: the serial backend runs
+        in the calling thread, thread and process backends use the
+        thread pool (see :class:`ProcessPoolBackend` for why closures
+        never cross the process boundary).
+        """
+        return parallel_map(fn, items, workers=self._map_workers())
 
     def run_chunks(self,
                    fn: Callable[..., R],
@@ -207,6 +669,10 @@ class ExecutionContext:
         charges) regardless of worker count, then the lowest-index
         chunk's exception is re-raised — keeping both the ledger totals
         and the surfaced error deterministic.
+
+        ``fn`` may be any in-process callable (closures welcome); use
+        :meth:`run_shipped` for chunk work that should cross the
+        process boundary under the process backend.
         """
         from repro.pram.ledger import current_ledger, use_ledger
 
@@ -234,7 +700,7 @@ class ExecutionContext:
                 return None
 
         results = parallel_map(one, range(len(pieces)),
-                               workers=self.resolve_workers())
+                               workers=self._map_workers())
         if parent is not None and subs:
             parent.absorb_parallel(subs)
         for exc in errors:
@@ -242,6 +708,59 @@ class ExecutionContext:
                 raise exc
         return results
 
+    def run_shipped(self,
+                    task: Callable[..., R],
+                    arrays: dict[str, np.ndarray],
+                    meta: dict,
+                    pieces: Sequence[tuple[int, int]],
+                    rng: np.random.Generator | None = None) -> list[R]:
+        """Run a shippable ``task`` over ``pieces`` on this backend.
 
-#: Shared all-defaults context (lazy ``REPRO_WORKERS`` resolution).
+        ``task`` must be a **module-level** function (pickled by
+        reference under the process backend) with signature
+        ``task(arrays, meta, lo, hi, stream, ledger)``:
+
+        * ``arrays`` — the payload dict, reconstructed worker-side as
+          read-only views over one shared-memory segment (direct
+          references in-process);
+        * ``meta`` — small picklable scalars;
+        * ``stream`` — the chunk's spawned RNG stream (``None`` when no
+          ``rng`` was given).  Identical to the stream
+          :meth:`run_chunks` would have passed: the same
+          ``SeedSequence`` child wrapped in the same bit-generator
+          type;
+        * ``ledger`` — a fresh sub-ledger when the caller had one
+          installed, else ``None``.  The task must install it (via
+          :func:`repro.pram.use_ledger`) only around the work the
+          in-process path charges, keeping totals backend-invariant.
+
+        Semantics mirror :meth:`run_chunks`: results in piece order,
+        sub-ledgers joined fork/join into the ambient ledger, every
+        chunk runs, and the lowest-index chunk's exception is re-raised
+        after the join.
+        """
+        from repro.pram.ledger import current_ledger
+
+        backend = get_backend(self.resolve_backend())
+        parent = current_ledger()
+        if rng is not None:
+            seed_seqs = rng.bit_generator.seed_seq.spawn(len(pieces))
+            bitgen_cls = type(rng.bit_generator)
+        else:
+            seed_seqs = [None] * len(pieces)
+            bitgen_cls = None
+        outs = backend.run_shipped(task, arrays, meta, pieces, seed_seqs,
+                                   bitgen_cls, parent is not None,
+                                   self.resolve_workers())
+        subs = [sub for _, _, sub in outs if sub is not None]
+        if parent is not None and subs:
+            parent.absorb_parallel(subs)
+        for ok, value, _ in outs:
+            if not ok:
+                raise value
+        return [value for _, value, _ in outs]
+
+
+#: Shared all-defaults context (lazy ``REPRO_WORKERS``/``REPRO_BACKEND``
+#: resolution).
 ExecutionContext.DEFAULT = ExecutionContext()

@@ -41,6 +41,7 @@ __all__ = [
     "current_ledger",
     "ledger_active",
     "use_ledger",
+    "detach_ledger",
     "charge",
     "parallel_region",
 ]
@@ -84,6 +85,7 @@ class ParallelRegion:
 
     @property
     def cost(self) -> CostSnapshot:
+        """Joined fork/join cost: branch works added, depths maxed."""
         return CostSnapshot(self._work, self._depth)
 
 
@@ -110,6 +112,7 @@ class WorkDepthLedger:
             self.by_label[label] = prev + CostSnapshot(work, depth)
 
     def charge_region(self, region: ParallelRegion) -> None:
+        """Sequentially compose a completed fork/join region."""
         cost = region.cost
         self.charge(cost.work, cost.depth, label=region.label)
 
@@ -141,9 +144,11 @@ class WorkDepthLedger:
 
     @property
     def snapshot(self) -> CostSnapshot:
+        """Immutable copy of the current (work, depth) totals."""
         return CostSnapshot(self.work, self.depth)
 
     def reset(self) -> None:
+        """Zero all totals, counters, and per-label subtotals."""
         self.work = 0.0
         self.depth = 0.0
         self.events = 0
@@ -182,6 +187,22 @@ def ledger_active() -> bool:
     charge would have recorded.
     """
     return _current.get() is not None
+
+
+def detach_ledger() -> None:
+    """Uninstall any ambient ledger (charging becomes a no-op).
+
+    Worker *processes* call this first: a ``fork`` start method copies
+    the parent's contextvars, so without the detach a forked worker
+    would charge its setup work into a ghost copy of the parent's
+    ledger.  Cross-process accounting instead flows through the
+    explicit sub-ledger the shipped-task protocol hands each chunk
+    (the ledger pickles whole — plain floats and
+    :class:`CostSnapshot` label subtotals — and the parent joins the
+    returned sub-ledgers via :meth:`WorkDepthLedger.absorb_parallel`,
+    exactly as for thread chunks).
+    """
+    _current.set(None)
 
 
 @contextlib.contextmanager

@@ -40,11 +40,12 @@ from repro.graphs.multigraph import (
     AdjacencyView,
     MultiGraph,
     _counting_sort_halfedges,
+    weighted_bincount,
 )
 from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 
-__all__ = ["IncrementalWalkCSR"]
+__all__ = ["IncrementalWalkCSR", "InteriorDegreeOracle"]
 
 
 def _gather_row_slices(indptr: np.ndarray, slots: np.ndarray,
@@ -64,6 +65,74 @@ def _gather_row_slices(indptr: np.ndarray, slots: np.ndarray,
     pos = np.repeat(starts - offsets, lens) + np.arange(total,
                                                         dtype=np.int64)
     return slots[pos], np.repeat(rows, lens)
+
+
+class InteriorDegreeOracle:
+    """Degrees of the live edges induced on an interior set ``U``.
+
+    Drop-in replacement for the per-round induced-subgraph rebuild in
+    the 5DD scan (:func:`repro.core.dd_subset.five_dd_subset`): it
+    exposes the same ``n`` / ``m`` / :meth:`weighted_degrees` /
+    within-subset-degree surface, but is assembled by *gathering only
+    the rows of* ``U`` from the incremental store's epoch index —
+    ``O(deg U + appended tail)`` instead of the ``O(stored edges)``
+    scan a rebuild pays, which matters in late elimination rounds where
+    the store is dominated by accumulated terminal–terminal edges the
+    interior scan never needs.
+
+    **Bit-equality invariant** (asserted by the tests): every degree it
+    returns is bit-identical to the rebuild path
+    (``work.edge_subset(interior_mask).weighted_degrees()`` and the
+    candidate-scan's within-subset degrees).  Both reduce per vertex
+    with one ``u``-side plus one ``v``-side ``bincount``, and both
+    visit each bin's edges in ascending store order — the epoch gather
+    is per-row grouped with ascending ids and appended-tail ids exceed
+    every epoch id, so filtering preserves exactly the summation order
+    of the induced rebuild and the floating-point sums cannot differ.
+    """
+
+    def __init__(self, n: int,
+                 su: np.ndarray, ou: np.ndarray, wu: np.ndarray,
+                 sv: np.ndarray, ov: np.ndarray, wv: np.ndarray) -> None:
+        self.n = n
+        # One u-side entry per interior edge (its u endpoint's row).
+        self._su, self._ou, self._wu = su, ou, wu
+        self._sv, self._ov, self._wv = sv, ov, wv
+        self._wdeg: np.ndarray | None = None
+
+    @property
+    def m(self) -> int:
+        """Interior edge-group count (== the induced rebuild's ``m``)."""
+        return self._su.size
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the gathered half-edge arrays."""
+        return (self._su.nbytes + self._ou.nbytes + self._wu.nbytes
+                + self._sv.nbytes + self._ov.nbytes + self._wv.nbytes)
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Interior weighted degree per vertex (cached); bit-identical
+        to ``induced.weighted_degrees()`` on the rebuilt subgraph."""
+        if self._wdeg is None:
+            self._wdeg = (weighted_bincount(self._su, self._wu, self.n)
+                          + weighted_bincount(self._sv, self._wv, self.n))
+            if ledger_active():
+                charge(*P.reduce_cost(2 * self.m),
+                       label="weighted_degrees")
+        return self._wdeg
+
+    def within_subset_degrees(self, member: np.ndarray) -> np.ndarray:
+        """Weighted degree counting only edges with both endpoints
+        flagged in ``member`` (the 5DD candidate scan's inner kernel)."""
+        both_u = member[self._su] & member[self._ou]
+        both_v = member[self._sv] & member[self._ov]
+        if not both_u.any():
+            return np.zeros(self.n, dtype=np.float64)
+        return (weighted_bincount(self._su[both_u], self._wu[both_u],
+                                  self.n)
+                + weighted_bincount(self._sv[both_v], self._wv[both_v],
+                                    self.n))
 
 
 class IncrementalWalkCSR:
@@ -106,22 +175,28 @@ class IncrementalWalkCSR:
 
     @property
     def u(self) -> np.ndarray:
+        """Stored ``u`` endpoints (live and dead, in store order)."""
         return self._bu[:self._size]
 
     @property
     def v(self) -> np.ndarray:
+        """Stored ``v`` endpoints (live and dead, in store order)."""
         return self._bv[:self._size]
 
     @property
     def w(self) -> np.ndarray:
+        """Stored edge-group weights, aligned with :attr:`u`/:attr:`v`."""
         return self._bw[:self._size]
 
     @property
     def mult(self) -> np.ndarray | None:
+        """Stored multiplicities (``None`` for an implicit all-ones
+        store)."""
         return self._bmult[:self._size] if self._has_mult else None
 
     @property
     def alive(self) -> np.ndarray:
+        """Liveness flag per stored edge (``False`` = deleted)."""
         return self._balive[:self._size]
 
     @property
@@ -315,6 +390,47 @@ class IncrementalWalkCSR:
         if ledger_active():
             charge(*P.convert_cost(eid.size), label="inc_csr_extract")
         return view, slot_mult
+
+    def interior_degrees(self, rows: np.ndarray) -> InteriorDegreeOracle:
+        """Degree oracle for the live edges induced on ``rows``.
+
+        Serves the 5DD-subset scan without rebuilding the induced
+        interior subgraph: gathers the ``rows`` rows from both sides of
+        the epoch index (plus the appended tail), keeps the half-edges
+        whose *other* endpoint is also in ``rows``, and hands the
+        result to an :class:`InteriorDegreeOracle` — degrees are
+        bit-identical to the rebuild path (see the oracle docstring for
+        the summation-order argument).  Cost: O(epoch-degree of
+        ``rows`` + appended tail), not O(stored edges).
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        member = np.zeros(self.n, dtype=bool)
+        member[rows] = True
+        eid_u, src_u = _gather_row_slices(self._u_indptr, self._u_slots,
+                                          rows)
+        keep = self._balive[eid_u] & member[self._bv[eid_u]]
+        eid_u, src_u = eid_u[keep], src_u[keep]
+        eid_v, src_v = _gather_row_slices(self._v_indptr, self._v_slots,
+                                          rows)
+        keep = self._balive[eid_v] & member[self._bu[eid_v]]
+        eid_v, src_v = eid_v[keep], src_v[keep]
+        gathered = eid_u.size + eid_v.size
+        if self._size > self._epoch_m:
+            sl = slice(self._epoch_m, self._size)
+            both = (self._balive[sl] & member[self._bu[sl]]
+                    & member[self._bv[sl]])
+            app = np.flatnonzero(both) + self._epoch_m
+            eid_u = np.concatenate([eid_u, app])
+            src_u = np.concatenate([src_u, self._bu[app]])
+            eid_v = np.concatenate([eid_v, app])
+            src_v = np.concatenate([src_v, self._bv[app]])
+        if ledger_active():
+            charge(*P.map_cost(gathered + (self._size - self._epoch_m)),
+                   label="inc_csr_interior_deg")
+        return InteriorDegreeOracle(
+            self.n,
+            src_u, self._bv[eid_u], self._bw[eid_u],
+            src_v, self._bu[eid_v], self._bw[eid_v])
 
     def live_graph(self) -> MultiGraph:
         """The equivalent compacted working graph (testing/diagnostics)."""

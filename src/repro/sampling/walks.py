@@ -55,6 +55,53 @@ from repro.sampling.rowsample import RowSampler
 __all__ = ["WalkEngine", "WalkResult"]
 
 
+def _walk_chunk_task(arrays, meta, lo, hi, stream, ledger):
+    """Shippable chunk task: step walkers ``[lo, hi)`` of a batch.
+
+    This is the process-backend counterpart of the closure
+    :meth:`WalkEngine.run_chunked` dispatches in-process: ``arrays``
+    holds the engine's immutable state (restricted CSR, per-slot
+    resistances, terminal mask, the sampler's derived per-row
+    ``base``/``top`` cumulative bounds) plus the full ``starts``
+    batch — reconstructed worker-side as read-only shared-memory
+    views — and the chunk itself is just slice bounds plus a spawned
+    RNG stream.
+
+    Engine assembly is pure view-wiring (the parent ships the
+    sampler's derived arrays, so nothing is recomputed per chunk) and
+    charges nothing; the sub-ledger is installed only around the
+    stepping loop, mirroring the in-process path where the sampler was
+    built once by the parent before the chunks fork.  Ledger totals
+    are therefore backend-invariant.
+    """
+    from repro.graphs.multigraph import AdjacencyView
+    from repro.pram.ledger import use_ledger
+
+    adj = AdjacencyView(indptr=arrays["indptr"],
+                        neighbor=arrays["neighbor"],
+                        weight=arrays["weight"],
+                        # Stepping never decodes edge ids — placeholder.
+                        edge_id=np.empty(0, dtype=np.int64),
+                        cumweight=arrays["cumweight"])
+    sampler = RowSampler.__new__(RowSampler)
+    sampler.adj = adj
+    sampler._base = arrays["sampler_base"]
+    sampler._top = arrays["sampler_top"]
+    engine = WalkEngine.__new__(WalkEngine)
+    engine.graph = None
+    engine.is_terminal = arrays["is_terminal"]
+    engine.adj = adj
+    engine.sampler = sampler
+    engine._slot_resistance = arrays["slot_resistance"]
+    starts = arrays["starts"][lo:hi]
+    if ledger is None:
+        return engine.run(starts, seed=stream,
+                          max_steps=meta["max_steps"])
+    with use_ledger(ledger):
+        return engine.run(starts, seed=stream,
+                          max_steps=meta["max_steps"])
+
+
 @dataclass(frozen=True)
 class WalkResult:
     """Outcome of a batch of terminal walks.
@@ -245,9 +292,14 @@ class WalkEngine:
         With an :class:`repro.pram.ExecutionContext` ``ctx``, the chunk
         layout comes from ``ctx.item_chunks`` — a function of the walker
         count alone — so for a fixed seed the result is **bit-identical
-        regardless of the worker count** (workers only schedule the
-        fixed chunks).  The explicit ``chunks``/``workers`` parameters
-        remain for callers that want a specific layout.
+        regardless of the worker count or backend** (they only schedule
+        the fixed chunks).  Under the process backend the engine's
+        immutable arrays ship once per call through shared memory and
+        each chunk pickles only its slice bounds and seed-spawn key
+        (see :func:`_walk_chunk_task`); the serial and thread backends
+        step the same chunks in-process.  The explicit
+        ``chunks``/``workers`` parameters remain for callers that want
+        a specific layout.
         """
         from repro.pram.executor import ExecutionContext, chunk_ranges
 
@@ -262,10 +314,26 @@ class WalkEngine:
             pieces = ctx.item_chunks(starts.size) if chunks is None \
                 else chunk_ranges(starts.size, chunks)
 
-        def one(lo: int, hi: int, stream) -> WalkResult:
-            return self.run(starts[lo:hi], seed=stream, max_steps=max_steps)
+        if ctx.resolve_backend() == "process" and len(pieces) > 1:
+            arrays = {"indptr": self.adj.indptr,
+                      "neighbor": self.adj.neighbor,
+                      "weight": self.adj.weight,
+                      "cumweight": self.adj.cumweight,
+                      "sampler_base": self.sampler._base,
+                      "sampler_top": self.sampler._top,
+                      "slot_resistance": self._slot_resistance,
+                      "is_terminal": self.is_terminal,
+                      "starts": starts}
+            results = ctx.run_shipped(_walk_chunk_task, arrays,
+                                      {"max_steps": max_steps},
+                                      pieces, rng=rng)
+        else:
 
-        results = ctx.run_chunks(one, pieces, rng=rng)
+            def one(lo: int, hi: int, stream) -> WalkResult:
+                return self.run(starts[lo:hi], seed=stream,
+                                max_steps=max_steps)
+
+            results = ctx.run_chunks(one, pieces, rng=rng)
         if not results:
             return WalkResult(np.empty(0, np.int64), np.empty(0),
                               np.empty(0, np.int64), 0)

@@ -4,25 +4,63 @@ The worker-invariance tests pin the PR-3 contract: for a fixed seed,
 every chunked phase — walker stepping in ``approx_schur``, column-
 blocked ``solve_many`` — produces bit-identical results for
 ``REPRO_WORKERS ∈ {1, 2, 4}``, because chunk layout and per-chunk RNG
-streams are functions of problem size only.  The incremental-CSR tests
-pin the other tentpole invariant: the maintained restricted adjacency
-equals a from-scratch rebuild after every elimination round.
+streams are functions of problem size only.  The backend-matrix tests
+extend that to the PR-4 contract: the same holds for
+``REPRO_BACKEND ∈ {serial, thread, process}`` — including ledger
+totals — and the process backend leaks no shared-memory segments after
+solver teardown.  The incremental-CSR tests pin the other tentpole
+invariant: the maintained restricted adjacency (and the interior
+degree oracle it serves the 5DD scan from) equals a from-scratch
+rebuild after every elimination round.
 """
+
+import os
 
 import numpy as np
 import pytest
 
-from repro.config import SolverOptions, practical_options
+from repro.config import SolverOptions, default_options, practical_options
 from repro.core.schur import approx_schur
 from repro.core.solver import LaplacianSolver
 from repro.graphs import generators as G
 from repro.pram import use_ledger
 from repro.pram.executor import (
+    BACKENDS,
     DEFAULT_CHUNK_ITEMS,
     ExecutionContext,
+    SharedPayload,
+    _attach_payload,
+    default_backend,
     default_workers,
+    get_backend,
+    live_segment_names,
 )
 from repro.sampling.inc_csr import IncrementalWalkCSR
+
+
+def _square_task(arrays, meta, lo, hi, stream, ledger):
+    """Module-level shipped task (pickled by reference under the
+    process backend): deterministic value + one charged region."""
+    from repro.pram import charge, use_ledger as _use
+
+    value = float((arrays["x"][lo:hi] ** 2).sum()) + meta["bias"]
+    if stream is not None:
+        value += float(stream.random())
+    if ledger is not None:
+        with _use(ledger):
+            charge(hi - lo, 2.0, label="sq")
+    return value
+
+
+def _fail_task(arrays, meta, lo, hi, stream, ledger):
+    from repro.pram import charge, use_ledger as _use
+
+    if ledger is not None:
+        with _use(ledger):
+            charge(hi - lo, 1.0, label="chunk")
+    if lo >= meta["fail_from"]:
+        raise ValueError(f"boom {lo}")
+    return lo
 
 
 class TestExecutionContext:
@@ -165,6 +203,245 @@ class TestWorkerInvariance:
             return ledger.work, ledger.depth
 
         assert totals(1) == totals(2) == totals(4)
+
+
+class TestExecutionBackends:
+    """Unit surface of the backend layer itself."""
+
+    def test_default_backend_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend() == "thread"
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert default_backend() == "process"
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert default_backend() == "serial"
+
+    def test_default_backend_rejects_typos(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "porcess")
+        with pytest.raises(ValueError):
+            default_backend()
+
+    def test_context_backend_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(backend="bogus")
+        for name in BACKENDS:
+            assert ExecutionContext(backend=name).resolve_backend() == name
+
+    def test_get_backend_singletons(self):
+        for name in BACKENDS:
+            assert get_backend(name) is get_backend(name)
+            assert get_backend(name).name == name
+        with pytest.raises(ValueError):
+            get_backend("nope")
+
+    def test_shared_payload_roundtrip(self):
+        arrays = {"a": np.arange(7.0),
+                  "empty": np.empty(0, dtype=np.int64),
+                  "mask": np.array([[True, False], [False, True],
+                                    [True, True]]),
+                  "ints": np.arange(5, dtype=np.int32)}
+        payload = SharedPayload(arrays)
+        try:
+            assert payload.spec[0] in live_segment_names()
+            got = _attach_payload(payload.spec)
+            for key, want in arrays.items():
+                np.testing.assert_array_equal(got[key], want)
+                assert got[key].dtype == want.dtype
+            assert not got["a"].flags.writeable
+        finally:
+            payload.close()
+        assert payload.spec[0] not in live_segment_names()
+        payload.close()  # idempotent
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_shipped_matches_serial(self, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        x = np.linspace(0.0, 3.0, 37)
+        ctx = ExecutionContext(backend=backend, chunk_items=8)
+        pieces = ctx.item_chunks(x.size)
+        assert len(pieces) > 1
+
+        def run():
+            rng = np.random.default_rng(5)
+            with use_ledger() as ledger:
+                out = ctx.run_shipped(_square_task, {"x": x},
+                                      {"bias": 1.5}, pieces, rng=rng)
+            return out, ledger.work, ledger.depth, \
+                ledger.by_label["sq"].work
+
+        base_ctx = ExecutionContext(backend="serial", chunk_items=8)
+        rng = np.random.default_rng(5)
+        with use_ledger() as base_ledger:
+            base = base_ctx.run_shipped(_square_task, {"x": x},
+                                        {"bias": 1.5}, pieces, rng=rng)
+        out, work, depth, sq = run()
+        assert out == base
+        assert (work, depth) == (base_ledger.work, base_ledger.depth)
+        assert sq == base_ledger.by_label["sq"].work
+        assert depth == 2.0  # fork/join: depths max, not add
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_shipped_raises_lowest_index_error(self, backend,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        ctx = ExecutionContext(backend=backend, chunk_items=4)
+        pieces = ctx.item_chunks(20)
+        fail_from = pieces[2][0]
+        with use_ledger() as ledger:
+            with pytest.raises(ValueError, match=f"boom {fail_from}"):
+                ctx.run_shipped(_fail_task, {"x": np.zeros(1)},
+                                {"fail_from": fail_from}, pieces)
+        # Every chunk ran and charged before the deterministic re-raise.
+        assert ledger.by_label["chunk"].work == 20
+
+
+class TestBackendMatrix:
+    """ISSUE 4 acceptance: fixed seed ⇒ bit-identical solutions and
+    ledger totals for ``REPRO_BACKEND ∈ {serial, thread, process}`` at
+    ``REPRO_WORKERS ∈ {1, 2, 4}`` — and no leaked shared memory."""
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    @staticmethod
+    def _opts() -> SolverOptions:
+        # Small walker chunks so every backend genuinely fans out (the
+        # process backend ships only multi-chunk dispatches).  The
+        # chunk policy is part of the result, so it is held fixed
+        # across the whole matrix.
+        return default_options().with_(chunk_items=512)
+
+    def _schur(self, monkeypatch, backend: str, workers: int):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        monkeypatch.setenv("REPRO_WORKERS", str(workers))
+        g = G.grid2d(14, 14)
+        C = np.arange(0, g.n, 3)
+        return approx_schur(g, C, eps=0.5, seed=123, options=self._opts())
+
+    def test_approx_schur_backend_matrix_bit_identical(self, monkeypatch):
+        base = self._schur(monkeypatch, "serial", 1)
+        for backend in BACKENDS:
+            for workers in self.WORKER_COUNTS:
+                other = self._schur(monkeypatch, backend, workers)
+                assert other == base, (backend, workers)
+
+    def test_ledger_totals_backend_invariant(self, monkeypatch):
+        g = G.grid2d(10, 10)
+        C = np.arange(0, g.n, 2)
+
+        def totals(backend, workers):
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            monkeypatch.setenv("REPRO_WORKERS", str(workers))
+            with use_ledger() as ledger:
+                approx_schur(g, C, eps=0.5, seed=3, options=self._opts())
+            return ledger.work, ledger.depth
+
+        base = totals("serial", 1)
+        for backend in BACKENDS:
+            for workers in self.WORKER_COUNTS:
+                assert totals(backend, workers) == base, (backend, workers)
+
+    def test_solve_many_backend_invariant(self, monkeypatch):
+        g = G.grid2d(12, 12)
+        rng = np.random.default_rng(7)
+        B = rng.standard_normal((g.n, 9))
+        B -= B.mean(axis=0)
+        opts = practical_options().with_(chunk_items=512)
+
+        def solutions(backend, workers):
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            monkeypatch.setenv("REPRO_WORKERS", str(workers))
+            solver = LaplacianSolver(g, options=opts, seed=11)
+            return solver.solve_many(B, eps=1e-6)
+
+        base = solutions("serial", 1)
+        for backend in BACKENDS:
+            for workers in (2, 4):
+                np.testing.assert_array_equal(
+                    solutions(backend, workers), base,
+                    err_msg=f"{backend} workers={workers}")
+
+    def test_no_leaked_shared_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        shm_dir = "/dev/shm"
+        prefix = f"repro-{os.getpid()}-"
+        g = G.grid2d(12, 12)
+        solver = LaplacianSolver(
+            g, options=practical_options().with_(chunk_items=512), seed=8)
+        b = np.zeros(g.n)
+        b[0], b[-1] = 1.0, -1.0
+        solver.solve(b, eps=1e-4)
+        del solver
+        # The registry is drained as each dispatch joins, and nothing
+        # with this process's prefix survives on the filesystem.
+        assert live_segment_names() == ()
+        if os.path.isdir(shm_dir):
+            leaked = [name for name in os.listdir(shm_dir)
+                      if name.startswith(prefix)]
+            assert leaked == []
+
+    def test_options_backend_threads_through(self):
+        opts = default_options().with_(backend="process", workers=3)
+        ctx = opts.execution()
+        assert ctx.resolve_backend() == "process"
+        assert ctx.resolve_workers() == 3
+
+
+class TestInteriorDegreeOracle:
+    """The incremental store's degree oracle == the induced rebuild."""
+
+    def test_oracle_matches_induced_rebuild_per_round(self):
+        from repro.core.boundedness import naive_split
+        from repro.core.dd_subset import _within_subset_degrees
+        from repro.core.terminal_walks import terminal_walks
+
+        g = naive_split(G.grid2d(9, 9), 0.25)
+        inc = IncrementalWalkCSR(g, rebuild_factor=0.3)
+        rng = np.random.default_rng(0)
+        work = g
+        remaining = np.arange(g.n)
+        for _ in range(4):
+            if remaining.size <= 4:
+                break
+            member = np.zeros(g.n, dtype=bool)
+            member[remaining] = True
+            induced = work.edge_subset(member[work.u] & member[work.v])
+            oracle = inc.interior_degrees(remaining)
+            assert oracle.m == induced.m
+            np.testing.assert_array_equal(oracle.weighted_degrees(),
+                                          induced.weighted_degrees())
+            # Candidate-scan kernel: several random candidate subsets.
+            for _ in range(3):
+                cand = rng.choice(remaining,
+                                  size=max(1, remaining.size // 4),
+                                  replace=False)
+                cm = np.zeros(g.n, dtype=bool)
+                cm[cand] = True
+                np.testing.assert_array_equal(
+                    oracle.within_subset_degrees(cm),
+                    _within_subset_degrees(induced, cm))
+            F = np.unique(rng.choice(remaining,
+                                     size=max(1, remaining.size // 5),
+                                     replace=False))
+            terminals = np.setdiff1d(remaining, F)
+            nxt, stats = terminal_walks(work, terminals, seed=rng,
+                                        return_stats=True)
+            p = stats.passthrough_stored
+            inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
+                        None if nxt.mult is None else nxt.mult[p:])
+            work = nxt
+            remaining = terminals
+
+    def test_scan_path_does_not_change_approx_schur(self):
+        # incremental=True routes the 5DD scan through the oracle;
+        # incremental=False rebuilds the induced subgraph.  Outputs
+        # must be bit-identical (same degrees ⇒ same candidate
+        # acceptance ⇒ same RNG consumption ⇒ same F sequence).
+        g = G.grid2d(13, 13)
+        C = np.arange(0, g.n, 4)
+        a = approx_schur(g, C, eps=0.5, seed=99, incremental=True)
+        b = approx_schur(g, C, eps=0.5, seed=99, incremental=False)
+        assert a == b
 
 
 class TestIncrementalCSR:
