@@ -1,0 +1,249 @@
+"""P5 — O(1)-per-step alias sampling vs global-bisection row sampling.
+
+The walker-stepping phase resolves millions of "sample a neighbour of
+my current vertex" queries per ``approx_schur``.  The historical
+realisation bisects a global cumulative-weight array — O(log m)
+sequential work per query; the PR-5 :class:`CSRAliasSampler` realises
+the paper's Lemma 2.6 accounting literally: per-row alias planes built
+in linear time, O(1) per query (one uniform, a fan-out multiply, two
+gathers, one comparison).
+
+Measured at the p01 workload (grid n≈2025, ε=0.5):
+
+* **walk phase** — ``WalkEngine.run`` over the full round-0 walker
+  batch of ``terminal_walks`` (identical starts, identical seed) per
+  sampler; the full run **gates** ``bisect / alias ≥ 1.5×``.  On a
+  unit-weight grid the α-split keeps every row uniform, so the two
+  samplers take *identical* walks at round 0 — the ratio isolates pure
+  sampler cost.
+* **end-to-end** — ``approx_schur`` per sampler (informational).
+
+Always-on correctness gates (both samplers):
+
+* **invariance** — fixed seed + fixed sampler ⇒ bit-identical
+  ``approx_schur`` across ``{serial, thread, process}`` × ``{1, 2, 4}``
+  workers, with no leaked shared-memory segments;
+* **incremental equality** — the incrementally maintained alias planes
+  (and the bisect path's maintained CSR) reproduce the from-scratch
+  rebuild bit-for-bit end to end (``incremental=True`` ==
+  ``incremental=False``).
+
+Results land in ``BENCH_alias.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_p05_alias.py           # full
+    PYTHONPATH=src python benchmarks/bench_p05_alias.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import default_options
+from repro.core.boundedness import naive_split
+from repro.core.schur import approx_schur, schur_alpha_inverse
+from repro.graphs import generators as G
+from repro.pram.executor import BACKENDS, live_segment_names
+from repro.sampling.walks import SAMPLERS, WalkEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FULL_SPEEDUP = 1.5
+
+
+def make_workload(n_target: int, seed: int):
+    """The p01 workload: a ~n-vertex grid with |C| = n/3 terminals."""
+    side = max(4, int(round(math.sqrt(n_target))))
+    g = G.grid2d(side, side)
+    rng = np.random.default_rng(seed)
+    C = np.sort(rng.choice(g.n, size=max(4, g.n // 3), replace=False))
+    return g, C
+
+
+def walk_phase(g, C, eps: float, seed: int, repeats: int) -> dict:
+    """Time ``WalkEngine.run`` over terminal_walks' round-0 batch."""
+    work = naive_split(g, 1.0 / schur_alpha_inverse(g.n, eps))
+    is_term = np.zeros(g.n, dtype=bool)
+    is_term[C] = True
+    mult = work.multiplicities()
+    widx = np.nonzero(~(is_term[work.u] & is_term[work.v]))[0]
+    k = mult[widx]
+    starts = np.concatenate([np.repeat(work.u[widx], k),
+                             np.repeat(work.v[widx], k)])
+    out: dict = {"walkers": int(starts.size),
+                 "stored_edges": int(work.m),
+                 "logical_edges": int(work.m_logical)}
+    engines = {kind: WalkEngine(work, is_term, sampler=kind)
+               for kind in SAMPLERS}
+    best: dict = {kind: None for kind in SAMPLERS}
+    results: dict = {}
+    # Interleave the repeats so neither sampler systematically runs
+    # with colder caches or under different transient load.
+    for _ in range(repeats):
+        for kind in SAMPLERS:
+            t0 = time.perf_counter()
+            results[kind] = engines[kind].run(starts, seed=seed)
+            elapsed = time.perf_counter() - t0
+            best[kind] = elapsed if best[kind] is None \
+                else min(best[kind], elapsed)
+    for kind in SAMPLERS:
+        out[kind] = {"seconds": best[kind],
+                     "rounds": int(results[kind].rounds),
+                     "total_steps": int(results[kind].length.sum())}
+    out["speedup"] = out["bisect"]["seconds"] / out["alias"]["seconds"]
+    return out
+
+
+def end_to_end(g, C, eps: float, seed: int, repeats: int) -> dict:
+    """approx_schur wall-clock per sampler (informational)."""
+    out: dict = {}
+    for kind in SAMPLERS:
+        opts = default_options().with_(sampler=kind)
+        best = None
+        report = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            report = approx_schur(g, C, eps=eps, seed=seed, options=opts,
+                                  return_report=True)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        out[kind] = {"seconds": best,
+                     "rounds": int(report.rounds),
+                     "total_walkers": int(report.total_walkers)}
+    out["speedup"] = out["bisect"]["seconds"] / out["alias"]["seconds"]
+    return out
+
+
+def invariance_gate(seed: int) -> dict:
+    """Per sampler: bit-identical approx_schur across the backend
+    matrix, and no leaked shared-memory segments afterwards."""
+    g = G.grid2d(14, 14)
+    C = np.arange(0, g.n, 3)
+    out: dict = {}
+    saved = {k: os.environ.get(k) for k in ("REPRO_BACKEND",
+                                            "REPRO_WORKERS")}
+    try:
+        for kind in SAMPLERS:
+            opts = default_options().with_(chunk_items=512, sampler=kind)
+            base = None
+            ok = True
+            for backend in BACKENDS:
+                for workers in (1, 2, 4):
+                    os.environ["REPRO_BACKEND"] = backend
+                    os.environ["REPRO_WORKERS"] = str(workers)
+                    got = approx_schur(g, C, eps=0.5, seed=seed,
+                                       options=opts)
+                    if base is None:
+                        base = got
+                    elif got != base:
+                        ok = False
+            out[kind] = ok
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    out["shm_clean"] = live_segment_names() == ()
+    return out
+
+
+def incremental_gate(seed: int) -> dict:
+    """Per sampler: maintained planes/CSR == from-scratch rebuilds."""
+    g = G.grid2d(13, 13)
+    C = np.arange(0, g.n, 4)
+    out = {}
+    for kind in SAMPLERS:
+        opts = default_options().with_(sampler=kind)
+        a = approx_schur(g, C, eps=0.5, seed=seed, options=opts,
+                         incremental=True)
+        b = approx_schur(g, C, eps=0.5, seed=seed, options=opts,
+                         incremental=False)
+        out[kind] = a == b
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=2000,
+                    help="target vertex count (default 2000)")
+    ap.add_argument("--eps", type=float, default=0.5)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repetitions per mode (best is kept)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized run: n=400, one repeat, speedup "
+                         "informational (single-repeat wall-clock on "
+                         "shared runners is noisy)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "BENCH_alias.json")
+    args = ap.parse_args(argv)
+
+    args.repeats = max(1, args.repeats)
+    if args.smoke:
+        args.n = min(args.n, 400)
+        args.repeats = 1
+
+    g, C = make_workload(args.n, args.seed)
+    alpha_inv = schur_alpha_inverse(g.n, args.eps)
+    print(f"workload: grid n={g.n} m={g.m} |C|={C.size} "
+          f"eps={args.eps} alpha_inv={alpha_inv}")
+
+    walk = walk_phase(g, C, args.eps, args.seed, args.repeats)
+    e2e = end_to_end(g, C, args.eps, args.seed, args.repeats)
+    invariance = invariance_gate(args.seed)
+    incremental = incremental_gate(args.seed)
+
+    gates_ok = (all(invariance[k] for k in SAMPLERS)
+                and invariance["shm_clean"]
+                and all(incremental[k] for k in SAMPLERS))
+    # Wall-clock is gated on the full run only (the deterministic
+    # invariance/equality gates are always on) — same convention as
+    # the p01 smoke.
+    speed_ok = args.smoke or walk["speedup"] >= FULL_SPEEDUP
+    ok = gates_ok and speed_ok
+
+    result = {
+        "benchmark": "p05_alias",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {"kind": "grid2d", "n": g.n, "m": g.m,
+                     "C_size": int(C.size), "eps": args.eps,
+                     "alpha_inverse": alpha_inv, "seed": args.seed},
+        "walk_phase": walk,
+        "end_to_end": e2e,
+        "invariance": invariance,
+        "incremental_equality": incremental,
+        "targets": {"walk_phase_speedup": FULL_SPEEDUP},
+        "pass": ok,
+        "platform": {"python": platform.python_version(),
+                     "numpy": np.__version__,
+                     "machine": platform.machine()},
+    }
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"walk phase ({walk['walkers']} walkers): "
+          f"bisect {walk['bisect']['seconds']:.3f}s  "
+          f"alias {walk['alias']['seconds']:.3f}s  "
+          f"-> {walk['speedup']:.2f}x "
+          f"({'informational in smoke' if args.smoke else 'target >= 1.5x'})")
+    print(f"end-to-end approx_schur: "
+          f"bisect {e2e['bisect']['seconds']:.3f}s  "
+          f"alias {e2e['alias']['seconds']:.3f}s  "
+          f"-> {e2e['speedup']:.2f}x (informational)")
+    print(f"invariance: {invariance}   incremental: {incremental}")
+    print(f"{'PASS' if ok else 'FAIL'} -> {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,6 +79,8 @@ def _cmd_solve(args) -> int:
         options = options.with_(workers=args.workers)
     if args.backend is not None:
         options = options.with_(backend=args.backend)
+    if args.sampler is not None:
+        options = options.with_(sampler=args.sampler)
     solver = LaplacianSolver(g, options=options, seed=args.seed)
     t_build = time.time() - t0
     t0 = time.time()
@@ -147,6 +149,12 @@ def main(argv: list[str] | None = None) -> int:
                         "var / thread); process ships walker chunks to "
                         "a shared-memory process pool — results are "
                         "backend independent")
+    p.add_argument("--sampler", choices=["alias", "bisect"],
+                   default=None,
+                   help="walker-step row sampler (default: REPRO_SAMPLER "
+                        "env var / bisect); alias is the O(1)-per-step "
+                        "Lemma 2.6 realisation — results are "
+                        "deterministic per (seed, sampler) pair")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 

@@ -92,11 +92,27 @@ class SolverOptions:
         lazily (default ``"thread"``).  Like ``workers``, the backend
         never changes results — fixed seed ⇒ bit-identical graphs,
         solutions, and ledger totals across all three.
+    sampler:
+        Row sampler for the walker-stepping hot path: ``"alias"``
+        (CSR-aligned per-row alias planes — Lemma 2.6's O(1)-per-query
+        realisation) or ``"bisect"`` (global cumulative-weight
+        bisection, O(log m) per query — the historical realisation).
+        ``None`` (default) consults the ``REPRO_SAMPLER`` env var
+        lazily (default ``"bisect"``).  Determinism contract
+        (DESIGN.md §8): fixed seed **and fixed sampler** ⇒ bit-identical
+        graphs, solutions, and ledger totals across backends and worker
+        counts.  The two samplers map the same RNG stream to different
+        transitions, so swapping samplers changes results
+        *distributionally* (both are exact walk samplers; outputs agree
+        statistically, not bitwise).
     chunk_items / chunk_columns:
         Chunk-policy overrides for the execution context (``None`` =
-        library defaults).  Chunk layout is part of the *result* for a
-        fixed seed (it decides the per-chunk RNG streams), so these are
-        solver options, not runtime knobs.
+        library defaults; ``chunk_items`` additionally honours the
+        ``REPRO_CHUNK_ITEMS`` env var — see
+        :func:`repro.pram.executor.default_chunk_items`).  Chunk layout
+        is part of the *result* for a fixed seed (it decides the
+        per-chunk RNG streams), so these are solver options, not
+        runtime knobs.
     incremental_csr:
         Maintain the elimination loops' restricted walk CSR
         incrementally across rounds
@@ -122,6 +138,7 @@ class SolverOptions:
     keep_graphs: bool = True
     workers: int | None = None
     backend: str | None = None
+    sampler: str | None = None
     chunk_items: int | None = None
     chunk_columns: int | None = None
     incremental_csr: bool = True
@@ -149,6 +166,20 @@ class SolverOptions:
     def with_(self, **kwargs) -> "SolverOptions":
         """Functional update (``dataclasses.replace`` wrapper)."""
         return replace(self, **kwargs)
+
+    def resolve_sampler(self) -> str:
+        """The row-sampler name to use *right now* (lazy env lookup)."""
+        if self.sampler is not None:
+            from repro.sampling.walks import SAMPLERS
+
+            if self.sampler not in SAMPLERS:
+                raise ValueError(
+                    f"sampler must be None or one of {SAMPLERS}, "
+                    f"got {self.sampler!r}")
+            return self.sampler
+        from repro.sampling.walks import default_sampler
+
+        return default_sampler()
 
     def execution(self) -> "ExecutionContext":
         """The :class:`repro.pram.ExecutionContext` these options imply."""

@@ -38,7 +38,7 @@ __all__ = ["block_cholesky"]
 def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
                             rng, opts: SolverOptions,
                             max_retries: int = 25,
-                            engine=None, ctx=None
+                            engine=None, ctx=None, sampler=None
                             ) -> "tuple[MultiGraph, TerminalWalkStats]":
     """``TerminalWalks`` with a connectivity certificate.
 
@@ -53,9 +53,10 @@ def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
     cut edges (e.g. barbells), where a level has a constant chance of
     dropping every copy of a bridge.
 
-    ``engine``/``ctx`` thread a prebuilt walk engine (shared across
-    retries — the CSR does not change between resamples) and the
-    execution context through to :func:`terminal_walks`.  Returns the
+    ``engine``/``ctx``/``sampler`` thread a prebuilt walk engine
+    (shared across retries — the CSR, and hence any alias planes, do
+    not change between resamples), the execution context, and the row-
+    sampler choice through to :func:`terminal_walks`.  Returns the
     accepted sample together with its :class:`TerminalWalkStats` (the
     incremental store consumes ``passthrough_stored``).
     """
@@ -74,7 +75,8 @@ def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
         nxt, stats = terminal_walks(current, C, seed=rng,
                                     max_steps=opts.max_walk_steps,
                                     return_stats=True,
-                                    engine=engine, ctx=ctx)
+                                    engine=engine, ctx=ctx,
+                                    sampler=sampler)
         sub, _ = nxt.induced_subgraph(C)
         labels = connected_components(sub)
         if int(labels.max(initial=0)) <= baseline:
@@ -85,7 +87,7 @@ def _sample_schur_connected(current: MultiGraph, C: np.ndarray,
     # preconditioner, and pathological inputs shouldn't hard-fail.
     return last if last is not None else terminal_walks(
         current, C, seed=rng, max_steps=opts.max_walk_steps,
-        return_stats=True, engine=engine, ctx=ctx)
+        return_stats=True, engine=engine, ctx=ctx, sampler=sampler)
 
 
 def block_cholesky(graph: MultiGraph,
@@ -118,6 +120,7 @@ def block_cholesky(graph: MultiGraph,
     opts = options or default_options()
     rng = as_generator(seed if seed is not None else opts.seed)
     ctx = opts.execution()
+    sampler = opts.resolve_sampler()
     inc = None
     if opts.incremental_csr and graph.m:
         from repro.sampling.inc_csr import IncrementalWalkCSR
@@ -152,9 +155,14 @@ def block_cholesky(graph: MultiGraph,
             is_term = np.zeros(graph.n, dtype=bool)
             is_term[C] = True
             view, slot_mult = inc.restricted_view(F)
-            engine = WalkEngine.from_adjacency(view, slot_mult, is_term)
+            planes = inc.alias_planes(F, view) if sampler == "alias" \
+                else None
+            engine = WalkEngine.from_adjacency(view, slot_mult, is_term,
+                                               sampler=sampler,
+                                               alias_planes=planes)
         nxt, walk_stats = _sample_schur_connected(current, C, rng, opts,
-                                                  engine=engine, ctx=ctx)
+                                                  engine=engine, ctx=ctx,
+                                                  sampler=sampler)
         if inc is not None:
             # The accepted sample's layout is pass-through groups (the
             # edges not incident to F, order preserved) followed by the

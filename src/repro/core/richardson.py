@@ -142,12 +142,28 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
         if ctx is not None and track_errors is None:
-            pieces = ctx.column_chunks(b.shape[1])
-            if len(pieces) > 1:
-                return _chunked_richardson(apply_A, apply_B, b, delta,
-                                           eps, project, iterations,
-                                           divergence_guard, freeze,
-                                           ctx, pieces)
+            from repro.pram.executor import run_column_chunks
+
+            # Column chunks iterate independently on the context's
+            # pool; the layout is a function of the column count only,
+            # so results do not depend on the worker count.  A
+            # diverging chunk raises ConvergenceError exactly as the
+            # unchunked block would (the caller's fallback covers the
+            # whole block).
+            results = run_column_chunks(
+                ctx, b,
+                lambda bc, ec: _blocked_richardson(
+                    apply_A, apply_B, bc, delta=delta, eps=ec,
+                    project=project, iterations=iterations,
+                    divergence_guard=divergence_guard, freeze=freeze),
+                cols=(eps,))
+            if results is not None:
+                return RichardsonResult(
+                    x=np.hstack([r.x for r in results]),
+                    iterations=max(r.iterations for r in results),
+                    alpha=results[0].alpha,
+                    per_column_iterations=np.concatenate(
+                        [r.per_column_iterations for r in results]))
         return _blocked_richardson(apply_A, apply_B, b, delta=delta,
                                    eps=eps, project=project,
                                    iterations=iterations,
@@ -189,38 +205,6 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
             history.append(track_errors(x))
     return RichardsonResult(x=x, iterations=iters, alpha=alpha,
                             error_history=history)
-
-
-def _chunked_richardson(apply_A, apply_B, b: np.ndarray, delta: float,
-                        eps, project: bool, iterations: int | None,
-                        divergence_guard: bool, freeze: bool,
-                        ctx, pieces) -> RichardsonResult:
-    """Column-chunked blocked Richardson: each chunk iterates
-    independently on the execution context's pool.
-
-    The chunk layout is a function of the column count only, so results
-    do not depend on the worker count.  A diverging chunk raises
-    :class:`repro.errors.ConvergenceError` exactly as the unchunked
-    block would (the caller's fallback covers the whole block).
-    """
-    k = b.shape[1]
-    eps_col = np.broadcast_to(np.asarray(eps, dtype=np.float64),
-                              (k,)).copy()
-
-    def one(lo: int, hi: int) -> RichardsonResult:
-        return _blocked_richardson(apply_A, apply_B, b[:, lo:hi],
-                                   delta=delta, eps=eps_col[lo:hi],
-                                   project=project, iterations=iterations,
-                                   divergence_guard=divergence_guard,
-                                   freeze=freeze)
-
-    results = ctx.run_chunks(one, pieces)
-    return RichardsonResult(
-        x=np.hstack([r.x for r in results]),
-        iterations=max(r.iterations for r in results),
-        alpha=results[0].alpha,
-        per_column_iterations=np.concatenate(
-            [r.per_column_iterations for r in results]))
 
 
 def _blocked_richardson(apply_A, apply_B, b: np.ndarray,

@@ -129,6 +129,7 @@ def approx_schur(graph: MultiGraph,
     opts = options or default_options()
     rng = as_generator(seed if seed is not None else opts.seed)
     ctx = opts.execution()
+    sampler = opts.resolve_sampler()
     C = np.unique(np.asarray(C, dtype=np.int64))
     if C.size == 0 or C.size >= graph.n:
         raise SamplingError("C must be a non-trivial vertex subset")
@@ -148,6 +149,10 @@ def approx_schur(graph: MultiGraph,
     in_C = np.zeros(graph.n, dtype=bool)
     in_C[C] = True
     U = np.nonzero(~in_C)[0]
+    if inc is not None and sampler == "alias":
+        # Only interior rows can ever be eliminated (and hence walked
+        # from): narrow the one-time alias prime to them.
+        inc.prime_alias(U)
     active = np.arange(graph.n, dtype=np.int64)
 
     edges_per_round = [work.m_logical]
@@ -197,11 +202,16 @@ def approx_schur(graph: MultiGraph,
             is_term = np.zeros(graph.n, dtype=bool)
             is_term[terminals] = True
             view, slot_mult = inc.restricted_view(F)
-            engine = WalkEngine.from_adjacency(view, slot_mult, is_term)
+            planes = inc.alias_planes(F, view) if sampler == "alias" \
+                else None
+            engine = WalkEngine.from_adjacency(view, slot_mult, is_term,
+                                               sampler=sampler,
+                                               alias_planes=planes)
         nxt, stats = terminal_walks(work, terminals, seed=rng,
                                     max_steps=opts.max_walk_steps,
                                     return_stats=True, legacy=legacy,
-                                    engine=engine, ctx=ctx)
+                                    engine=engine, ctx=ctx,
+                                    sampler=sampler)
         if inc is not None:
             p = stats.passthrough_stored
             inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],

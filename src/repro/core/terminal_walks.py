@@ -76,7 +76,8 @@ def terminal_walks(graph: MultiGraph,
                    return_stats: bool = False,
                    legacy: bool = False,
                    engine: WalkEngine | None = None,
-                   ctx=None
+                   ctx=None,
+                   sampler: str | None = None
                    ) -> MultiGraph | tuple[MultiGraph, TerminalWalkStats]:
     """Sample a sparse approximation to ``SC(L_G, C)``.
 
@@ -110,6 +111,16 @@ def terminal_walks(graph: MultiGraph,
         bit-identical for a fixed seed regardless of backend and
         worker count.  ``None`` keeps the single-stream serial
         stepping.
+    sampler:
+        Row sampler for a freshly built engine: ``"alias"`` (per-row
+        alias planes, O(1)/query — Lemma 2.6) or ``"bisect"`` (global
+        cumulative-weight bisection).  ``None`` consults
+        ``REPRO_SAMPLER`` lazily (default ``"bisect"``).  Ignored when
+        ``engine`` is supplied (the engine already carries its
+        sampler); the ``legacy`` path always bisects, mirroring the
+        seed.  Fixed seed + fixed sampler ⇒ bit-identical output; the
+        two samplers consume the RNG stream through different maps, so
+        cross-sampler agreement is distributional (DESIGN.md §8).
 
     Returns
     -------
@@ -173,7 +184,7 @@ def terminal_walks(graph: MultiGraph,
     starts = np.concatenate([np.repeat(graph.u[widx], k),
                              np.repeat(graph.v[widx], k)])
     if engine is None:
-        engine = WalkEngine(graph, is_terminal)
+        engine = WalkEngine(graph, is_terminal, sampler=sampler)
     if ctx is not None:
         result = engine.run_chunked(starts, seed=rng, max_steps=max_steps,
                                     ctx=ctx)
@@ -219,9 +230,14 @@ def _terminal_walks_legacy(graph: MultiGraph, is_terminal: np.ndarray,
                            rng, max_steps: int, return_stats: bool
                            ) -> MultiGraph | tuple[MultiGraph,
                                                    TerminalWalkStats]:
-    """The seed hot path: every stored edge launches two walkers."""
+    """The seed hot path: every stored edge launches two walkers.
+
+    Always bisects — the baseline reproduces the seed realisation
+    regardless of the ambient ``REPRO_SAMPLER``.
+    """
     m = graph.m
-    engine = WalkEngine(graph, is_terminal, restricted=False)
+    engine = WalkEngine(graph, is_terminal, restricted=False,
+                        sampler="bisect")
     starts = np.concatenate([graph.u, graph.v])
     result = engine.run(starts, seed=rng, max_steps=max_steps,
                         compact=False)

@@ -89,11 +89,31 @@ def conjugate_gradient(L,
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
         if ctx is not None:
-            pieces = ctx.column_chunks(b.shape[1])
-            if len(pieces) > 1:
-                return _chunked_cg(apply_L, b, tol, max_iter,
-                                   preconditioner, singular, matvec_edges,
-                                   raise_on_fail, ctx, pieces)
+            from repro.pram.executor import run_column_chunks
+
+            results = run_column_chunks(
+                ctx, b,
+                lambda bc, tc: _blocked_cg(
+                    apply_L, bc, tol=tc, max_iter=max_iter,
+                    preconditioner=preconditioner, singular=singular,
+                    matvec_edges=matvec_edges,
+                    raise_on_fail=raise_on_fail),
+                cols=(tol,))
+            if results is not None:
+                # Per-iteration residual_norms merge as the max over
+                # the chunks still running at that iteration, matching
+                # the unchunked block's max-over-active semantics.
+                depth = max(len(r.residual_norms) for r in results)
+                merged = [max(r.residual_norms[i] for r in results
+                              if i < len(r.residual_norms))
+                          for i in range(depth)]
+                return CGResult(
+                    x=np.hstack([r.x for r in results]),
+                    iterations=max(r.iterations for r in results),
+                    converged=all(r.converged for r in results),
+                    residual_norms=merged,
+                    per_column_iterations=np.concatenate(
+                        [r.per_column_iterations for r in results]))
         return _blocked_cg(apply_L, b, tol=tol, max_iter=max_iter,
                            preconditioner=preconditioner,
                            singular=singular, matvec_edges=matvec_edges,
@@ -154,41 +174,6 @@ def conjugate_gradient(L,
             iterations=it, residual=residuals[-1] / bnorm)
     return CGResult(x=x, iterations=it, converged=converged,
                     residual_norms=residuals)
-
-
-def _chunked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,
-                preconditioner, singular: bool, matvec_edges: int | None,
-                raise_on_fail: bool, ctx, pieces) -> CGResult:
-    """Column-chunked blocked CG over the execution context's pool.
-
-    Chunk layout is size-determined (worker-independent); per-iteration
-    ``residual_norms`` merge as the max over the chunks still running
-    at that iteration, matching the unchunked block's max-over-active
-    semantics.
-    """
-    k = b.shape[1]
-    tol_col = np.broadcast_to(np.asarray(tol, dtype=np.float64),
-                              (k,)).copy()
-
-    def one(lo: int, hi: int) -> CGResult:
-        return _blocked_cg(apply_L, b[:, lo:hi], tol=tol_col[lo:hi],
-                           max_iter=max_iter,
-                           preconditioner=preconditioner,
-                           singular=singular, matvec_edges=matvec_edges,
-                           raise_on_fail=raise_on_fail)
-
-    results = ctx.run_chunks(one, pieces)
-    depth = max(len(r.residual_norms) for r in results)
-    merged = [max(r.residual_norms[i] for r in results
-                  if i < len(r.residual_norms))
-              for i in range(depth)]
-    return CGResult(
-        x=np.hstack([r.x for r in results]),
-        iterations=max(r.iterations for r in results),
-        converged=all(r.converged for r in results),
-        residual_norms=merged,
-        per_column_iterations=np.concatenate(
-            [r.per_column_iterations for r in results]))
 
 
 def _blocked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,

@@ -88,19 +88,16 @@ def chebyshev_iteration(L,
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
         if ctx is not None:
-            pieces = ctx.column_chunks(b.shape[1])
-            if len(pieces) > 1:
-                tol_col = None if tol is None else np.broadcast_to(
-                    np.asarray(tol, dtype=np.float64), (b.shape[1],))
+            from repro.pram.executor import run_column_chunks
 
-                def one(lo: int, hi: int) -> np.ndarray:
-                    return _blocked_chebyshev(
-                        apply_L, B, b[:, lo:hi], lam_min, lam_max,
-                        iterations, singular,
-                        None if tol_col is None else tol_col[lo:hi],
-                        stop_rule)
-
-                return np.hstack(ctx.run_chunks(one, pieces))
+            results = run_column_chunks(
+                ctx, b,
+                lambda bc, tc: _blocked_chebyshev(
+                    apply_L, B, bc, lam_min, lam_max, iterations,
+                    singular, tc, stop_rule),
+                cols=(tol,))
+            if results is not None:
+                return np.hstack(results)
         return _blocked_chebyshev(apply_L, B, b, lam_min, lam_max,
                                   iterations, singular, tol, stop_rule)
     if singular:

@@ -75,8 +75,9 @@ import numpy as np
 
 __all__ = ["ExecutionContext", "ExecutionBackend", "SerialBackend",
            "ThreadPoolBackend", "ProcessPoolBackend", "SharedPayload",
-           "parallel_map", "chunk_ranges", "default_workers",
-           "default_backend", "get_backend", "live_segment_names",
+           "parallel_map", "chunk_ranges", "run_column_chunks",
+           "default_workers", "default_backend", "default_chunk_items",
+           "get_backend", "live_segment_names",
            "BACKENDS", "DEFAULT_CHUNK_ITEMS", "DEFAULT_CHUNK_COLUMNS",
            "MAX_CHUNKS"]
 
@@ -97,31 +98,43 @@ MAX_CHUNKS = 256
 #: Recognised execution backends, in increasing isolation order.
 BACKENDS = ("serial", "thread", "process")
 
-# ``default_workers`` / ``default_backend`` cache their (env string →
-# value) lookup so hot loops can consult them lazily at every dispatch;
-# keying the cache on the raw env value keeps
-# ``monkeypatch.setenv(...)`` reliable — a changed env invalidates the
-# cache on the next call.
-_workers_cache: tuple[str | None, int] | None = None
-_backend_cache: tuple[str | None, str] | None = None
+# The ``default_*`` getters cache their (env string → value) lookup so
+# hot loops can consult them lazily at every dispatch; keying each
+# cache on the raw env value keeps ``monkeypatch.setenv(...)``
+# reliable — a changed env invalidates the cache on the next call.
+_env_caches: dict[str, tuple[str | None, object]] = {}
+
+
+def _env_cached(var: str, parse):
+    """Shared env-var getter idiom: ``parse(raw)`` once per raw value.
+
+    ``parse`` receives the raw env string (or ``None`` when unset),
+    returns the resolved value, and may raise :class:`ValueError` —
+    errors are not cached, so a corrected environment recovers.  Also
+    serves ``default_sampler`` in :mod:`repro.sampling.walks`.
+    """
+    env = os.environ.get(var)
+    hit = _env_caches.get(var)
+    if hit is not None and hit[0] == env:
+        return hit[1]
+    value = parse(env)
+    _env_caches[var] = (env, value)
+    return value
 
 
 def default_workers() -> int:
     """Worker count from ``REPRO_WORKERS`` env var or CPU count."""
-    global _workers_cache
-    env = os.environ.get("REPRO_WORKERS")
-    if _workers_cache is not None and _workers_cache[0] == env:
-        return _workers_cache[1]
-    value = 0
-    if env:
-        try:
-            value = max(1, int(env))
-        except ValueError:
-            value = 0
-    if value == 0:
-        value = os.cpu_count() or 1
-    _workers_cache = (env, value)
-    return value
+
+    def parse(env: str | None) -> int:
+        value = 0
+        if env:
+            try:
+                value = max(1, int(env))
+            except ValueError:
+                value = 0
+        return value if value else (os.cpu_count() or 1)
+
+    return _env_cached("REPRO_WORKERS", parse)
 
 
 def default_backend() -> str:
@@ -130,16 +143,44 @@ def default_backend() -> str:
     Raises :class:`ValueError` for anything outside :data:`BACKENDS` —
     a typo'd environment should fail loudly, not silently fall back.
     """
-    global _backend_cache
-    env = os.environ.get("REPRO_BACKEND")
-    if _backend_cache is not None and _backend_cache[0] == env:
-        return _backend_cache[1]
-    value = (env or "thread").strip().lower()
-    if value not in BACKENDS:
-        raise ValueError(
-            f"REPRO_BACKEND must be one of {BACKENDS}, got {env!r}")
-    _backend_cache = (env, value)
-    return value
+
+    def parse(env: str | None) -> str:
+        value = (env or "thread").strip().lower()
+        if value not in BACKENDS:
+            raise ValueError(
+                f"REPRO_BACKEND must be one of {BACKENDS}, got {env!r}")
+        return value
+
+    return _env_cached("REPRO_BACKEND", parse)
+
+
+def default_chunk_items() -> int:
+    """Walker-chunk grain from ``REPRO_CHUNK_ITEMS`` env var.
+
+    Defaults to :data:`DEFAULT_CHUNK_ITEMS`.  Lets deployments tune the
+    process backend's chunk size (e.g. when the multi-core speedup gate
+    is marginal on a given host) without code edits.  **Chunk layout is
+    part of the result for a fixed seed** — it decides the per-chunk
+    RNG streams — so this is a solver-level knob on par with
+    ``SolverOptions.chunk_items`` (which takes precedence), and an
+    unparseable or non-positive value raises :class:`ValueError` rather
+    than silently changing the layout.
+    """
+
+    def parse(env: str | None) -> int:
+        if not env:
+            return DEFAULT_CHUNK_ITEMS
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value < 1:
+            raise ValueError(
+                f"REPRO_CHUNK_ITEMS must be a positive integer, "
+                f"got {env!r}")
+        return value
+
+    return _env_cached("REPRO_CHUNK_ITEMS", parse)
 
 
 def chunk_ranges(n: int, chunks: int) -> list[tuple[int, int]]:
@@ -183,6 +224,42 @@ def parallel_map(fn: Callable[[T], R],
         return [fn(x) for x in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+def run_column_chunks(ctx: "ExecutionContext", b: np.ndarray,
+                      run_block: Callable[..., R],
+                      cols: Sequence[np.ndarray | float | None] = ()
+                      ) -> list[R] | None:
+    """Shared broadcast–slice–dispatch for column-blocked solves.
+
+    The blocked iterative kernels (Richardson, PCG, Chebyshev) all
+    chunk an ``(n, k)`` right-hand-side block the same way: split the
+    ``k`` columns into the context's size-determined (hence worker- and
+    backend-independent) column chunks, broadcast every per-column
+    parameter (scalar, length-``k`` array, or ``None``) to a ``(k,)``
+    vector, slice block and parameters per chunk, and run the chunks on
+    the context's pool.  This helper is that shared mechanics;
+    result-type-specific merging (hstack of solutions, max of iteration
+    counts, ...) stays with each caller.
+
+    Returns the per-chunk ``run_block(b_chunk, *col_chunks)`` results
+    in column order, or ``None`` when the layout is a single chunk —
+    callers fall through to their unchunked path (avoiding the pool and
+    sub-ledger overhead for small blocks).
+    """
+    k = b.shape[1]
+    pieces = ctx.column_chunks(k)
+    if len(pieces) <= 1:
+        return None
+    bc = [None if c is None
+          else np.broadcast_to(np.asarray(c, dtype=np.float64), (k,)).copy()
+          for c in cols]
+
+    def one(lo: int, hi: int) -> R:
+        return run_block(b[:, lo:hi],
+                         *[None if c is None else c[lo:hi] for c in bc])
+
+    return ctx.run_chunks(one, pieces)
 
 
 # -- shared-memory payloads ---------------------------------------------------
@@ -576,6 +653,9 @@ class ExecutionContext:
         ``workers``, the backend never influences results.
     chunk_items:
         Target work items (walkers) per chunk for :meth:`item_chunks`.
+        ``None`` (default) consults the ``REPRO_CHUNK_ITEMS`` env var
+        lazily (default :data:`DEFAULT_CHUNK_ITEMS`) — see
+        :func:`default_chunk_items`; an explicit value wins.
     chunk_columns:
         Target right-hand-side columns per chunk for
         :meth:`column_chunks`.
@@ -589,13 +669,13 @@ class ExecutionContext:
 
     workers: int | None = None
     backend: str | None = None
-    chunk_items: int = DEFAULT_CHUNK_ITEMS
+    chunk_items: int | None = None
     chunk_columns: int = DEFAULT_CHUNK_COLUMNS
     max_chunks: int = MAX_CHUNKS
 
     def __post_init__(self) -> None:
-        if self.chunk_items < 1 or self.chunk_columns < 1 \
-                or self.max_chunks < 1:
+        if (self.chunk_items is not None and self.chunk_items < 1) \
+                or self.chunk_columns < 1 or self.max_chunks < 1:
             raise ValueError("chunk policy values must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be None or >= 1")
@@ -625,9 +705,18 @@ class ExecutionContext:
             return 1
         return max(1, min(self.max_chunks, math.ceil(n / grain)))
 
+    def resolve_chunk_items(self) -> int:
+        """The item-chunk grain to use *right now* (lazy env lookup)."""
+        if self.chunk_items is not None:
+            return self.chunk_items
+        return default_chunk_items()
+
     def item_chunks(self, n: int) -> list[tuple[int, int]]:
-        """Chunk ``range(n)`` work items; layout depends only on ``n``."""
-        return chunk_ranges(n, self._chunk_count(n, self.chunk_items))
+        """Chunk ``range(n)`` work items; layout depends only on ``n``
+        and the chunk policy (explicit ``chunk_items`` or the
+        ``REPRO_CHUNK_ITEMS`` env default)."""
+        return chunk_ranges(n, self._chunk_count(n,
+                                                 self.resolve_chunk_items()))
 
     def column_chunks(self, k: int) -> list[tuple[int, int]]:
         """Chunk ``k`` RHS columns; layout depends only on ``k``."""

@@ -30,6 +30,17 @@ Invariants (asserted by the equality tests, documented in DESIGN.md §6):
   with dead-edge compaction — only when the appended tail outgrows
   ``rebuild_factor`` × the live edge count, keeping the amortised
   per-round index cost linear in the *churn*, not the graph.
+
+The store also maintains the walk engine's **per-row alias planes**
+(:meth:`IncrementalWalkCSR.alias_planes`, DESIGN.md §8): each row's
+Vose table is cached when first built and invalidated only when one of
+the row's incident edges is deleted or inserted, so a round rebuilds
+tables for the churned rows alone.  Cached rows are bit-identical to a
+from-scratch :func:`repro.sampling.alias.build_alias_tables` over the
+extracted view, because a table is a pure function of the row's live
+weight *sequence* and the store preserves per-row slot order across
+mutations — including epoch compaction, which only renames global slot
+ids (the cache stores row-local aliases, so it survives epochs intact).
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ from repro.graphs.multigraph import (
 )
 from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
+from repro.sampling.alias import build_alias_tables
 
 __all__ = ["IncrementalWalkCSR", "InteriorDegreeOracle"]
 
@@ -169,6 +181,13 @@ class IncrementalWalkCSR:
             self._bmult[:graph.m] = graph.mult
         self._balive[:graph.m] = True
         self._alive_count = graph.m
+        # Per-row alias-plane cache: row -> (prob, row-local alias,
+        # total).  Primed for every live row on the first
+        # alias_planes() call, invalidated by edge churn; row-local
+        # storage makes it epoch-compaction-proof.
+        self._alias_rows: dict[int, tuple[np.ndarray, np.ndarray,
+                                          float]] = {}
+        self._alias_primed = False
         self._build_epoch()
 
     # -- buffer views --------------------------------------------------------
@@ -215,6 +234,8 @@ class IncrementalWalkCSR:
             total += self._bmult.nbytes
         total += (self._u_indptr.nbytes + self._u_slots.nbytes
                   + self._v_indptr.nbytes + self._v_slots.nbytes)
+        total += sum(p.nbytes + a.nbytes + 8
+                     for p, a, _ in self._alias_rows.values())
         return total
 
     @property
@@ -299,6 +320,8 @@ class IncrementalWalkCSR:
         newly = mark & alive
         self._alive_count -= int(np.count_nonzero(newly))
         alive[newly] = False
+        self._invalidate_alias(self._bu[:self._size][newly],
+                               self._bv[:self._size][newly])
         if ledger_active():
             charge(*P.map_cost(hit_u.size + hit_v.size),
                    label="inc_csr_delete")
@@ -327,6 +350,7 @@ class IncrementalWalkCSR:
         self._balive[lo:hi] = True
         self._size = hi
         self._alive_count += u.size
+        self._invalidate_alias(u, self._bv[lo:hi])
         if ledger_active():
             charge(*P.map_cost(u.size), label="inc_csr_insert")
         self._maybe_rebuild()
@@ -337,6 +361,14 @@ class IncrementalWalkCSR:
         """One elimination round: delete ``F``'s edges, insert emissions."""
         self.eliminate(F)
         self.insert(emitted_u, emitted_v, emitted_w, emitted_mult)
+
+    def _invalidate_alias(self, us: np.ndarray, vs: np.ndarray) -> None:
+        """Drop cached alias tables for every endpoint of churned edges."""
+        if not self._alias_rows:
+            return
+        cache = self._alias_rows
+        for r in np.unique(np.concatenate([us, vs])).tolist():
+            cache.pop(r, None)
 
     # -- extraction ----------------------------------------------------------
 
@@ -390,6 +422,102 @@ class IncrementalWalkCSR:
         if ledger_active():
             charge(*P.convert_cost(eid.size), label="inc_csr_extract")
         return view, slot_mult
+
+    def alias_planes(self, rows: np.ndarray, view: AdjacencyView
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Alias sampler planes for ``restricted_view(rows)``'s layout.
+
+        Returns ``(prob, alias, total)`` exactly as
+        :func:`repro.sampling.alias.build_alias_tables` would produce
+        from the view — bit-identical, asserted by the equality tests —
+        but built **incrementally**: each row's Vose table is cached on
+        first use and only rows whose incident edges churned since
+        (deleted by :meth:`eliminate`, appended by :meth:`insert`) are
+        rebuilt, in one batched construction over just those rows.
+        ``view`` must be the :meth:`restricted_view` result for the
+        same ``rows`` (the planes align with its slots).
+
+        Equality holds because a row's table is a pure function of its
+        live weight sequence, which the store presents in a canonical
+        per-row order that survives both mutation rounds and epoch
+        compaction (module docstring); cached aliases are stored
+        row-local and re-offset into each extraction's global slot ids.
+        """
+        rows = np.unique(np.asarray(rows, dtype=np.int64))
+        if not self._alias_primed:
+            self.prime_alias()
+        indptr = view.indptr
+        self._build_alias_rows(rows, view)
+        cache = self._alias_rows
+        nnz = view.weight.size
+        prob = np.empty(nnz, dtype=np.float64)
+        alias = np.empty(nnz, dtype=np.int64)
+        total = np.zeros(self.n, dtype=np.float64)
+        for r in rows.tolist():
+            lo, hi = int(indptr[r]), int(indptr[r + 1])
+            if hi == lo:
+                continue
+            pr, al, t = cache[r]
+            prob[lo:hi] = pr
+            alias[lo:hi] = al + lo
+            total[r] = t
+        return prob, alias, total
+
+    def prime_alias(self, rows: np.ndarray | None = None) -> None:
+        """Prime the alias cache in one batched build (Lemma 2.6's
+        linear preprocessing, charged once).
+
+        ``rows`` narrows the prime to the rows that can ever be
+        sampled — e.g. ``approx_schur`` passes its interior ``U``, so
+        terminal rows (never in any eliminated set) cost neither build
+        work nor cache bytes.  ``None`` primes every vertex (right for
+        ``block_cholesky``, which eventually eliminates almost all of
+        them); rounds after the prime only rebuild rows whose incident
+        edges churned.  Calling this is optional — the first
+        :meth:`alias_planes` call self-primes over all rows — and
+        per-row planes are identical either way (pure per-row
+        function), only the build/cache footprint differs.
+        """
+        self._alias_primed = True
+        if rows is None:
+            rows = np.arange(self.n, dtype=np.int64)
+        else:
+            rows = np.unique(np.asarray(rows, dtype=np.int64))
+        if rows.size:
+            self._build_alias_rows(rows, self.restricted_view(rows)[0])
+
+    def _build_alias_rows(self, rows: np.ndarray,
+                          view: AdjacencyView) -> None:
+        """Build (and cache) alias tables for ``rows`` not yet cached.
+
+        ``view`` must be a restricted view covering at least ``rows``;
+        the missing rows' weight sequences are sliced out of it into a
+        mini-CSR and built in one batched pass — per-row results are
+        bit-identical to a whole-view build (per-row independence of
+        :func:`build_alias_tables`).
+        """
+        indptr = view.indptr
+        cache = self._alias_rows
+        missing = [r for r in rows.tolist()
+                   if r not in cache and indptr[r + 1] > indptr[r]]
+        if missing:
+            miss = np.asarray(missing, dtype=np.int64)
+            lens = indptr[miss + 1] - indptr[miss]
+            mini_indptr = np.zeros(miss.size + 1, dtype=np.int64)
+            np.cumsum(lens, out=mini_indptr[1:])
+            w_mini, _ = _gather_row_slices(indptr, view.weight, miss)
+            prob_m, alias_m, tot_m = build_alias_tables(mini_indptr, w_mini)
+            for t, r in enumerate(miss.tolist()):
+                lo, hi = int(mini_indptr[t]), int(mini_indptr[t + 1])
+                # Copy the prob slice: a view would keep the whole
+                # batch plane alive (and uncounted by nbytes) for as
+                # long as any one row survives invalidation.  The
+                # alias slice is already a fresh array (`- lo`).
+                cache[r] = (prob_m[lo:hi].copy(), alias_m[lo:hi] - lo,
+                            float(tot_m[t]))
+            if ledger_active():
+                charge(*P.sampler_build_cost(int(w_mini.size)),
+                       label="alias_build")
 
     def interior_degrees(self, rows: np.ndarray) -> InteriorDegreeOracle:
         """Degree oracle for the live edges induced on ``rows``.

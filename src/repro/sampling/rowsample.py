@@ -77,6 +77,13 @@ class RowSampler:
         # Guard against floating-point landing one slot out of the row.
         lo = self.adj.indptr[rows]
         hi = self.adj.indptr[rows + 1] - 1
+        if np.any(lo > hi):
+            # An empty interior row can only reach this point when the
+            # derived base/top bounds disagree with the CSR (e.g.
+            # inconsistent shipped planes); clipping would silently
+            # return a slot from a *different* row.
+            raise SamplingError("cannot sample from an empty adjacency "
+                                "row (CSR and cumulative bounds disagree)")
         slot = np.clip(slot, lo, hi)
         if ledger_active():
             charge(*P.sampler_query_cost(rows.size), label="rowsampler_query")

@@ -6,7 +6,11 @@ reaches the terminal set ``C``.  This module implements that
 synchronous stepping:
 
 * each round, all still-active walkers sample a weight-proportional
-  incident edge via :class:`repro.sampling.rowsample.RowSampler` and
+  incident edge — via the CSR-aligned alias planes of
+  :class:`repro.sampling.alias.CSRAliasSampler` (Lemma 2.6: O(1) per
+  query) or the global-bisection
+  :class:`repro.sampling.rowsample.RowSampler` (O(log m) per query),
+  selected by the ``sampler`` knob / ``REPRO_SAMPLER`` env var — and
   move across it, accumulating the *per-copy* resistance of the edge
   they crossed;
 * walkers standing on a terminal vertex retire immediately (a walker
@@ -50,9 +54,46 @@ from repro.graphs.multigraph import MultiGraph
 from repro.pram import charge, ledger_active
 from repro.pram import primitives as P
 from repro.rng import as_generator
+from repro.sampling.alias import CSRAliasSampler
 from repro.sampling.rowsample import RowSampler
 
-__all__ = ["WalkEngine", "WalkResult"]
+__all__ = ["WalkEngine", "WalkResult", "SAMPLERS", "default_sampler",
+           "make_row_sampler"]
+
+#: Recognised row samplers: ``alias`` = per-row alias planes (Lemma
+#: 2.6, O(1)/query), ``bisect`` = global cumulative-weight bisection
+#: (the historical realisation, O(log m)/query).
+SAMPLERS = ("alias", "bisect")
+
+def _parse_sampler(env: str | None) -> str:
+    value = (env or "bisect").strip().lower()
+    if value not in SAMPLERS:
+        raise ValueError(
+            f"REPRO_SAMPLER must be one of {SAMPLERS}, got {env!r}")
+    return value
+
+
+def default_sampler() -> str:
+    """Sampler name from ``REPRO_SAMPLER`` env var (default: bisect).
+
+    Raises :class:`ValueError` for anything outside :data:`SAMPLERS` —
+    the sampler changes how the RNG stream maps to walk transitions,
+    so a typo must fail loudly, not silently pick a different walk
+    distribution realisation.  Env-cached like the other ``default_*``
+    getters (:func:`repro.pram.executor._env_cached`).
+    """
+    from repro.pram.executor import _env_cached
+
+    return _env_cached("REPRO_SAMPLER", _parse_sampler)
+
+
+def make_row_sampler(adj, kind: str):
+    """Build the row sampler ``kind`` over adjacency ``adj``."""
+    if kind == "alias":
+        return CSRAliasSampler(adj)
+    if kind == "bisect":
+        return RowSampler(adj)
+    raise ValueError(f"unknown sampler {kind!r}; choose from {SAMPLERS}")
 
 
 def _walk_chunk_task(arrays, meta, lo, hi, stream, ledger):
@@ -61,11 +102,12 @@ def _walk_chunk_task(arrays, meta, lo, hi, stream, ledger):
     This is the process-backend counterpart of the closure
     :meth:`WalkEngine.run_chunked` dispatches in-process: ``arrays``
     holds the engine's immutable state (restricted CSR, per-slot
-    resistances, terminal mask, the sampler's derived per-row
-    ``base``/``top`` cumulative bounds) plus the full ``starts``
-    batch — reconstructed worker-side as read-only shared-memory
-    views — and the chunk itself is just slice bounds plus a spawned
-    RNG stream.
+    resistances, terminal mask, the sampler's derived planes — alias
+    ``prob``/``alias``/row totals for ``sampler="alias"``, per-row
+    ``base``/``top`` cumulative bounds for ``"bisect"``) plus the full
+    ``starts`` batch — reconstructed worker-side as read-only
+    shared-memory views — and the chunk itself is just slice bounds
+    plus a spawned RNG stream.
 
     Engine assembly is pure view-wiring (the parent ships the
     sampler's derived arrays, so nothing is recomputed per chunk) and
@@ -77,21 +119,35 @@ def _walk_chunk_task(arrays, meta, lo, hi, stream, ledger):
     from repro.graphs.multigraph import AdjacencyView
     from repro.pram.ledger import use_ledger
 
+    kind = meta.get("sampler", "bisect")
     adj = AdjacencyView(indptr=arrays["indptr"],
                         neighbor=arrays["neighbor"],
                         weight=arrays["weight"],
                         # Stepping never decodes edge ids — placeholder.
                         edge_id=np.empty(0, dtype=np.int64),
-                        cumweight=arrays["cumweight"])
-    sampler = RowSampler.__new__(RowSampler)
-    sampler.adj = adj
-    sampler._base = arrays["sampler_base"]
-    sampler._top = arrays["sampler_top"]
+                        # Only the bisect sampler consults cumweight.
+                        cumweight=arrays["cumweight"] if kind == "bisect"
+                        else np.empty(0, dtype=np.float64))
+    if kind == "alias":
+        # Pure view-wiring (mirrors the bisect branch): every derived
+        # array ships, nothing is recomputed per chunk.
+        sampler = CSRAliasSampler.__new__(CSRAliasSampler)
+        sampler.adj = adj
+        sampler.prob = arrays["alias_prob"]
+        sampler.alias = arrays["alias_alias"]
+        sampler.row_total = arrays["alias_total"]
+        sampler._deg = arrays["alias_deg"]
+    else:
+        sampler = RowSampler.__new__(RowSampler)
+        sampler.adj = adj
+        sampler._base = arrays["sampler_base"]
+        sampler._top = arrays["sampler_top"]
     engine = WalkEngine.__new__(WalkEngine)
     engine.graph = None
     engine.is_terminal = arrays["is_terminal"]
     engine.adj = adj
     engine.sampler = sampler
+    engine.sampler_kind = kind
     engine._slot_resistance = arrays["slot_resistance"]
     starts = arrays["starts"][lo:hi]
     if ledger is None:
@@ -138,10 +194,19 @@ class WalkEngine:
         Build CSR rows for non-terminal vertices only (default).  Pass
         ``False`` to build the full cached adjacency — the seed
         behaviour, kept for benchmark baselines.
+    sampler:
+        ``"alias"`` (per-row alias planes, O(1)/query) or ``"bisect"``
+        (global cumulative-weight bisection).  ``None`` (default)
+        consults the ``REPRO_SAMPLER`` env var lazily (default
+        ``"bisect"``).  For a fixed seed and a fixed sampler, results
+        are bit-identical across backends and worker counts; the two
+        samplers map the RNG stream to transitions differently, so
+        cross-sampler agreement is distributional (DESIGN.md §8).
     """
 
     def __init__(self, graph: MultiGraph, is_terminal: np.ndarray,
-                 restricted: bool = True) -> None:
+                 restricted: bool = True,
+                 sampler: str | None = None) -> None:
         is_terminal = np.asarray(is_terminal, dtype=bool)
         if is_terminal.shape != (graph.n,):
             raise SamplingError("is_terminal must have one flag per vertex")
@@ -153,7 +218,9 @@ class WalkEngine:
             self.adj = graph.adjacency_restricted(~is_terminal)
         else:
             self.adj = graph.adjacency()
-        self.sampler = RowSampler(self.adj)
+        self.sampler_kind = sampler if sampler is not None \
+            else default_sampler()
+        self.sampler = make_row_sampler(self.adj, self.sampler_kind)
         # Resistance of crossing ONE logical copy of each CSR slot's
         # edge group: a copy weighs w/mult, so 1/(w/mult) = mult/w.
         if graph.mult is None:
@@ -164,7 +231,9 @@ class WalkEngine:
 
     @classmethod
     def from_adjacency(cls, adj, slot_mult: np.ndarray | None,
-                       is_terminal: np.ndarray) -> "WalkEngine":
+                       is_terminal: np.ndarray,
+                       sampler: str | None = None,
+                       alias_planes=None) -> "WalkEngine":
         """Engine over a prebuilt (restricted) adjacency view.
 
         This is how the elimination loops reuse an incrementally
@@ -172,7 +241,11 @@ class WalkEngine:
         instead of rebuilding the adjacency per round.  ``slot_mult``
         gives each slot's logical copy count (``None`` = all ones); the
         view's ``edge_id`` may index any backing store — the engine only
-        consumes per-slot quantities.
+        consumes per-slot quantities.  ``sampler`` selects the row
+        sampler as in the constructor; with ``sampler="alias"`` the
+        caller may hand incrementally maintained
+        ``(prob, alias, row_total)`` planes via ``alias_planes`` so
+        nothing is rebuilt (:meth:`IncrementalWalkCSR.alias_planes`).
         """
         is_terminal = np.asarray(is_terminal, dtype=bool)
         if not is_terminal.any():
@@ -181,7 +254,12 @@ class WalkEngine:
         engine.graph = None
         engine.is_terminal = is_terminal
         engine.adj = adj
-        engine.sampler = RowSampler(adj)
+        kind = sampler if sampler is not None else default_sampler()
+        engine.sampler_kind = kind
+        if kind == "alias" and alias_planes is not None:
+            engine.sampler = CSRAliasSampler.from_planes(adj, *alias_planes)
+        else:
+            engine.sampler = make_row_sampler(adj, kind)
         if slot_mult is None:
             engine._slot_resistance = 1.0 / adj.weight
         else:
@@ -291,9 +369,11 @@ class WalkEngine:
 
         With an :class:`repro.pram.ExecutionContext` ``ctx``, the chunk
         layout comes from ``ctx.item_chunks`` — a function of the walker
-        count alone — so for a fixed seed the result is **bit-identical
-        regardless of the worker count or backend** (they only schedule
-        the fixed chunks).  Under the process backend the engine's
+        count and the chunk policy (explicit ``chunk_items`` or the
+        ``REPRO_CHUNK_ITEMS`` env default), never of the worker count —
+        so for a fixed seed and fixed chunk policy the result is
+        **bit-identical regardless of the worker count or backend**
+        (they only schedule the fixed chunks).  Under the process backend the engine's
         immutable arrays ship once per call through shared memory and
         each chunk pickles only its slice bounds and seed-spawn key
         (see :func:`_walk_chunk_task`); the serial and thread backends
@@ -318,14 +398,21 @@ class WalkEngine:
             arrays = {"indptr": self.adj.indptr,
                       "neighbor": self.adj.neighbor,
                       "weight": self.adj.weight,
-                      "cumweight": self.adj.cumweight,
-                      "sampler_base": self.sampler._base,
-                      "sampler_top": self.sampler._top,
                       "slot_resistance": self._slot_resistance,
                       "is_terminal": self.is_terminal,
                       "starts": starts}
+            if self.sampler_kind == "alias":
+                arrays["alias_prob"] = self.sampler.prob
+                arrays["alias_alias"] = self.sampler.alias
+                arrays["alias_total"] = self.sampler.row_total
+                arrays["alias_deg"] = self.sampler._deg
+            else:
+                arrays["cumweight"] = self.adj.cumweight
+                arrays["sampler_base"] = self.sampler._base
+                arrays["sampler_top"] = self.sampler._top
             results = ctx.run_shipped(_walk_chunk_task, arrays,
-                                      {"max_steps": max_steps},
+                                      {"max_steps": max_steps,
+                                       "sampler": self.sampler_kind},
                                       pieces, rng=rng)
         else:
 

@@ -1,0 +1,461 @@
+"""CSR-aligned alias sampling (ISSUE 5 tentpole).
+
+Pins the PR-5 contracts:
+
+* the batched Vose construction encodes every row's distribution
+  exactly (pmf reconstruction == weights / total, aliases stay in-row);
+* alias and bisect transition distributions agree per row (chi-square);
+* sampler selection threads ``SolverOptions.sampler`` / ``REPRO_SAMPLER``
+  / explicit parameters through the walk stack, with the legacy
+  baseline pinned to bisect;
+* per sampler, fixed seed ⇒ bit-identical results across
+  ``{serial, thread, process}`` × ``{1, 2, 4}`` workers;
+* the incrementally maintained alias planes equal a from-scratch
+  rebuild after every elimination round — bitwise;
+* the satellite guards: ``RowSampler``'s empty-row clip validation and
+  the ``REPRO_CHUNK_ITEMS`` chunk-grain override.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.config import default_options
+from repro.core.schur import approx_schur
+from repro.core.terminal_walks import terminal_walks
+from repro.errors import SamplingError
+from repro.graphs import generators as G
+from repro.graphs.multigraph import MultiGraph
+from repro.pram import use_ledger
+from repro.pram.executor import (
+    BACKENDS,
+    DEFAULT_CHUNK_ITEMS,
+    ExecutionContext,
+    default_chunk_items,
+    run_column_chunks,
+)
+from repro.sampling import (
+    AliasTable,
+    CSRAliasSampler,
+    IncrementalWalkCSR,
+    RowSampler,
+    SAMPLERS,
+    WalkEngine,
+    build_alias_tables,
+    default_sampler,
+)
+
+
+def _random_csr(rng, n_max=14, deg_max=11):
+    n = int(rng.integers(1, n_max))
+    deg = rng.integers(0, deg_max, size=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    scale = rng.choice([1e-9, 1e-3, 1.0, 1e6], size=int(deg.sum()))
+    w = rng.random(int(deg.sum())) * scale
+    return indptr, w, deg
+
+
+class TestBuildAliasTables:
+    def test_pmf_exact_per_row(self, rng):
+        for _ in range(60):
+            indptr, w, deg = _random_csr(rng)
+            prob, alias, total = build_alias_tables(indptr, w)
+            row_of = np.repeat(np.arange(deg.size), deg)
+            # aliases never leave their row
+            assert np.all(row_of[alias] == row_of)
+            denom = np.maximum(deg[row_of], 1).astype(np.float64)
+            out = prob / denom
+            np.add.at(out, alias, (1.0 - prob) / denom)
+            ok = total[row_of] > 0
+            want = np.where(ok, w / np.where(ok, total[row_of], 1.0), 0.0)
+            np.testing.assert_allclose(out, want, rtol=1e-12, atol=1e-15)
+
+    def test_uniform_row_is_identity(self):
+        prob, alias, total = build_alias_tables(np.array([0, 5]),
+                                                np.full(5, 3.25))
+        assert np.all(prob == 1.0)
+        np.testing.assert_array_equal(alias, np.arange(5))
+        assert total[0] == pytest.approx(5 * 3.25)
+
+    def test_zero_weight_slots_never_sampled(self):
+        prob, alias, _ = build_alias_tables(np.array([0, 4]),
+                                            np.array([0.0, 1.0, 0.0, 3.0]))
+        out = prob / 4.0
+        np.add.at(out, alias, (1.0 - prob) / 4.0)
+        np.testing.assert_allclose(out, [0.0, 0.25, 0.0, 0.75])
+
+    def test_subnormal_totals_stay_proportional(self):
+        # Regression: scaling must normalise (w / total) before the
+        # degree fan-out — deg / total overflows to inf for subnormal
+        # totals and silently degraded the row to uniform sampling.
+        w = np.array([1e-310, 3e-310])
+        prob, alias, total = build_alias_tables(np.array([0, 2]), w)
+        out = prob / 2.0
+        np.add.at(out, alias, (1.0 - prob) / 2.0)
+        np.testing.assert_allclose(out, [0.25, 0.75], rtol=1e-12)
+        s = AliasTable(w).sample(40_000, seed=0)
+        assert abs(float(np.mean(s == 0)) - 0.25) < 0.01
+
+    def test_empty_input(self):
+        prob, alias, total = build_alias_tables(np.zeros(4, np.int64),
+                                                np.empty(0))
+        assert prob.size == 0 and alias.size == 0
+        np.testing.assert_array_equal(total, np.zeros(3))
+
+    def test_high_degree_sweep_rows_exact(self, rng):
+        # Rows at/above the sweep threshold use the vectorised
+        # prefix-sum construction; exactness degrades only by prefix-
+        # sum rounding.
+        for _ in range(15):
+            n = int(rng.integers(1, 5))
+            deg = rng.choice([0, 3, 130, 500, 2000], size=n)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(deg, out=indptr[1:])
+            w = rng.random(int(deg.sum())) \
+                * rng.choice([1e-6, 1.0, 1e5], size=int(deg.sum()))
+            prob, alias, total = build_alias_tables(indptr, w)
+            row_of = np.repeat(np.arange(n), deg)
+            assert np.all(row_of[alias] == row_of)
+            assert np.all((prob >= 0.0) & (prob <= 1.0))
+            denom = np.maximum(deg[row_of], 1).astype(np.float64)
+            out = prob / denom
+            np.add.at(out, alias, (1.0 - prob) / denom)
+            ok = total[row_of] > 0
+            want = np.where(ok, w / np.where(ok, total[row_of], 1.0), 0.0)
+            np.testing.assert_allclose(out, want, rtol=1e-9, atol=1e-12)
+
+    def test_row_planes_independent_of_batch_grouping(self):
+        # The incremental cache rebuilds rows in mini-CSRs; a row's
+        # planes must not depend on which batch built it — including
+        # across the sequential/sweep threshold.
+        for deg0 in (9, 700):
+            w0 = np.random.default_rng(7).random(deg0) * 10.0
+            p1, a1, _ = build_alias_tables(np.array([0, deg0]), w0)
+            wb = np.concatenate([[1.0, 2.0], w0, [5.0]])
+            ib = np.array([0, 2, 2 + deg0, 3 + deg0])
+            p2, a2, _ = build_alias_tables(ib, wb)
+            np.testing.assert_array_equal(p1, p2[2:2 + deg0])
+            np.testing.assert_array_equal(a1 + 2, a2[2:2 + deg0])
+
+
+class TestCSRAliasSampler:
+    def test_slots_stay_in_row(self, zoo_graph, rng):
+        adj = zoo_graph.adjacency()
+        sampler = CSRAliasSampler(adj)
+        rows = rng.integers(0, zoo_graph.n, size=2000)
+        slots = sampler.sample(rows, seed=1)
+        assert np.all(slots >= adj.indptr[rows])
+        assert np.all(slots < adj.indptr[rows + 1])
+
+    def test_row_totals_are_degrees(self, zoo_graph):
+        sampler = CSRAliasSampler(zoo_graph.adjacency())
+        assert np.allclose(sampler.row_totals(),
+                           zoo_graph.weighted_degrees())
+
+    def test_weight_proportional(self):
+        g = MultiGraph(4, [0, 0, 0], [1, 2, 3], [1.0, 1.0, 8.0])
+        sampler = CSRAliasSampler(g.adjacency())
+        slots = sampler.sample(np.zeros(100_000, dtype=np.int64), seed=2)
+        picked = g.adjacency().neighbor[slots]
+        freq = np.bincount(picked, minlength=4) / picked.size
+        assert np.allclose(freq[[1, 2, 3]], [0.1, 0.1, 0.8], atol=0.01)
+
+    def test_isolated_vertex_raises(self):
+        g = MultiGraph(3, [0], [1], [1.0])
+        sampler = CSRAliasSampler(g.adjacency())
+        with pytest.raises(SamplingError):
+            sampler.sample(np.array([2]), seed=0)
+
+    def test_deterministic_given_seed(self, zoo_graph):
+        sampler = CSRAliasSampler(zoo_graph.adjacency())
+        rows = np.arange(zoo_graph.n)
+        np.testing.assert_array_equal(sampler.sample(rows, seed=7),
+                                      sampler.sample(rows, seed=7))
+
+    def test_pmf_method(self, zoo_graph):
+        adj = zoo_graph.adjacency()
+        sampler = CSRAliasSampler(adj)
+        deg = np.diff(adj.indptr)
+        row_of = np.repeat(np.arange(zoo_graph.n), deg)
+        want = adj.weight / sampler.row_totals()[row_of]
+        np.testing.assert_allclose(sampler.pmf(), want, rtol=1e-12)
+
+    def test_from_planes_charges_nothing(self, zoo_graph):
+        adj = zoo_graph.adjacency()
+        prob, alias, total = build_alias_tables(adj.indptr, adj.weight)
+        with use_ledger() as ledger:
+            CSRAliasSampler.from_planes(adj, prob, alias, total)
+        assert ledger.work == 0
+
+
+class TestChiSquareAgreement:
+    """Alias and bisect encode the same per-row transition pmf."""
+
+    @pytest.mark.parametrize("kind", SAMPLERS)
+    def test_per_row_chi_square(self, kind):
+        # Irregular weighted graph: a weighted star glued to a path.
+        g = MultiGraph(6,
+                       [0, 0, 0, 0, 1, 2],
+                       [1, 2, 3, 4, 2, 5],
+                       [0.5, 2.0, 7.5, 1.0, 3.0, 0.25])
+        adj = g.adjacency()
+        sampler = CSRAliasSampler(adj) if kind == "alias" \
+            else RowSampler(adj)
+        rng = np.random.default_rng(42)
+        draws = 40_000
+        for row in range(g.n):
+            lo, hi = adj.indptr[row], adj.indptr[row + 1]
+            if hi - lo < 2:
+                continue
+            slots = sampler.sample(np.full(draws, row, dtype=np.int64),
+                                   seed=rng)
+            counts = np.bincount(slots - lo, minlength=hi - lo)
+            expected = adj.weight[lo:hi] / adj.weight[lo:hi].sum() * draws
+            _, p = stats.chisquare(counts, expected)
+            assert p > 1e-4, (kind, row, p)
+
+    def test_cross_sampler_hitting_distribution(self):
+        # Gambler's ruin 0 -(3)- 1 -(1)- 2: both samplers hit 0 from 1
+        # w.p. 3/4 — distributional agreement, not bitwise.
+        g = MultiGraph(3, [0, 1], [1, 2], [3.0, 1.0])
+        is_term = np.array([True, False, True])
+        for kind in SAMPLERS:
+            res = WalkEngine(g, is_term, sampler=kind).run(
+                np.full(40_000, 1), seed=5)
+            assert abs(float(np.mean(res.terminal == 0)) - 0.75) < 0.01
+
+
+class TestSamplerSelection:
+    def test_default_sampler_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLER", raising=False)
+        assert default_sampler() == "bisect"
+        monkeypatch.setenv("REPRO_SAMPLER", "alias")
+        assert default_sampler() == "alias"
+        monkeypatch.setenv("REPRO_SAMPLER", "bisect")
+        assert default_sampler() == "bisect"
+
+    def test_default_sampler_rejects_typos(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLER", "ailas")
+        with pytest.raises(ValueError):
+            default_sampler()
+
+    def test_options_resolve_sampler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLER", "alias")
+        assert default_options().resolve_sampler() == "alias"
+        assert default_options().with_(
+            sampler="bisect").resolve_sampler() == "bisect"
+        with pytest.raises(ValueError):
+            default_options().with_(sampler="bogus").resolve_sampler()
+
+    def test_engine_sampler_kinds(self):
+        g = G.grid2d(4, 4)
+        is_term = np.zeros(g.n, dtype=bool)
+        is_term[:4] = True
+        assert isinstance(WalkEngine(g, is_term, sampler="alias").sampler,
+                          CSRAliasSampler)
+        assert isinstance(WalkEngine(g, is_term, sampler="bisect").sampler,
+                          RowSampler)
+        with pytest.raises(ValueError):
+            WalkEngine(g, is_term, sampler="nope")
+
+    def test_env_matches_explicit_param(self, monkeypatch):
+        g = G.grid2d(8, 8)
+        C = np.arange(0, g.n, 3)
+        explicit = terminal_walks(g, C, seed=11, sampler="alias")
+        monkeypatch.setenv("REPRO_SAMPLER", "alias")
+        via_env = terminal_walks(g, C, seed=11)
+        assert explicit == via_env
+
+    def test_legacy_pinned_to_bisect(self, monkeypatch):
+        g = G.grid2d(6, 6)
+        C = np.arange(0, g.n, 2)
+        base = terminal_walks(g, C, seed=3, legacy=True)
+        monkeypatch.setenv("REPRO_SAMPLER", "alias")
+        assert terminal_walks(g, C, seed=3, legacy=True) == base
+
+    def test_samplers_change_results_distributionally(self):
+        g = G.grid2d(10, 10)
+        C = np.arange(0, g.n, 3)
+        a = approx_schur(g, C, eps=0.5, seed=7,
+                         options=default_options().with_(sampler="alias"))
+        b = approx_schur(g, C, eps=0.5, seed=7,
+                         options=default_options().with_(sampler="bisect"))
+        assert a != b  # different RNG-to-transition maps
+        # ... but both remain supported on C only.
+        for h in (a, b):
+            assert np.isin(np.concatenate([h.u, h.v]), C).all()
+
+
+class TestPerSamplerBackendMatrix:
+    """ISSUE 5 acceptance: fixed seed + fixed sampler ⇒ bit-identical
+    results and ledger totals across backends × worker counts."""
+
+    @pytest.mark.parametrize("kind", SAMPLERS)
+    def test_backend_matrix_bit_identical(self, kind, monkeypatch):
+        opts = default_options().with_(chunk_items=512, sampler=kind)
+
+        def schur(backend, workers):
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            monkeypatch.setenv("REPRO_WORKERS", str(workers))
+            g = G.grid2d(14, 14)
+            C = np.arange(0, g.n, 3)
+            return approx_schur(g, C, eps=0.5, seed=123, options=opts)
+
+        base = schur("serial", 1)
+        for backend in BACKENDS:
+            for workers in (1, 2, 4):
+                assert schur(backend, workers) == base, (backend, workers)
+
+    @pytest.mark.parametrize("kind", SAMPLERS)
+    def test_ledger_totals_invariant(self, kind, monkeypatch):
+        g = G.grid2d(10, 10)
+        C = np.arange(0, g.n, 2)
+        opts = default_options().with_(chunk_items=512, sampler=kind)
+
+        def totals(backend, workers):
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            monkeypatch.setenv("REPRO_WORKERS", str(workers))
+            with use_ledger() as ledger:
+                approx_schur(g, C, eps=0.5, seed=3, options=opts)
+            return ledger.work, ledger.depth
+
+        base = totals("serial", 1)
+        for backend in BACKENDS:
+            assert totals(backend, 2) == base, backend
+
+
+class TestIncrementalAliasPlanes:
+    """Maintained alias planes == from-scratch builds, every round."""
+
+    def test_round_by_round_plane_equality(self):
+        from repro.core.boundedness import naive_split
+
+        g = naive_split(G.grid2d(9, 9), 0.25)
+        inc = IncrementalWalkCSR(g, rebuild_factor=0.3)
+        rng = np.random.default_rng(0)
+        work = g
+        remaining = np.arange(g.n)
+        rounds = 0
+        for _ in range(4):
+            if remaining.size <= 4:
+                break
+            F = np.unique(rng.choice(remaining,
+                                     size=max(1, remaining.size // 5),
+                                     replace=False))
+            terminals = np.setdiff1d(remaining, F)
+            view, _ = inc.restricted_view(F)
+            got = inc.alias_planes(F, view)
+            want = build_alias_tables(view.indptr, view.weight)
+            np.testing.assert_array_equal(got[0], want[0])  # prob
+            np.testing.assert_array_equal(got[1], want[1])  # alias
+            np.testing.assert_array_equal(got[2][F], want[2][F])  # totals
+            # Second extraction is served from cache, bit-identically.
+            again = inc.alias_planes(F, view)
+            np.testing.assert_array_equal(again[0], got[0])
+            np.testing.assert_array_equal(again[1], got[1])
+            nxt, stats = terminal_walks(work, terminals, seed=rng,
+                                        return_stats=True)
+            p = stats.passthrough_stored
+            inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
+                        None if nxt.mult is None else nxt.mult[p:])
+            work = nxt
+            remaining = terminals
+            rounds += 1
+        assert rounds >= 2
+
+    def test_churn_invalidates_touched_rows_only(self):
+        g = G.grid2d(5, 5)
+        inc = IncrementalWalkCSR(g)
+        all_rows = np.arange(g.n)
+        view, _ = inc.restricted_view(all_rows)
+        inc.alias_planes(all_rows, view)
+        assert len(inc._alias_rows) > 0
+        before = dict(inc._alias_rows)
+        # Insert one far-away edge: only its endpoints drop.
+        inc.insert(np.array([0]), np.array([1]), np.array([2.0]))
+        assert 0 not in inc._alias_rows and 1 not in inc._alias_rows
+        for r in before:
+            if r not in (0, 1):
+                assert r in inc._alias_rows
+
+    def test_incremental_matches_scratch_end_to_end(self):
+        g = G.grid2d(13, 13)
+        C = np.arange(0, g.n, 4)
+        opts = default_options().with_(sampler="alias")
+        a = approx_schur(g, C, eps=0.5, seed=99, options=opts,
+                         incremental=True)
+        b = approx_schur(g, C, eps=0.5, seed=99, options=opts,
+                         incremental=False)
+        assert a == b
+
+    def test_solver_chain_alias_incremental_invariant(self):
+        from repro.config import practical_options
+        from repro.core.solver import LaplacianSolver
+
+        g = G.grid2d(12, 12)
+        opts = practical_options().with_(sampler="alias")
+        on = LaplacianSolver(g, options=opts, seed=8)
+        off = LaplacianSolver(g, options=opts.with_(incremental_csr=False),
+                              seed=8)
+        np.testing.assert_array_equal(on.chain.final_pinv,
+                                      off.chain.final_pinv)
+
+
+class TestRowSamplerClipGuard:
+    def test_empty_row_raises_instead_of_clipping(self):
+        # Simulate inconsistent derived planes (the shipped-
+        # reconstruction hazard): an empty row whose base/top bounds
+        # wrongly claim positive span must raise, not clip into a
+        # neighbouring row's slots.
+        g = MultiGraph(3, [0], [1], [1.0])
+        adj = g.adjacency()
+        sampler = RowSampler(adj)
+        sampler._base = np.array([0.0, 1.0, 0.5])
+        sampler._top = np.array([1.0, 2.0, 1.5])
+        with pytest.raises(SamplingError, match="empty adjacency row"):
+            sampler.sample(np.array([2]), seed=0)
+
+
+class TestChunkItemsOverride:
+    def test_env_override_changes_layout(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNK_ITEMS", raising=False)
+        assert default_chunk_items() == DEFAULT_CHUNK_ITEMS
+        ctx = ExecutionContext()
+        n = 4 * DEFAULT_CHUNK_ITEMS
+        assert len(ctx.item_chunks(n)) == 4
+        monkeypatch.setenv("REPRO_CHUNK_ITEMS", str(DEFAULT_CHUNK_ITEMS * 2))
+        assert default_chunk_items() == DEFAULT_CHUNK_ITEMS * 2
+        assert len(ctx.item_chunks(n)) == 2
+
+    def test_explicit_chunk_items_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_ITEMS", "7")
+        ctx = ExecutionContext(chunk_items=100)
+        assert ctx.resolve_chunk_items() == 100
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNK_ITEMS", "lots")
+        with pytest.raises(ValueError):
+            default_chunk_items()
+        monkeypatch.setenv("REPRO_CHUNK_ITEMS", "0")
+        with pytest.raises(ValueError):
+            default_chunk_items()
+
+
+class TestRunColumnChunks:
+    def test_single_chunk_returns_none(self):
+        ctx = ExecutionContext(chunk_columns=16)
+        assert run_column_chunks(ctx, np.zeros((3, 4)),
+                                 lambda bc: bc) is None
+
+    def test_broadcasts_and_slices(self):
+        ctx = ExecutionContext(chunk_columns=2)
+        b = np.arange(12.0).reshape(3, 4)
+
+        def block(bc, tc, none_col):
+            assert none_col is None
+            return bc.sum(axis=0) + tc
+
+        results = run_column_chunks(ctx, b, block, cols=(0.5, None))
+        merged = np.concatenate(results)
+        np.testing.assert_allclose(merged, b.sum(axis=0) + 0.5)

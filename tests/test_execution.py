@@ -145,7 +145,7 @@ class TestDefaultWorkersCache:
         assert default_workers() == 4
         from repro.pram import executor
 
-        assert executor._workers_cache == ("4", 4)
+        assert executor._env_caches["REPRO_WORKERS"] == ("4", 4)
 
 
 class TestWorkerInvariance:
