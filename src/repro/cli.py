@@ -81,6 +81,14 @@ def _cmd_solve(args) -> int:
         options = options.with_(backend=args.backend)
     if args.sampler is not None:
         options = options.with_(sampler=args.sampler)
+    if args.retries is not None:
+        options = options.with_(retries=args.retries)
+    if args.chunk_timeout is not None:
+        options = options.with_(chunk_timeout=args.chunk_timeout)
+    # The CLI prefers finishing over crashing: backend degradation
+    # (process -> thread -> serial) is ON here, unlike the library
+    # default (tests want failures loud).
+    options = options.with_(degrade=args.degrade)
     solver = LaplacianSolver(g, options=options, seed=args.seed)
     t_build = time.time() - t0
     t0 = time.time()
@@ -152,9 +160,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--sampler", choices=["alias", "bisect"],
                    default=None,
                    help="walker-step row sampler (default: REPRO_SAMPLER "
-                        "env var / bisect); alias is the O(1)-per-step "
+                        "env var / alias); alias is the O(1)-per-step "
                         "Lemma 2.6 realisation — results are "
                         "deterministic per (seed, sampler) pair")
+    p.add_argument("--retries", type=int, default=None,
+                   help="extra attempts per lost/hung chunk (default: "
+                        "REPRO_RETRIES env var / 2); re-dispatch is "
+                        "bit-identical to an undisturbed run")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   help="seconds without any chunk completing before "
+                        "the process pool is declared hung and rebuilt "
+                        "(default: REPRO_CHUNK_TIMEOUT env var / off)")
+    p.add_argument("--degrade", default=True,
+                   action=argparse.BooleanOptionalAction,
+                   help="degrade the backend (process -> thread -> "
+                        "serial) when a chunk exhausts its retries "
+                        "(default on for the CLI)")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 

@@ -98,7 +98,7 @@ class SolverOptions:
         realisation) or ``"bisect"`` (global cumulative-weight
         bisection, O(log m) per query — the historical realisation).
         ``None`` (default) consults the ``REPRO_SAMPLER`` env var
-        lazily (default ``"bisect"``).  Determinism contract
+        lazily (default ``"alias"``).  Determinism contract
         (DESIGN.md §8): fixed seed **and fixed sampler** ⇒ bit-identical
         graphs, solutions, and ledger totals across backends and worker
         counts.  The two samplers map the same RNG stream to different
@@ -113,6 +113,21 @@ class SolverOptions:
         is part of the *result* for a fixed seed (it decides the
         per-chunk RNG streams), so these are solver options, not
         runtime knobs.
+    retries / chunk_timeout:
+        Fault-tolerance policy for dispatched chunks (DESIGN.md §9):
+        ``retries`` extra attempts per lost chunk (``None`` = the
+        ``REPRO_RETRIES`` env var, default 2), ``chunk_timeout``
+        seconds of *stall* — no chunk completing — before the process
+        pool is declared hung and rebuilt (``None`` =
+        ``REPRO_CHUNK_TIMEOUT``, default off).  Re-dispatch replays
+        the same ``(lo, hi, seed)`` chunk, so recovered runs are
+        bit-identical to undisturbed ones.
+    degrade:
+        Permit backend degradation (process → thread → serial) for
+        chunks whose retries are exhausted (``None`` = the
+        ``REPRO_DEGRADE`` env var, default off — tests want crashes
+        loud; the CLI turns it on).  Degraded re-dispatch replays the
+        identical chunks, so results stay bit-identical.
     incremental_csr:
         Maintain the elimination loops' restricted walk CSR
         incrementally across rounds
@@ -141,6 +156,9 @@ class SolverOptions:
     sampler: str | None = None
     chunk_items: int | None = None
     chunk_columns: int | None = None
+    retries: int | None = None
+    chunk_timeout: float | None = None
+    degrade: bool | None = None
     incremental_csr: bool = True
     seed: int | None = None
     track_costs: bool = True
@@ -183,13 +201,28 @@ class SolverOptions:
 
     def execution(self) -> "ExecutionContext":
         """The :class:`repro.pram.ExecutionContext` these options imply."""
-        from repro.pram.executor import ExecutionContext
+        from repro.pram.executor import (
+            ExecutionContext,
+            RetryPolicy,
+            default_chunk_timeout,
+            default_retries,
+        )
 
         kwargs = {}
         if self.chunk_items is not None:
             kwargs["chunk_items"] = self.chunk_items
         if self.chunk_columns is not None:
             kwargs["chunk_columns"] = self.chunk_columns
+        if self.retries is not None or self.chunk_timeout is not None:
+            retries = self.retries if self.retries is not None \
+                else default_retries()
+            timeout = self.chunk_timeout \
+                if self.chunk_timeout is not None \
+                else default_chunk_timeout()
+            kwargs["retry"] = RetryPolicy(max_attempts=1 + retries,
+                                          timeout=timeout)
+        if self.degrade is not None:
+            kwargs["degrade"] = self.degrade
         if not kwargs and self.workers is None and self.backend is None:
             return ExecutionContext.DEFAULT
         return ExecutionContext(workers=self.workers,

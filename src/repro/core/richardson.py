@@ -69,6 +69,11 @@ class RichardsonResult:
     #: Blocked solves only: iterations each column actually ran before
     #: it converged/was frozen (``None`` for single-vector solves).
     per_column_iterations: np.ndarray | None = None
+    #: Blocked solves only: global column indices whose iterates went
+    #: non-finite and were quarantined (their ``x`` columns are NaN;
+    #: the caller escalates them — see DESIGN.md §9).  ``None`` when
+    #: no column broke.
+    broken_columns: np.ndarray | None = None
 
 
 def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
@@ -82,7 +87,8 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
                               | None = None,
                               divergence_guard: bool = True,
                               freeze: bool = True,
-                              ctx=None
+                              ctx=None,
+                              col_ids: np.ndarray | None = None
                               ) -> RichardsonResult:
     """Solve ``A x = b`` given a δ-quality preconditioner ``B ≈_δ A⁺``.
 
@@ -138,9 +144,21 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
         ``ProcessPoolBackend.map``) — column results are identical to
         the unchunked block up to each chunk's own freeze decisions,
         and identical across worker counts and backends.
+    col_ids:
+        Global right-hand-side index of each column of ``b`` (defaults
+        to ``arange(k)``) — the coordinates breakdown quarantine and
+        ``nan:col=N`` fault directives are expressed in, kept stable
+        under column chunking and escalation re-solves.
     """
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
+        # Resolve the ambient fault plan / log here, in the calling
+        # thread: pool threads do not inherit contextvars, so the
+        # blocked kernels receive both explicitly.
+        from repro.pram import faults as _faults
+
+        plan = _faults.active_plan()
+        flog = _faults.current_fault_log()
         if ctx is not None and track_errors is None:
             from repro.pram.executor import run_column_chunks
 
@@ -152,25 +170,31 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
             # whole block).
             results = run_column_chunks(
                 ctx, b,
-                lambda bc, ec: _blocked_richardson(
+                lambda bc, ec, ids: _blocked_richardson(
                     apply_A, apply_B, bc, delta=delta, eps=ec,
                     project=project, iterations=iterations,
-                    divergence_guard=divergence_guard, freeze=freeze),
-                cols=(eps,))
+                    divergence_guard=divergence_guard, freeze=freeze,
+                    col_ids=ids, plan=plan, flog=flog),
+                cols=(eps,), col_ids=col_ids)
             if results is not None:
+                broken = [r.broken_columns for r in results
+                          if r.broken_columns is not None]
                 return RichardsonResult(
                     x=np.hstack([r.x for r in results]),
                     iterations=max(r.iterations for r in results),
                     alpha=results[0].alpha,
                     per_column_iterations=np.concatenate(
-                        [r.per_column_iterations for r in results]))
+                        [r.per_column_iterations for r in results]),
+                    broken_columns=np.concatenate(broken)
+                    if broken else None)
         return _blocked_richardson(apply_A, apply_B, b, delta=delta,
                                    eps=eps, project=project,
                                    iterations=iterations,
                                    divergence_guard=divergence_guard,
                                    freeze=freeze,
-                                   track_errors=track_errors)
-    from repro.errors import ConvergenceError
+                                   track_errors=track_errors,
+                                   col_ids=col_ids, plan=plan, flog=flog)
+    from repro.errors import ConvergenceError, NumericalBreakdownError
     eps = float(eps)
     if project:
         b = project_out_ones(b)
@@ -190,7 +214,12 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
         Ax = apply_A(x)
         if divergence_guard and bnorm > 0:
             rnorm = float(np.linalg.norm(Ax - b))
-            if not np.isfinite(rnorm) or rnorm > 10.0 * bnorm:
+            if not np.isfinite(rnorm):
+                raise NumericalBreakdownError(
+                    "preconditioned Richardson iterate became "
+                    f"non-finite at iteration {k}",
+                    iteration=k)
+            if rnorm > 10.0 * bnorm:
                 raise ConvergenceError(
                     "preconditioned Richardson diverged: the "
                     "preconditioner is worse than the assumed "
@@ -212,10 +241,26 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
                         iterations: int | None,
                         divergence_guard: bool,
                         freeze: bool = True,
-                        track_errors=None) -> RichardsonResult:
-    """Algorithm 5 on an ``(n, k)`` block with column-wise convergence."""
+                        track_errors=None,
+                        col_ids: np.ndarray | None = None,
+                        plan=None, flog=None) -> RichardsonResult:
+    """Algorithm 5 on an ``(n, k)`` block with column-wise convergence.
+
+    Breakdown containment: a column whose residual goes non-finite is
+    *quarantined* — frozen out of the active set immediately (its
+    output column stays NaN) and reported via
+    ``RichardsonResult.broken_columns`` in global ``col_ids``
+    coordinates — rather than aborting the whole block.  Finite
+    divergence still raises :class:`~repro.errors.ConvergenceError`
+    (the preconditioner is bad for *every* column, so the caller's
+    whole-block fallback is the right response).  ``plan``/``flog``
+    are the fault plan and log resolved by the caller's thread.
+    """
     from repro.errors import ConvergenceError
     n, k = b.shape
+    ids = np.arange(k, dtype=np.int64) if col_ids is None \
+        else np.asarray(col_ids, dtype=np.int64)
+    broken = np.zeros(k, dtype=bool)
     eps_col = np.broadcast_to(np.asarray(eps, dtype=np.float64),
                               (k,)).copy()
     if iterations is not None:
@@ -246,11 +291,16 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
     caps_act, bnorm_act, freeze_act = caps, bnorm, freeze_at
     max_iters = int(caps.max(initial=1))
     for it in range(max_iters):
+        if plan is not None:
+            from repro.pram.faults import inject_nan_columns
+
+            inject_nan_columns(plan, X_act, ids[active], it,
+                               "richardson", flog)
         AX = apply_A(X_act)
         rnorm = np.linalg.norm(AX - b_act, axis=0)
+        nonfin = ~np.isfinite(rnorm)
         if divergence_guard:
-            bad = (bnorm_act > 0) & (~np.isfinite(rnorm)
-                                     | (rnorm > 10.0 * bnorm_act))
+            bad = (bnorm_act > 0) & ~nonfin & (rnorm > 10.0 * bnorm_act)
             if bad.any():
                 j = int(np.flatnonzero(bad)[0])
                 raise ConvergenceError(
@@ -260,7 +310,17 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
                     f"vs |b| {bnorm_act[j]:.2e} at iteration {it})",
                     iterations=it, residual=float(
                         rnorm[j] / max(bnorm_act[j], 1e-300)))
-        done = (rnorm <= freeze_act) | (caps_act <= it)
+        if nonfin.any():
+            # Quarantine: freeze the broken columns out of the block
+            # so the remaining columns keep iterating on clean data;
+            # the caller escalates the NaN columns (DESIGN.md §9).
+            broken[active[nonfin]] = True
+            if flog is not None:
+                flog.record(
+                    "quarantine", kind="nan",
+                    columns=tuple(int(c) for c in ids[active[nonfin]]),
+                    detail=f"stage=richardson iteration={it}")
+        done = nonfin | (rnorm <= freeze_act) | (caps_act <= it)
         if done.any():
             out[:, active[done]] = X_act[:, done]
             used[active[done]] = it
@@ -292,4 +352,6 @@ def _blocked_richardson(apply_A, apply_B, b: np.ndarray,
         used[active] = max_iters
     return RichardsonResult(x=out, iterations=int(used.max(initial=0)),
                             alpha=alpha, error_history=history,
-                            per_column_iterations=used)
+                            per_column_iterations=used,
+                            broken_columns=ids[np.flatnonzero(broken)]
+                            if broken.any() else None)

@@ -39,6 +39,7 @@ from repro.graphs.multigraph import MultiGraph
 from repro.graphs.validation import require_connected
 from repro.linalg.cg import conjugate_gradient
 from repro.linalg.ops import project_out_ones
+from repro.pram.faults import FaultLog, use_fault_log
 from repro.rng import as_generator
 
 __all__ = ["LaplacianSolver", "solve_laplacian", "SolveReport",
@@ -78,6 +79,17 @@ class BlockSolveReport:
     residual_2norms: np.ndarray
     chain_depth: int
     multiedges: int
+    #: Per-column solve path (``(k,)`` object array): ``"richardson"``
+    #: / ``"pcg"`` for columns served by the primary method or the
+    #: whole-block fallback, ``"pcg"`` / ``"dense"`` for columns that
+    #: were quarantined after a numerical breakdown and escalated
+    #: individually (DESIGN.md §9).
+    column_status: np.ndarray | None = None
+    #: Structured :class:`repro.pram.faults.FaultLog` of every
+    #: injection and recovery action during this solve (retries, pool
+    #: rebuilds, quarantines, escalations).  Empty when nothing
+    #: happened.
+    fault_log: object | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"BlockSolveReport(method={self.method!r}, "
@@ -124,21 +136,26 @@ class LaplacianSolver:
         self.graph = graph
         self.options = options
 
-        alpha = options.alpha(graph.n)
-        if options.splitting == "naive":
-            self.multigraph = naive_split(graph, alpha)
-        elif options.splitting == "leverage":
-            from repro.core.lev_est import leverage_split
-            self.multigraph = leverage_split(graph, alpha,
-                                             K=options.K(graph.n),
-                                             seed=rng, options=options)
-        elif options.splitting == "none":
-            self.multigraph = graph
-        else:  # pragma: no cover - guarded by SolverOptions typing
-            raise ReproError(f"unknown splitting {options.splitting!r}")
+        #: Recovery actions taken while *building* the factorization
+        #: (chunk retries, pool rebuilds, backend degradation); solve
+        #: calls get their own per-call log on the report.
+        self.build_fault_log = FaultLog()
+        with use_fault_log(self.build_fault_log):
+            alpha = options.alpha(graph.n)
+            if options.splitting == "naive":
+                self.multigraph = naive_split(graph, alpha)
+            elif options.splitting == "leverage":
+                from repro.core.lev_est import leverage_split
+                self.multigraph = leverage_split(graph, alpha,
+                                                 K=options.K(graph.n),
+                                                 seed=rng, options=options)
+            elif options.splitting == "none":
+                self.multigraph = graph
+            else:  # pragma: no cover - guarded by SolverOptions typing
+                raise ReproError(f"unknown splitting {options.splitting!r}")
 
-        self.chain = block_cholesky(self.multigraph, options, seed=rng,
-                                    keep_graphs=options.keep_graphs)
+            self.chain = block_cholesky(self.multigraph, options, seed=rng,
+                                        keep_graphs=options.keep_graphs)
         self.preconditioner = ApplyCholeskyOperator(self.chain)
         #: Execution context for the blocked solve paths (walker
         #: stepping inside ``block_cholesky`` already went through it).
@@ -240,37 +257,93 @@ class LaplacianSolver:
         eps_arg = float(eps_col[0]) if squeeze else eps_col
         B = project_out_ones(B)
         per_col = None
-        if method == "richardson":
-            try:
-                res = preconditioned_richardson(
-                    self.apply_L, self.preconditioner.apply, B,
-                    delta=self.options.richardson_delta, eps=eps_arg,
-                    ctx=self.ctx)
-                x, iters, per_col = res.x, res.iterations, \
-                    res.per_column_iterations
-            except ConvergenceError:
-                # The chain came out worse than δ = 1 (possible at
-                # aggressively small splitting factors).  PCG converges
-                # for any SPD preconditioner, just more slowly, so fall
-                # back rather than return garbage.  CG's tolerance is a
-                # 2-norm residual; aim an order of magnitude below the
-                # requested L-norm target.
-                method = "richardson->pcg"
+        fault_log = FaultLog()
+        status = np.full(k, "pcg" if method == "pcg" else "richardson",
+                         dtype=object)
+        broken = None
+        with use_fault_log(fault_log):
+            if method == "richardson":
+                try:
+                    res = preconditioned_richardson(
+                        self.apply_L, self.preconditioner.apply, B,
+                        delta=self.options.richardson_delta, eps=eps_arg,
+                        ctx=self.ctx)
+                    x, iters, per_col = res.x, res.iterations, \
+                        res.per_column_iterations
+                    broken = res.broken_columns
+                    if broken is not None and broken.size:
+                        # Quarantined columns (non-finite iterates,
+                        # DESIGN.md §9): escalate just those through
+                        # PCG while the healthy columns keep their
+                        # Richardson solutions.
+                        method = "richardson+pcg"
+                        status[broken] = "pcg"
+                        fault_log.record(
+                            "escalate", kind="nan",
+                            columns=tuple(int(c) for c in broken),
+                            detail="richardson -> per-column pcg")
+                        sub = conjugate_gradient(
+                            self.apply_L, B[:, broken],
+                            tol=eps_col[broken] / 10.0,
+                            preconditioner=self.preconditioner.apply,
+                            matvec_edges=self.graph.m, col_ids=broken)
+                        x[:, broken] = sub.x
+                        iters = max(iters, sub.iterations)
+                        if per_col is not None and \
+                                sub.per_column_iterations is not None:
+                            per_col[broken] = sub.per_column_iterations
+                        broken = sub.broken_columns
+                except ConvergenceError:
+                    # The chain came out worse than δ = 1 (possible at
+                    # aggressively small splitting factors), or every
+                    # column of a 1-D solve broke down.  PCG converges
+                    # for any SPD preconditioner, just more slowly, so
+                    # fall back rather than return garbage.  CG's
+                    # tolerance is a 2-norm residual; aim an order of
+                    # magnitude below the requested L-norm target.
+                    method = "richardson->pcg"
+                    status[:] = "pcg"
+                    res = conjugate_gradient(
+                        self.apply_L, B, tol=eps_arg / 10.0,
+                        preconditioner=self.preconditioner.apply,
+                        matvec_edges=self.graph.m, ctx=self.ctx)
+                    x, iters, per_col = res.x, res.iterations, \
+                        res.per_column_iterations
+                    broken = res.broken_columns
+            elif method == "pcg":
                 res = conjugate_gradient(
-                    self.apply_L, B, tol=eps_arg / 10.0,
+                    self.apply_L, B, tol=eps_arg,
                     preconditioner=self.preconditioner.apply,
                     matvec_edges=self.graph.m, ctx=self.ctx)
                 x, iters, per_col = res.x, res.iterations, \
                     res.per_column_iterations
-        elif method == "pcg":
-            res = conjugate_gradient(
-                self.apply_L, B, tol=eps_arg,
-                preconditioner=self.preconditioner.apply,
-                matvec_edges=self.graph.m, ctx=self.ctx)
-            x, iters, per_col = res.x, res.iterations, \
-                res.per_column_iterations
-        else:
-            raise ReproError(f"unknown method {method!r}")
+                broken = res.broken_columns
+            else:
+                raise ReproError(f"unknown method {method!r}")
+            # Last line of containment: any column that is still
+            # non-finite (PCG escalation broke down too, or an
+            # unpreconditioned path went bad) gets an exact dense
+            # pseudo-inverse solve.  O(n³) — acceptable for the rare
+            # quarantined stragglers, never the common path.
+            X2 = x if x.ndim == 2 else x[:, None]
+            B2 = B if B.ndim == 2 else B[:, None]
+            bad = ~np.isfinite(X2).all(axis=0)
+            if broken is not None and len(broken):
+                bad[np.asarray(broken, dtype=np.int64)] = True
+            bad_idx = np.flatnonzero(bad)
+            if bad_idx.size:
+                if self._L_csr is None:
+                    from repro.graphs.laplacian import laplacian
+                    self._L_csr = laplacian(self.graph)
+                from repro.linalg.pinv import solve_dense_pseudo
+                X2[:, bad_idx] = solve_dense_pseudo(self._L_csr,
+                                                    B2[:, bad_idx])
+                status[bad_idx] = "dense"
+                method += "+dense"
+                fault_log.record(
+                    "escalate", kind="nan",
+                    columns=tuple(int(c) for c in bad_idx),
+                    detail="dense pseudo-inverse containment")
         residuals = np.atleast_1d(
             np.linalg.norm(self.apply_L(x) - B, axis=0))
         return BlockSolveReport(x=x, iterations=iters,
@@ -278,7 +351,9 @@ class LaplacianSolver:
                                 method=method, target_eps=eps_col,
                                 residual_2norms=residuals,
                                 chain_depth=self.chain.d,
-                                multiedges=self.multigraph.m_logical)
+                                multiedges=self.multigraph.m_logical,
+                                column_status=status,
+                                fault_log=fault_log)
 
 
 def solve_laplacian(L_or_graph, b: np.ndarray, eps: float = 1e-6,

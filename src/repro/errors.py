@@ -41,6 +41,45 @@ class ConvergenceError(ReproError):
         self.residual = residual
 
 
+class NumericalBreakdownError(ConvergenceError):
+    """An iterate became non-finite (NaN/Inf) mid-iteration.
+
+    Subclasses :class:`ConvergenceError` so existing fallbacks (the
+    solver's Richardson→PCG escalation) keep catching it; carries the
+    broken column indices and the iteration at which the breakdown was
+    detected so containment logic can quarantine precisely.
+    """
+
+    def __init__(self, message: str,
+                 column_indices: tuple[int, ...] = (),
+                 iteration: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message, iterations=iteration, residual=residual)
+        self.column_indices = tuple(int(c) for c in column_indices)
+        self.iteration = iteration
+
+
+class ExecutionError(ReproError):
+    """A dispatched chunk failed after exhausting its retry budget.
+
+    Raised by the execution layer when a chunk could not be completed
+    even after the :class:`repro.pram.executor.RetryPolicy`'s bounded
+    re-dispatches (worker crashes, per-chunk timeouts, injected
+    faults).  ``chunk`` identifies the failing chunk, ``attempts`` how
+    many dispatch attempts were made, and the last transient cause is
+    chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, chunk: int | None = None,
+                 attempts: int | None = None,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.chunk = chunk
+        self.attempts = attempts
+        if cause is not None:
+            self.__cause__ = cause
+
+
 class FactorizationError(ReproError):
     """Block Cholesky construction failed (e.g. a level became empty or a
     5-DD subset could not be found)."""

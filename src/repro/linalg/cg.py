@@ -21,7 +21,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, NumericalBreakdownError
 from repro.linalg.ops import as_apply, project_out_ones
 from repro.pram import charge
 from repro.pram import primitives as P
@@ -40,6 +40,12 @@ class CGResult:
     #: Blocked solves only: iterations each column ran before it
     #: converged (``None`` for single-vector solves).
     per_column_iterations: np.ndarray | None = None
+    #: Global indices of columns whose iterates went non-finite and
+    #: were quarantined (NaN in ``x``; callers escalate them — see
+    #: DESIGN.md §9).  ``None`` when no column broke this way.  The
+    #: lost-positive-definiteness ``pLp <= 0`` stop is *not* counted
+    #: here: those columns hold a valid partial iterate.
+    broken_columns: np.ndarray | None = None
 
     @property
     def final_residual(self) -> float:
@@ -56,7 +62,8 @@ def conjugate_gradient(L,
                        singular: bool = True,
                        matvec_edges: int | None = None,
                        raise_on_fail: bool = False,
-                       ctx=None) -> CGResult:
+                       ctx=None,
+                       col_ids: np.ndarray | None = None) -> CGResult:
     """Solve ``L x = b`` by (preconditioned) conjugate gradient.
 
     Parameters
@@ -88,17 +95,24 @@ def conjugate_gradient(L,
     apply_L = as_apply(L)
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
+        # Resolved in the calling thread — pool threads do not inherit
+        # contextvars, so the blocked kernel gets both explicitly.
+        from repro.pram import faults as _faults
+
+        plan = _faults.active_plan()
+        flog = _faults.current_fault_log()
         if ctx is not None:
             from repro.pram.executor import run_column_chunks
 
             results = run_column_chunks(
                 ctx, b,
-                lambda bc, tc: _blocked_cg(
+                lambda bc, tc, ids: _blocked_cg(
                     apply_L, bc, tol=tc, max_iter=max_iter,
                     preconditioner=preconditioner, singular=singular,
                     matvec_edges=matvec_edges,
-                    raise_on_fail=raise_on_fail),
-                cols=(tol,))
+                    raise_on_fail=raise_on_fail,
+                    col_ids=ids, plan=plan, flog=flog),
+                cols=(tol,), col_ids=col_ids)
             if results is not None:
                 # Per-iteration residual_norms merge as the max over
                 # the chunks still running at that iteration, matching
@@ -107,17 +121,22 @@ def conjugate_gradient(L,
                 merged = [max(r.residual_norms[i] for r in results
                               if i < len(r.residual_norms))
                           for i in range(depth)]
+                broken = [r.broken_columns for r in results
+                          if r.broken_columns is not None]
                 return CGResult(
                     x=np.hstack([r.x for r in results]),
                     iterations=max(r.iterations for r in results),
                     converged=all(r.converged for r in results),
                     residual_norms=merged,
                     per_column_iterations=np.concatenate(
-                        [r.per_column_iterations for r in results]))
+                        [r.per_column_iterations for r in results]),
+                    broken_columns=np.concatenate(broken)
+                    if broken else None)
         return _blocked_cg(apply_L, b, tol=tol, max_iter=max_iter,
                            preconditioner=preconditioner,
                            singular=singular, matvec_edges=matvec_edges,
-                           raise_on_fail=raise_on_fail)
+                           raise_on_fail=raise_on_fail,
+                           col_ids=col_ids, plan=plan, flog=flog)
     tol = float(tol)
     if singular:
         b = project_out_ones(b)
@@ -143,6 +162,7 @@ def conjugate_gradient(L,
     rz = float(r @ z)
     residuals = [float(np.linalg.norm(r))]
     converged = False
+    broke_down = False
     it = 0
     for it in range(1, max_iter + 1):
         Lp = apply_L(p)
@@ -158,6 +178,9 @@ def conjugate_gradient(L,
             r = project_out_ones(r)
         rnorm = float(np.linalg.norm(r))
         residuals.append(rnorm)
+        if not np.isfinite(rnorm):
+            broke_down = True
+            break
         if rnorm <= tol * bnorm:
             converged = True
             break
@@ -169,6 +192,10 @@ def conjugate_gradient(L,
     if singular:
         x = project_out_ones(x)
     if raise_on_fail and not converged:
+        if broke_down:
+            raise NumericalBreakdownError(
+                f"CG iterate became non-finite at iteration {it}",
+                iteration=it)
         raise ConvergenceError(
             f"CG failed to reach {tol} in {it} iterations",
             iterations=it, residual=residuals[-1] / bnorm)
@@ -179,15 +206,24 @@ def conjugate_gradient(L,
 def _blocked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,
                 preconditioner, singular: bool,
                 matvec_edges: int | None,
-                raise_on_fail: bool) -> CGResult:
+                raise_on_fail: bool,
+                col_ids: np.ndarray | None = None,
+                plan=None, flog=None) -> CGResult:
     """``k`` independent PCG runs sharing batched matvecs.
 
     Each column carries its own ``α``/``β`` scalars (the runs are
     mathematically independent), but every ``L``/preconditioner apply
     is one sparse×dense-matrix product over the still-active columns;
-    converged columns are frozen and compacted out.
+    converged columns are frozen and compacted out.  Columns whose
+    residual goes non-finite are quarantined (frozen, reported via
+    ``broken_columns`` in global ``col_ids`` coordinates) instead of
+    poisoning the block; ``plan``/``flog`` are the fault plan and log
+    resolved by the caller's thread.
     """
     n, k = b.shape
+    ids = np.arange(k, dtype=np.int64) if col_ids is None \
+        else np.asarray(col_ids, dtype=np.int64)
+    broken = np.zeros(k, dtype=bool)
     tol_col = np.broadcast_to(np.asarray(tol, dtype=np.float64),
                               (k,)).copy()
     if singular:
@@ -220,6 +256,10 @@ def _blocked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,
     rz = np.einsum("ij,ij->j", R, Z)
     it = 0
     for it in range(1, max_iter + 1):
+        if plan is not None:
+            from repro.pram.faults import inject_nan_columns
+
+            inject_nan_columns(plan, Pm, ids[active], it - 1, "cg", flog)
         LP = apply_L(Pm)
         if matvec_edges:
             charge(*P.matvec_cost(matvec_edges * active.size),
@@ -235,9 +275,20 @@ def _blocked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,
         if singular:
             R -= R.mean(axis=0)
         rnorm = np.linalg.norm(R, axis=0)
-        residuals.append(float(rnorm.max(initial=0.0)))
-        conv = rnorm <= tol_col[active] * bnorm[active]
-        finished = broke | conv
+        residuals.append(float(np.nanmax(
+            np.where(np.isfinite(rnorm), rnorm, 0.0), initial=0.0)))
+        nonfin = ~np.isfinite(rnorm)
+        if nonfin.any():
+            # Quarantine non-finite columns: freeze them (NaN in X)
+            # and report them for escalation (DESIGN.md §9).
+            broken[active[nonfin]] = True
+            if flog is not None:
+                flog.record(
+                    "quarantine", kind="nan",
+                    columns=tuple(int(c) for c in ids[active[nonfin]]),
+                    detail=f"stage=cg iteration={it - 1}")
+        conv = (rnorm <= tol_col[active] * bnorm[active]) & ~nonfin
+        finished = broke | conv | nonfin
         if finished.any():
             done_flags[active[conv]] = True
             used[active[finished]] = it
@@ -259,10 +310,19 @@ def _blocked_cg(apply_L, b: np.ndarray, tol, max_iter: int | None,
         X = project_out_ones(X)
     converged = bool(done_flags.all())
     if raise_on_fail and not converged:
+        if broken.any():
+            raise NumericalBreakdownError(
+                f"blocked CG: {int(broken.sum())}/{k} columns became "
+                f"non-finite by iteration {it}",
+                column_indices=tuple(int(c)
+                                     for c in ids[np.flatnonzero(broken)]),
+                iteration=it)
         raise ConvergenceError(
             f"blocked CG: {int((~done_flags).sum())}/{k} columns failed "
             f"to reach tolerance in {it} iterations",
             iterations=it, residual=residuals[-1] / max(bnorm.max(), 1e-300))
     return CGResult(x=X, iterations=it, converged=converged,
                     residual_norms=residuals,
-                    per_column_iterations=used)
+                    per_column_iterations=used,
+                    broken_columns=ids[np.flatnonzero(broken)]
+                    if broken.any() else None)

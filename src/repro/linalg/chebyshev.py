@@ -52,7 +52,8 @@ def chebyshev_iteration(L,
                         singular: bool = True,
                         tol: float | np.ndarray | None = None,
                         stop_rule: StopRule = "preconditioned",
-                        ctx=None) -> np.ndarray:
+                        ctx=None,
+                        col_ids: np.ndarray | None = None) -> np.ndarray:
     """Approximate ``L⁺ b`` by Chebyshev-accelerated iteration on ``BA``.
 
     Parameters
@@ -87,19 +88,27 @@ def chebyshev_iteration(L,
     apply_L = as_apply(L)
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
+        # Resolved in the calling thread — pool threads do not inherit
+        # contextvars, so the blocked kernel gets both explicitly.
+        from repro.pram import faults as _faults
+
+        plan = _faults.active_plan()
+        flog = _faults.current_fault_log()
         if ctx is not None:
             from repro.pram.executor import run_column_chunks
 
             results = run_column_chunks(
                 ctx, b,
-                lambda bc, tc: _blocked_chebyshev(
+                lambda bc, tc, ids: _blocked_chebyshev(
                     apply_L, B, bc, lam_min, lam_max, iterations,
-                    singular, tc, stop_rule),
-                cols=(tol,))
+                    singular, tc, stop_rule,
+                    col_ids=ids, plan=plan, flog=flog),
+                cols=(tol,), col_ids=col_ids)
             if results is not None:
                 return np.hstack(results)
         return _blocked_chebyshev(apply_L, B, b, lam_min, lam_max,
-                                  iterations, singular, tol, stop_rule)
+                                  iterations, singular, tol, stop_rule,
+                                  col_ids=col_ids, plan=plan, flog=flog)
     if singular:
         b = project_out_ones(b)
 
@@ -145,10 +154,19 @@ def chebyshev_iteration(L,
 def _blocked_chebyshev(apply_L, B, b: np.ndarray,
                        lam_min: float, lam_max: float,
                        iterations: int, singular: bool,
-                       tol, stop_rule: StopRule = "preconditioned"
-                       ) -> np.ndarray:
-    """Chebyshev on an ``(n, k)`` block with column-wise freezing."""
+                       tol, stop_rule: StopRule = "preconditioned",
+                       col_ids: np.ndarray | None = None,
+                       plan=None, flog=None) -> np.ndarray:
+    """Chebyshev on an ``(n, k)`` block with column-wise freezing.
+
+    Columns whose update norm goes non-finite are quarantined — frozen
+    out of the active block immediately (their output columns are NaN,
+    for the caller to detect and escalate) with a ``quarantine`` event
+    on ``flog`` — so one broken column cannot poison its siblings.
+    """
     n, k = b.shape
+    ids = np.arange(k, dtype=np.int64) if col_ids is None \
+        else np.asarray(col_ids, dtype=np.int64)
     if singular:
         b = project_out_ones(b)
     theta = 0.5 * (lam_max + lam_min)
@@ -177,7 +195,30 @@ def _blocked_chebyshev(apply_L, B, b: np.ndarray,
         return out
     sigma1 = theta / delta
     rho_old = 1.0 / sigma1
-    for _ in range(iterations - 1):
+    for it in range(iterations - 1):
+        if plan is not None:
+            from repro.pram.faults import inject_nan_columns
+
+            inject_nan_columns(plan, x, ids[active], it,
+                               "chebyshev", flog)
+        nonfin = ~np.isfinite(np.linalg.norm(x, axis=0) +
+                              np.linalg.norm(d, axis=0))
+        if nonfin.any():
+            # Quarantine broken columns: their output stays NaN for
+            # the caller to escalate (DESIGN.md §9).
+            if flog is not None:
+                flog.record(
+                    "quarantine", kind="nan",
+                    columns=tuple(int(c) for c in ids[active[nonfin]]),
+                    detail=f"stage=chebyshev iteration={it}")
+            out[:, active[nonfin]] = x[:, nonfin]
+            keep = ~nonfin
+            active = active[keep]
+            if active.size == 0:
+                return out
+            b_act = b_act[:, keep]
+            x = x[:, keep]
+            d = d[:, keep]
         if stop_pre is not None and stop_rule == "preconditioned":
             # Freeze on the just-applied preconditioned update — no
             # confirmation apply_L/B for converged columns.

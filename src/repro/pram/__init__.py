@@ -18,6 +18,12 @@ provides:
   shared-memory array payloads for the Python-bound phases the GIL
   would otherwise serialise.  Results are bit-identical across
   backends and worker counts for a fixed seed (DESIGN.md §6–§7).
+* :mod:`repro.pram.faults` — deterministic fault injection
+  (``REPRO_FAULTS`` / :func:`use_faults`) and the structured
+  :class:`FaultLog` of recovery actions, backing the fault-tolerant
+  dispatch layer (DESIGN.md §9): per-chunk retries with exponential
+  backoff, stall timeouts with pool rebuilds, and policy-gated
+  backend degradation.
 """
 
 from repro.pram.ledger import (
@@ -37,13 +43,29 @@ from repro.pram.executor import (
     SerialBackend,
     ThreadPoolBackend,
     ProcessPoolBackend,
+    RetryPolicy,
     parallel_map,
     chunk_ranges,
     default_workers,
     default_backend,
+    default_retries,
+    default_chunk_timeout,
+    default_degrade,
     get_backend,
     live_segment_names,
     BACKENDS,
+)
+from repro.pram.faults import (
+    FaultDirective,
+    FaultEvent,
+    FaultLog,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    current_fault_log,
+    faults_active,
+    use_fault_log,
+    use_faults,
 )
 
 __all__ = [
@@ -61,11 +83,25 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "RetryPolicy",
     "parallel_map",
     "chunk_ranges",
     "default_workers",
     "default_backend",
+    "default_retries",
+    "default_chunk_timeout",
+    "default_degrade",
     "get_backend",
     "live_segment_names",
     "BACKENDS",
+    "FaultDirective",
+    "FaultEvent",
+    "FaultLog",
+    "FaultPlan",
+    "InjectedFault",
+    "active_plan",
+    "current_fault_log",
+    "faults_active",
+    "use_fault_log",
+    "use_faults",
 ]

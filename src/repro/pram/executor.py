@@ -66,6 +66,7 @@ import atexit
 import itertools
 import math
 import os
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -73,13 +74,17 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.errors import ExecutionError
+
 __all__ = ["ExecutionContext", "ExecutionBackend", "SerialBackend",
            "ThreadPoolBackend", "ProcessPoolBackend", "SharedPayload",
-           "parallel_map", "chunk_ranges", "run_column_chunks",
-           "default_workers", "default_backend", "default_chunk_items",
+           "RetryPolicy", "parallel_map", "chunk_ranges",
+           "run_column_chunks", "default_workers", "default_backend",
+           "default_chunk_items", "default_retries",
+           "default_chunk_timeout", "default_degrade",
            "get_backend", "live_segment_names",
            "BACKENDS", "DEFAULT_CHUNK_ITEMS", "DEFAULT_CHUNK_COLUMNS",
-           "MAX_CHUNKS"]
+           "MAX_CHUNKS", "DEFAULT_RETRIES"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -183,6 +188,146 @@ def default_chunk_items() -> int:
     return _env_cached("REPRO_CHUNK_ITEMS", parse)
 
 
+#: Default number of *re*-dispatches after a transient chunk failure
+#: (so ``DEFAULT_RETRIES + 1`` total attempts).
+DEFAULT_RETRIES = 2
+
+
+def default_retries() -> int:
+    """Transient-failure retry budget from ``REPRO_RETRIES``.
+
+    Defaults to :data:`DEFAULT_RETRIES`; must be a non-negative
+    integer (``0`` disables re-dispatch entirely).
+    """
+
+    def parse(env: str | None) -> int:
+        if not env:
+            return DEFAULT_RETRIES
+        try:
+            value = int(env)
+        except ValueError:
+            value = -1
+        if value < 0:
+            raise ValueError(
+                f"REPRO_RETRIES must be a non-negative integer, "
+                f"got {env!r}")
+        return value
+
+    return _env_cached("REPRO_RETRIES", parse)
+
+
+def default_chunk_timeout() -> float | None:
+    """Per-dispatch stall timeout (seconds) from ``REPRO_CHUNK_TIMEOUT``.
+
+    ``None`` (the default, when unset or empty) disables stall
+    detection.  When set, the process backend treats *no chunk
+    completing for this many seconds* as a hung dispatch: it kills the
+    pool and re-dispatches the unfinished chunks under the retry
+    budget.
+    """
+
+    def parse(env: str | None) -> float | None:
+        if not env or not env.strip():
+            return None
+        try:
+            value = float(env)
+        except ValueError:
+            value = 0.0
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_CHUNK_TIMEOUT must be a positive number of "
+                f"seconds, got {env!r}")
+        return value
+
+    return _env_cached("REPRO_CHUNK_TIMEOUT", parse)
+
+
+def default_degrade() -> bool:
+    """Backend-degradation gate from ``REPRO_DEGRADE`` (default off).
+
+    Off by default so tests (and anything that *wants* to observe
+    failures) see :class:`~repro.errors.ExecutionError` after retry
+    exhaustion; the CLI turns it on so interactive solves survive.
+    """
+
+    def parse(env: str | None) -> bool:
+        value = (env or "").strip().lower()
+        if value in ("", "0", "false", "no", "off"):
+            return False
+        if value in ("1", "true", "yes", "on"):
+            return True
+        raise ValueError(
+            f"REPRO_DEGRADE must be a boolean (0/1/true/false), "
+            f"got {env!r}")
+
+    return _env_cached("REPRO_DEGRADE", parse)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-dispatch policy for transient chunk failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total dispatch attempts per chunk (first try + retries).
+    base_delay:
+        Backoff before retry round ``r`` is ``base_delay * 2**(r-1)``
+        seconds — exponential, per round (not per chunk).
+    timeout:
+        Stall timeout in seconds for the process backend: if no chunk
+        completes for this long, the pool is presumed hung, its
+        workers are killed, and the unfinished chunks are
+        re-dispatched.  ``None`` disables stall detection.
+
+    Transient failures are worker crashes (``BrokenProcessPool``),
+    stall timeouts, and injected faults
+    (:class:`repro.pram.faults.InjectedFault`).  Everything else — a
+    task raising ``ValueError``, say — is deterministic and propagates
+    unchanged on the first attempt.  Because chunk layout and RNG
+    streams are functions of problem size only (DESIGN.md §6), a
+    re-dispatched chunk is bit-identical to what the lost attempt
+    would have produced, so retries never change results.
+    """
+
+    max_attempts: int = DEFAULT_RETRIES + 1
+    base_delay: float = 0.05
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be None or positive")
+
+    def delay(self, retry_round: int) -> float:
+        """Backoff before retry round ``retry_round`` (1-based)."""
+        return self.base_delay * (2.0 ** max(0, retry_round - 1))
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy from ``REPRO_RETRIES``/``REPRO_CHUNK_TIMEOUT``."""
+        return cls(max_attempts=default_retries() + 1,
+                   timeout=default_chunk_timeout())
+
+
+_retryable_types: tuple | None = None
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Is ``exc`` a transient failure the retry policy may re-dispatch?"""
+    global _retryable_types
+    if _retryable_types is None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.pram.faults import InjectedFault
+
+        _retryable_types = (InjectedFault, TimeoutError, BrokenProcessPool)
+    return isinstance(exc, _retryable_types)
+
+
 def chunk_ranges(n: int, chunks: int) -> list[tuple[int, int]]:
     """Split ``range(n)`` into ``chunks`` contiguous ``(lo, hi)`` pieces.
 
@@ -228,7 +373,8 @@ def parallel_map(fn: Callable[[T], R],
 
 def run_column_chunks(ctx: "ExecutionContext", b: np.ndarray,
                       run_block: Callable[..., R],
-                      cols: Sequence[np.ndarray | float | None] = ()
+                      cols: Sequence[np.ndarray | float | None] = (),
+                      col_ids: np.ndarray | None = None
                       ) -> list[R] | None:
     """Shared broadcast–slice–dispatch for column-blocked solves.
 
@@ -242,10 +388,16 @@ def run_column_chunks(ctx: "ExecutionContext", b: np.ndarray,
     result-type-specific merging (hstack of solutions, max of iteration
     counts, ...) stays with each caller.
 
-    Returns the per-chunk ``run_block(b_chunk, *col_chunks)`` results
-    in column order, or ``None`` when the layout is a single chunk —
-    callers fall through to their unchunked path (avoiding the pool and
-    sub-ledger overhead for small blocks).
+    Every chunk additionally receives its slice of ``col_ids`` — the
+    global right-hand-side column index of each local column (defaults
+    to ``arange(k)``) — as the final positional argument, so breakdown
+    quarantine and ``nan:col=N`` fault directives keep addressing
+    columns by their caller-visible index inside a chunk.
+
+    Returns the per-chunk ``run_block(b_chunk, *col_chunks, ids_chunk)``
+    results in column order, or ``None`` when the layout is a single
+    chunk — callers fall through to their unchunked path (avoiding the
+    pool and sub-ledger overhead for small blocks).
     """
     k = b.shape[1]
     pieces = ctx.column_chunks(k)
@@ -254,12 +406,15 @@ def run_column_chunks(ctx: "ExecutionContext", b: np.ndarray,
     bc = [None if c is None
           else np.broadcast_to(np.asarray(c, dtype=np.float64), (k,)).copy()
           for c in cols]
+    ids = np.arange(k, dtype=np.int64) if col_ids is None \
+        else np.asarray(col_ids, dtype=np.int64)
 
     def one(lo: int, hi: int) -> R:
         return run_block(b[:, lo:hi],
-                         *[None if c is None else c[lo:hi] for c in bc])
+                         *[None if c is None else c[lo:hi] for c in bc],
+                         ids[lo:hi])
 
-    return ctx.run_chunks(one, pieces)
+    return ctx.run_chunks(one, pieces, scope="columns")
 
 
 # -- shared-memory payloads ---------------------------------------------------
@@ -418,7 +573,7 @@ def _attach_payload(spec: tuple) -> dict[str, np.ndarray]:
 
 
 def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
-                    want_ledger):
+                    want_ledger, fault_directives=(), chunk=0, attempt=0):
     """Run one shipped chunk inside a worker process.
 
     Reconstructs the array views from shared memory, rebuilds the
@@ -428,6 +583,12 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
     in-process path would have charged, so ledger totals stay
     backend-invariant.  Exceptions are returned, not raised, so every
     chunk runs and the parent re-raises deterministically.
+
+    ``fault_directives`` (pre-filtered kill/hang directives from an
+    active :class:`repro.pram.faults.FaultPlan`) are applied before the
+    task runs: a matching ``kill`` exits this process hard, a ``hang``
+    stalls it — both of which the parent's retry machinery must
+    survive.
     """
     from repro.pram.ledger import WorkDepthLedger, detach_ledger
 
@@ -440,6 +601,11 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
         stream = np.random.Generator(bitgen_cls(seed_seq))
     ledger = WorkDepthLedger() if want_ledger else None
     try:
+        if fault_directives:
+            from repro.pram.faults import apply_worker_faults
+
+            apply_worker_faults(fault_directives, chunk=chunk,
+                                attempt=attempt)
         arrays = _attach_payload(spec)
         return True, task(arrays, meta, lo, hi, stream, ledger), ledger
     except Exception as exc:
@@ -447,28 +613,70 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
 
 
 def _run_shipped_inprocess(task, arrays, meta, pieces, seed_seqs,
-                           bitgen_cls, want_ledger, workers):
+                           bitgen_cls, want_ledger, workers,
+                           backend_name="serial", policy=None,
+                           scope=None, log=None):
     """Shared in-process realisation of the shipped-task protocol.
 
     Used by the serial and thread backends: same task signature, same
     explicit sub-ledgers, same per-chunk streams as the process
     backend — only the transport (direct references vs shared memory)
     differs, so results and ledger totals cannot.
+
+    Transient failures (injected faults — in-process chunks cannot
+    genuinely crash a worker) are retried under ``policy`` with a
+    fresh sub-ledger per attempt, so only the successful attempt's
+    charges survive and ledger totals stay fault-invariant.  A chunk
+    that exhausts its attempts settles as a
+    :class:`~repro.errors.ExecutionError` triple.
     """
+    from repro.pram import faults as _faults
     from repro.pram.ledger import WorkDepthLedger
 
-    def one(i: int):
+    plan = _faults.active_plan()
+
+    def one(i: int, attempt: int = 0):
         lo, hi = pieces[i]
         stream = None
         if seed_seqs[i] is not None:
             stream = np.random.Generator(bitgen_cls(seed_seqs[i]))
         ledger = WorkDepthLedger() if want_ledger else None
         try:
+            if plan is not None:
+                _faults.apply_chunk_faults(plan, chunk=i, attempt=attempt,
+                                           backend=backend_name,
+                                           phase=scope, log=log)
             return True, task(arrays, meta, lo, hi, stream, ledger), ledger
         except Exception as exc:
             return False, exc, ledger
 
-    return parallel_map(one, range(len(pieces)), workers=workers)
+    results = parallel_map(one, range(len(pieces)), workers=workers)
+    max_attempts = policy.max_attempts if policy is not None else 1
+    for retry_round in range(1, max_attempts):
+        failed = [i for i, (ok, val, _) in enumerate(results)
+                  if not ok and _is_transient(val)]
+        if not failed:
+            break
+        if log is not None:
+            for i in failed:
+                log.record("retry", chunk=i, attempt=retry_round,
+                           backend=backend_name,
+                           detail=repr(results[i][1]))
+        time.sleep(policy.delay(retry_round))
+        redo = parallel_map(lambda i: one(i, retry_round), failed,
+                            workers=workers)
+        for i, triple in zip(failed, redo):
+            results[i] = triple
+    for i, (ok, val, _) in enumerate(results):
+        if not ok and _is_transient(val):
+            if log is not None:
+                log.record("exhausted", chunk=i, attempt=max_attempts,
+                           backend=backend_name, detail=repr(val))
+            results[i] = (False, ExecutionError(
+                f"chunk {i} failed after {max_attempts} attempt(s) "
+                f"on the {backend_name} backend",
+                chunk=i, attempts=max_attempts, cause=val), None)
+    return results
 
 
 # -- persistent process pools -------------------------------------------------
@@ -533,8 +741,16 @@ class ExecutionBackend:
         raise NotImplementedError
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
-                    bitgen_cls, want_ledger, workers) -> list:
-        """Run a shippable task; ``(ok, value, ledger)`` per chunk."""
+                    bitgen_cls, want_ledger, workers, policy=None,
+                    scope=None, log=None) -> list:
+        """Run a shippable task; ``(ok, value, ledger)`` per chunk.
+
+        ``policy`` is the :class:`RetryPolicy` governing transient
+        failures, ``scope`` labels the dispatch for fault-plan
+        matching (``"walk"``/``"columns"``), and ``log`` is an
+        optional :class:`repro.pram.faults.FaultLog` that receives
+        every recovery action.
+        """
         raise NotImplementedError
 
 
@@ -549,11 +765,13 @@ class SerialBackend(ExecutionBackend):
         return [fn(x) for x in items]
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
-                    bitgen_cls, want_ledger, workers):
+                    bitgen_cls, want_ledger, workers, policy=None,
+                    scope=None, log=None):
         """Run the shipped-task protocol sequentially in-process."""
         return _run_shipped_inprocess(task, arrays, meta, pieces,
                                       seed_seqs, bitgen_cls, want_ledger,
-                                      workers=1)
+                                      workers=1, backend_name=self.name,
+                                      policy=policy, scope=scope, log=log)
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -567,11 +785,14 @@ class ThreadPoolBackend(ExecutionBackend):
         return parallel_map(fn, items, workers=workers)
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
-                    bitgen_cls, want_ledger, workers):
+                    bitgen_cls, want_ledger, workers, policy=None,
+                    scope=None, log=None):
         """Run the shipped-task protocol on the thread pool."""
         return _run_shipped_inprocess(task, arrays, meta, pieces,
                                       seed_seqs, bitgen_cls, want_ledger,
-                                      workers=workers)
+                                      workers=workers,
+                                      backend_name=self.name,
+                                      policy=policy, scope=scope, log=log)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -595,25 +816,157 @@ class ProcessPoolBackend(ExecutionBackend):
         return parallel_map(fn, items, workers=workers)
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
-                    bitgen_cls, want_ledger, workers):
-        """Publish ``arrays`` once via shared memory, run the chunks
-        on the persistent process pool, unlink in ``finally``."""
+                    bitgen_cls, want_ledger, workers, policy=None,
+                    scope=None, log=None):
+        """Publish ``arrays`` once via shared memory and run the chunks
+        on the persistent process pool, surviving worker crashes and
+        stalls via deterministic re-dispatch.
+
+        Per-chunk futures are tracked individually.  When a worker
+        dies (``BrokenProcessPool``) or no chunk completes within the
+        policy's stall ``timeout``, the done futures are drained, the
+        still-pending ones cancelled, the pool torn down (stalled
+        workers killed) and rebuilt, and **only the unfinished
+        chunks** are re-submitted with their original ``(lo, hi,
+        seed_key)`` — with per-chunk streams a function of chunk index
+        only, the retried chunk is bit-identical to what the lost
+        attempt would have produced.  Attempts are bounded by
+        ``policy.max_attempts`` with exponential backoff between
+        rounds; a chunk that exhausts its budget settles as an
+        :class:`~repro.errors.ExecutionError` triple (the caller may
+        then degrade to a weaker backend).  The payload segment
+        persists across attempts — re-published defensively if torn
+        down — and is always unlinked in the ``finally``.
+        """
+        from concurrent.futures import FIRST_COMPLETED, wait
         from concurrent.futures.process import BrokenProcessPool
 
+        from repro.pram import faults as _faults
+
+        nworkers = max(1, workers)
+        max_attempts = policy.max_attempts if policy is not None else 1
+        timeout = policy.timeout if policy is not None else None
+        plan = _faults.active_plan()
+        directives = () if plan is None else \
+            plan.chunk_directives(backend=self.name, phase=scope)
+
+        results: list = [None] * len(pieces)
+        pending = list(range(len(pieces)))
+        attempt = 0
         payload = SharedPayload(arrays)
         try:
-            pool = _process_pool(max(1, workers))
-            futures = [
-                pool.submit(_shipped_worker, payload.spec, task, meta,
-                            lo, hi, seed_seqs[i], bitgen_cls, want_ledger)
-                for i, (lo, hi) in enumerate(pieces)]
-            try:
-                return [f.result() for f in futures]
-            except BrokenProcessPool:
-                # A worker died; drop the pool so the next dispatch
-                # starts a fresh one instead of failing forever.
-                _pools.pop(max(1, workers), None)
-                raise
+            while True:
+                if payload.spec[0] not in _live_segments:
+                    # The segment was torn down (e.g. by an atexit
+                    # sweep racing a crash) — publish a fresh one.
+                    payload = SharedPayload(arrays)
+                pool = _process_pool(nworkers)
+                futures: dict = {}
+                broken = False
+                try:
+                    for i in pending:
+                        lo, hi = pieces[i]
+                        fut = pool.submit(
+                            _shipped_worker, payload.spec, task, meta,
+                            lo, hi, seed_seqs[i], bitgen_cls, want_ledger,
+                            directives, i, attempt)
+                        futures[fut] = i
+                except BrokenProcessPool:
+                    broken = True
+
+                stalled = False
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, timeout=timeout,
+                                          return_when=FIRST_COMPLETED)
+                    if not done:
+                        stalled = True
+                        break
+
+                # Drain everything that finished; cancel the rest.
+                still_pending: list[int] = []
+                causes: dict[int, BaseException] = {}
+                for fut, i in futures.items():
+                    if fut.done() and not fut.cancelled():
+                        try:
+                            triple = fut.result()
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            still_pending.append(i)
+                            causes[i] = exc
+                            continue
+                        except Exception as exc:  # pragma: no cover
+                            still_pending.append(i)
+                            causes[i] = exc
+                            continue
+                        ok, val, _ = triple
+                        if ok or not _is_transient(val):
+                            results[i] = triple
+                        else:
+                            still_pending.append(i)
+                            causes[i] = val
+                    else:
+                        fut.cancel()
+                        still_pending.append(i)
+                        causes[i] = TimeoutError(
+                            f"chunk {i} did not complete within "
+                            f"{timeout}s (stalled dispatch)") if stalled \
+                            else BrokenProcessPool(
+                                f"chunk {i} lost to a dead worker")
+                still_pending.extend(i for i in pending
+                                     if i not in causes
+                                     and results[i] is None)
+                for i in still_pending:
+                    causes.setdefault(i, BrokenProcessPool(
+                        f"chunk {i} was never scheduled"))
+
+                if broken or stalled:
+                    # Tear the pool down: a broken pool is unusable,
+                    # and a stalled one has wedged workers that must
+                    # be killed before a rebuild can make progress.
+                    _pools.pop(nworkers, None)
+                    try:
+                        procs = list((pool._processes or {}).values())
+                    except Exception:  # pragma: no cover
+                        procs = []
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if stalled:
+                        for proc in procs:
+                            try:
+                                proc.terminate()
+                            except Exception:  # pragma: no cover
+                                pass
+                    if log is not None:
+                        log.record(
+                            "timeout" if stalled else "pool_rebuild",
+                            backend=self.name, attempt=attempt,
+                            detail=f"chunks {sorted(still_pending)} "
+                                   f"unfinished")
+
+                if not still_pending:
+                    return results
+                attempt += 1
+                if attempt >= max_attempts:
+                    for i in sorted(still_pending):
+                        if log is not None:
+                            log.record("exhausted", chunk=i,
+                                       attempt=max_attempts,
+                                       backend=self.name,
+                                       detail=repr(causes.get(i)))
+                        results[i] = (False, ExecutionError(
+                            f"chunk {i} failed after {max_attempts} "
+                            f"attempt(s) on the process backend",
+                            chunk=i, attempts=max_attempts,
+                            cause=causes.get(i)), None)
+                    return results
+                if log is not None:
+                    for i in sorted(still_pending):
+                        log.record("retry", chunk=i, attempt=attempt,
+                                   backend=self.name,
+                                   detail=repr(causes.get(i)))
+                if policy is not None:
+                    time.sleep(policy.delay(attempt))
+                pending = sorted(still_pending)
         finally:
             payload.close()
 
@@ -661,6 +1014,17 @@ class ExecutionContext:
         :meth:`column_chunks`.
     max_chunks:
         Cap on the number of chunks per dispatch.
+    retry:
+        :class:`RetryPolicy` for transient chunk failures.  ``None``
+        (default) builds one lazily from ``REPRO_RETRIES`` /
+        ``REPRO_CHUNK_TIMEOUT`` at each dispatch.  Retries never
+        influence results — a re-dispatched chunk is bit-identical.
+    degrade:
+        Whether retry-exhausted chunks fall back to a weaker backend
+        (process→thread→serial) instead of raising
+        :class:`~repro.errors.ExecutionError`.  ``None`` (default)
+        consults ``REPRO_DEGRADE`` lazily (default off — tests want to
+        *see* failures; the CLI turns it on).
 
     The three chunk-policy fields fully determine chunk boundaries from
     the problem size alone — see the module docstring for the
@@ -672,6 +1036,8 @@ class ExecutionContext:
     chunk_items: int | None = None
     chunk_columns: int = DEFAULT_CHUNK_COLUMNS
     max_chunks: int = MAX_CHUNKS
+    retry: "RetryPolicy | None" = None
+    degrade: bool | None = None
 
     def __post_init__(self) -> None:
         if (self.chunk_items is not None and self.chunk_items < 1) \
@@ -683,6 +1049,9 @@ class ExecutionContext:
             raise ValueError(
                 f"backend must be None or one of {BACKENDS}, "
                 f"got {self.backend!r}")
+        if self.retry is not None and not isinstance(self.retry,
+                                                     RetryPolicy):
+            raise ValueError("retry must be None or a RetryPolicy")
 
     # -- worker/backend resolution --------------------------------------------
 
@@ -697,6 +1066,18 @@ class ExecutionContext:
         if self.backend is not None:
             return self.backend
         return default_backend()
+
+    def resolve_retry(self) -> "RetryPolicy":
+        """The retry policy to use *right now* (lazy env consultation)."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy.from_env()
+
+    def resolve_degrade(self) -> bool:
+        """Whether backend degradation is enabled *right now*."""
+        if self.degrade is not None:
+            return self.degrade
+        return default_degrade()
 
     # -- deterministic chunk layout ------------------------------------------
 
@@ -741,7 +1122,8 @@ class ExecutionContext:
     def run_chunks(self,
                    fn: Callable[..., R],
                    pieces: Sequence[tuple[int, int]],
-                   rng: np.random.Generator | None = None) -> list[R]:
+                   rng: np.random.Generator | None = None,
+                   scope: str | None = None) -> list[R]:
         """Run ``fn(lo, hi[, stream])`` over ``pieces``, in parallel.
 
         ``pieces`` must come from :meth:`item_chunks` /
@@ -759,10 +1141,19 @@ class ExecutionContext:
         chunk's exception is re-raised — keeping both the ledger totals
         and the surfaced error deterministic.
 
+        Transient failures (injected faults — see
+        :mod:`repro.pram.faults`) are retried under
+        :meth:`resolve_retry` with a fresh sub-ledger per attempt, so
+        only the surviving attempt charges and both results and ledger
+        totals stay fault-invariant.  ``scope`` labels the dispatch
+        (``"walk"``/``"columns"``) for fault-directive ``phase=``
+        matching.
+
         ``fn`` may be any in-process callable (closures welcome); use
         :meth:`run_shipped` for chunk work that should cross the
         process boundary under the process backend.
         """
+        from repro.pram import faults as _faults
         from repro.pram.ledger import current_ledger, use_ledger
 
         streams: Sequence[np.random.Generator | None]
@@ -772,37 +1163,73 @@ class ExecutionContext:
             streams = [None] * len(pieces)
 
         parent = current_ledger()
-        subs = [parent.__class__() for _ in pieces] \
-            if parent is not None else None
-        errors: list[BaseException | None] = [None] * len(pieces)
+        backend_name = self.resolve_backend()
+        plan = _faults.active_plan()
+        log = _faults.current_fault_log()
 
-        def one(i: int) -> R | None:
+        def one(i: int, attempt: int = 0):
             lo, hi = pieces[i]
             args = (lo, hi) if streams[i] is None else (lo, hi, streams[i])
+            sub = parent.__class__() if parent is not None else None
             try:
-                if subs is None:
-                    return fn(*args)
-                with use_ledger(subs[i]):
-                    return fn(*args)
+                if plan is not None:
+                    _faults.apply_chunk_faults(plan, chunk=i,
+                                               attempt=attempt,
+                                               backend=backend_name,
+                                               phase=scope, log=log)
+                if sub is None:
+                    return True, fn(*args), None
+                with use_ledger(sub):
+                    return True, fn(*args), sub
             except BaseException as exc:  # re-raised after the join
-                errors[i] = exc
-                return None
+                return False, exc, sub
 
-        results = parallel_map(one, range(len(pieces)),
+        triples = parallel_map(one, range(len(pieces)),
                                workers=self._map_workers())
-        if parent is not None and subs:
-            parent.absorb_parallel(subs)
-        for exc in errors:
-            if exc is not None:
-                raise exc
-        return results
+        if plan is not None:
+            policy = self.resolve_retry()
+            for retry_round in range(1, policy.max_attempts):
+                failed = [i for i, (ok, val, _) in enumerate(triples)
+                          if not ok and _is_transient(val)]
+                if not failed:
+                    break
+                if log is not None:
+                    for i in failed:
+                        log.record("retry", chunk=i, attempt=retry_round,
+                                   backend=backend_name,
+                                   detail=repr(triples[i][1]))
+                time.sleep(policy.delay(retry_round))
+                redo = parallel_map(lambda i: one(i, retry_round), failed,
+                                    workers=self._map_workers())
+                for i, triple in zip(failed, redo):
+                    triples[i] = triple
+            for i, (ok, val, _) in enumerate(triples):
+                if not ok and _is_transient(val):
+                    if log is not None:
+                        log.record("exhausted", chunk=i,
+                                   attempt=policy.max_attempts,
+                                   backend=backend_name, detail=repr(val))
+                    triples[i] = (False, ExecutionError(
+                        f"chunk {i} failed after {policy.max_attempts} "
+                        f"attempt(s) on the {backend_name} backend",
+                        chunk=i, attempts=policy.max_attempts,
+                        cause=val), None)
+        if parent is not None:
+            subs = [sub for _, _, sub in triples if sub is not None]
+            if subs:
+                parent.absorb_parallel(subs)
+        for ok, val, _ in triples:
+            if not ok:
+                raise val
+        return [val for _, val, _ in triples]
 
     def run_shipped(self,
                     task: Callable[..., R],
                     arrays: dict[str, np.ndarray],
                     meta: dict,
                     pieces: Sequence[tuple[int, int]],
-                    rng: np.random.Generator | None = None) -> list[R]:
+                    rng: np.random.Generator | None = None,
+                    scope: str | None = None) -> list[R]:
         """Run a shippable ``task`` over ``pieces`` on this backend.
 
         ``task`` must be a **module-level** function (pickled by
@@ -827,11 +1254,24 @@ class ExecutionContext:
         sub-ledgers joined fork/join into the ambient ledger, every
         chunk runs, and the lowest-index chunk's exception is re-raised
         after the join.
+
+        Transient failures (worker crashes, stall timeouts, injected
+        faults) are re-dispatched under :meth:`resolve_retry`; when
+        :meth:`resolve_degrade` is on, chunks that exhaust their
+        attempts fall back down the backend ladder
+        (process→thread→serial) with the **same** seed keys — the
+        fallback results are bit-identical, so degradation never
+        changes answers, only where they were computed.  ``scope``
+        labels the dispatch for fault-plan ``phase=`` matching.
         """
+        from repro.pram import faults as _faults
         from repro.pram.ledger import current_ledger
 
-        backend = get_backend(self.resolve_backend())
+        backend_name = self.resolve_backend()
+        backend = get_backend(backend_name)
         parent = current_ledger()
+        policy = self.resolve_retry()
+        log = _faults.current_fault_log()
         if rng is not None:
             seed_seqs = rng.bit_generator.seed_seq.spawn(len(pieces))
             bitgen_cls = type(rng.bit_generator)
@@ -840,7 +1280,26 @@ class ExecutionContext:
             bitgen_cls = None
         outs = backend.run_shipped(task, arrays, meta, pieces, seed_seqs,
                                    bitgen_cls, parent is not None,
-                                   self.resolve_workers())
+                                   self.resolve_workers(), policy=policy,
+                                   scope=scope, log=log)
+        if self.resolve_degrade():
+            ladder = list(BACKENDS[:BACKENDS.index(backend_name)])[::-1]
+            for fallback in ladder:
+                failed = [i for i, (ok, val, _) in enumerate(outs)
+                          if not ok and isinstance(val, ExecutionError)]
+                if not failed:
+                    break
+                if log is not None:
+                    log.record("degrade", backend=fallback,
+                               detail=f"chunks {failed} fell back "
+                                      f"{backend_name}->{fallback}")
+                sub = get_backend(fallback).run_shipped(
+                    task, arrays, meta, [pieces[i] for i in failed],
+                    [seed_seqs[i] for i in failed], bitgen_cls,
+                    parent is not None, self.resolve_workers(),
+                    policy=policy, scope=scope, log=log)
+                for i, triple in zip(failed, sub):
+                    outs[i] = triple
         subs = [sub for _, _, sub in outs if sub is not None]
         if parent is not None and subs:
             parent.absorb_parallel(subs)

@@ -1,0 +1,455 @@
+"""Deterministic fault injection for the execution layer.
+
+The determinism contract (DESIGN.md §6–§8) makes fault tolerance cheap:
+chunk layout and per-chunk RNG streams are functions of problem size
+only, so a lost chunk re-executed anywhere — same ``(lo, hi, seed_key)``
+— produces bit-identical results.  This module provides the harness
+that *proves* it: a declarative :class:`FaultPlan` describing where
+faults should strike, applied at well-defined points inside the
+dispatch and iteration machinery, plus a structured :class:`FaultLog`
+recording every injection and every recovery action.
+
+A plan is a comma-separated list of directives, each
+``kind:sel=value:sel=value...``::
+
+    kill:chunk=2:attempt=1       # chunk 2's second dispatch attempt dies
+    hang:chunk=0:seconds=30      # chunk 0 stalls (process: real sleep,
+                                 # killed by the parent's chunk timeout)
+    nan:col=3:stage=richardson   # column 3's iterate goes NaN at iter 0
+
+Selectors
+---------
+``chunk=N`` (required for kill/hang), ``attempt=N`` (default ``0``;
+``*`` = every attempt — how the exhaustion/degradation paths are
+exercised), ``backend=serial|thread|process`` (only fire under that
+backend), ``phase=walk|columns`` (only fire in that dispatch scope),
+``seconds=F`` (hang duration, default 30), ``col=N`` (required for
+nan), ``iter=N`` (default 0), ``stage=richardson|cg|chebyshev``.
+
+Directives are **stateless**: whether one fires depends only on the
+match coordinates (chunk, attempt, column, iteration, ...), never on
+how often it fired before — the property that keeps faulted runs
+deterministic and therefore comparable bit-for-bit to fault-free runs.
+
+Plans activate either through the ``REPRO_FAULTS`` env var (read
+lazily, like every other ``REPRO_*`` knob) or through the
+:func:`use_faults` context manager, which overrides the environment
+for its dynamic extent.  Because worker threads and processes do not
+inherit the caller's context, the dispatch sites resolve
+:func:`active_plan` / :func:`current_fault_log` **in the calling
+thread** and pass both down explicitly (process workers receive the
+pre-filtered directives as pickled call arguments).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["FAULT_KINDS", "FaultDirective", "FaultPlan", "FaultEvent",
+           "FaultLog", "InjectedFault", "use_faults", "active_plan",
+           "faults_active", "use_fault_log", "current_fault_log",
+           "apply_chunk_faults", "apply_worker_faults",
+           "inject_nan_columns"]
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("kill", "hang", "nan")
+
+#: In-process hangs cannot be interrupted from outside (no process to
+#: kill), so they degenerate to a bounded stall before failing.
+_INPROCESS_HANG_CAP = 0.05
+
+
+class InjectedFault(ReproError):
+    """Raised where a :class:`FaultPlan` directive fires.
+
+    Classified as *transient* by the execution layer: a chunk failing
+    with :class:`InjectedFault` is re-dispatched under the ambient
+    :class:`repro.pram.executor.RetryPolicy`, exactly like a crashed
+    worker or a timed-out chunk.
+    """
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One declarative fault: a kind plus match selectors.
+
+    Frozen and module-level so instances pickle cleanly into worker
+    processes.  ``attempt=None`` means *every* attempt (the ``*``
+    spelling); every other ``None`` selector means "don't filter on
+    this coordinate".
+    """
+
+    kind: str
+    chunk: int | None = None
+    attempt: int | None = 0
+    col: int | None = None
+    iteration: int = 0
+    stage: str | None = None
+    phase: str | None = None
+    backend: str | None = None
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, "
+                f"got {self.kind!r}")
+        if self.kind in ("kill", "hang") and self.chunk is None:
+            raise ValueError(f"{self.kind} directives require chunk=N")
+        if self.kind == "nan" and self.col is None:
+            raise ValueError("nan directives require col=N")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be positive")
+
+    def matches_chunk(self, *, chunk: int, attempt: int,
+                      backend: str | None = None,
+                      phase: str | None = None) -> bool:
+        """Does this kill/hang directive fire at these coordinates?
+
+        A ``None`` *argument* means the coordinate is unknown at the
+        call site and the corresponding selector is not consulted.
+        """
+        if self.kind not in ("kill", "hang"):
+            return False
+        if self.chunk is not None and self.chunk != chunk:
+            return False
+        if self.attempt is not None and self.attempt != attempt:
+            return False
+        if self.backend is not None and backend is not None \
+                and self.backend != backend:
+            return False
+        if self.phase is not None and phase is not None \
+                and self.phase != phase:
+            return False
+        return True
+
+    def spec(self) -> str:
+        """The directive back in ``kind:sel=value`` form."""
+        parts = [self.kind]
+        defaults = FaultDirective("kill", chunk=0) if self.kind != "nan" \
+            else FaultDirective("nan", col=0)
+        for name, key in (("chunk", "chunk"), ("attempt", "attempt"),
+                          ("col", "col"), ("iteration", "iter"),
+                          ("stage", "stage"), ("phase", "phase"),
+                          ("backend", "backend"), ("seconds", "seconds")):
+            value = getattr(self, name)
+            if name in ("chunk", "col"):
+                if value is not None:
+                    parts.append(f"{key}={value}")
+                continue
+            if name == "attempt":
+                if value is None:
+                    parts.append("attempt=*")
+                elif value != 0:
+                    parts.append(f"attempt={value}")
+                continue
+            if value != getattr(defaults, name):
+                if name == "seconds":
+                    parts.append(f"{key}={value:g}")
+                else:
+                    parts.append(f"{key}={value}")
+        return ":".join(parts)
+
+
+def _parse_directive(token: str) -> FaultDirective:
+    parts = [p.strip() for p in token.split(":") if p.strip()]
+    if not parts:
+        raise ValueError("empty fault directive")
+    kind = parts[0].lower()
+    kwargs: dict = {}
+    for part in parts[1:]:
+        if "=" not in part:
+            raise ValueError(
+                f"fault selector must be key=value, got {part!r}")
+        key, _, raw = part.partition("=")
+        key = key.strip().lower()
+        raw = raw.strip()
+        if key == "iter":
+            key = "iteration"
+        if key in ("chunk", "attempt", "col", "iteration"):
+            if key == "attempt" and raw == "*":
+                kwargs[key] = None
+                continue
+            try:
+                kwargs[key] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"fault selector {key}= needs an integer, "
+                    f"got {raw!r}") from None
+        elif key == "seconds":
+            try:
+                kwargs[key] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"fault selector seconds= needs a number, "
+                    f"got {raw!r}") from None
+        elif key in ("stage", "phase", "backend"):
+            kwargs[key] = raw.lower()
+        else:
+            raise ValueError(f"unknown fault selector {key!r}")
+    return FaultDirective(kind, **kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of :class:`FaultDirective`\\ s."""
+
+    directives: tuple[FaultDirective, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a comma-separated directive list (see module docs)."""
+        directives = tuple(_parse_directive(tok)
+                           for tok in text.split(",") if tok.strip())
+        if not directives:
+            raise ValueError(f"no fault directives in {text!r}")
+        return cls(directives)
+
+    def chunk_directives(self, *, backend: str | None = None,
+                         phase: str | None = None
+                         ) -> tuple[FaultDirective, ...]:
+        """The kill/hang directives that could fire under ``backend``
+        in dispatch scope ``phase`` (used to pre-filter what ships to
+        worker processes)."""
+        out = []
+        for d in self.directives:
+            if d.kind not in ("kill", "hang"):
+                continue
+            if d.backend is not None and backend is not None \
+                    and d.backend != backend:
+                continue
+            if d.phase is not None and phase is not None \
+                    and d.phase != phase:
+                continue
+            out.append(d)
+        return tuple(out)
+
+    def __bool__(self) -> bool:
+        return bool(self.directives)
+
+
+# -- activation ---------------------------------------------------------------
+
+#: ``None`` → fall through to the env var; ``(plan_or_None,)`` → an
+#: explicit override installed by :func:`use_faults` (a 1-tuple so that
+#: ``use_faults(None)`` can mask an env-var plan).
+_override: contextvars.ContextVar[tuple | None] = contextvars.ContextVar(
+    "repro_fault_plan", default=None)
+
+
+def _parse_env(env: str | None) -> FaultPlan | None:
+    if not env or not env.strip():
+        return None
+    return FaultPlan.parse(env)
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan in effect for the calling thread, if any.
+
+    A :func:`use_faults` override wins; otherwise the ``REPRO_FAULTS``
+    env var is consulted lazily (cached per raw value, like every
+    other ``REPRO_*`` knob).  Returns ``None`` when no faults are
+    active — the common case, kept cheap so iteration loops can guard
+    on it.
+    """
+    override = _override.get()
+    if override is not None:
+        return override[0]
+    from repro.pram.executor import _env_cached
+
+    return _env_cached("REPRO_FAULTS", _parse_env)
+
+
+def faults_active() -> bool:
+    """Cheap guard: is any fault plan currently active?"""
+    return active_plan() is not None
+
+
+@contextlib.contextmanager
+def use_faults(plan: "FaultPlan | str | None"):
+    """Install ``plan`` as the active fault plan for this context.
+
+    Accepts a :class:`FaultPlan`, a directive string (parsed), or
+    ``None`` (masks any ``REPRO_FAULTS`` env plan).  The override is
+    visible in the installing thread — dispatch sites resolve the plan
+    there and hand it to worker threads/processes explicitly.
+    """
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    token = _override.set((plan,))
+    try:
+        yield plan
+    finally:
+        _override.reset(token)
+
+
+# -- the structured log -------------------------------------------------------
+
+
+@dataclass
+class FaultEvent:
+    """One injection or recovery action.
+
+    ``action`` is the event type: ``inject`` (a directive fired),
+    ``retry`` (a chunk was re-dispatched), ``pool_rebuild`` (the
+    process pool was torn down and rebuilt), ``timeout`` (a stalled
+    dispatch was killed), ``exhausted`` (a chunk ran out of attempts),
+    ``degrade`` (failed chunks fell back to a weaker backend),
+    ``quarantine`` (broken columns were frozen out of an iteration),
+    ``escalate`` (quarantined columns moved to a stronger solver).
+    """
+
+    action: str
+    kind: str = ""
+    chunk: int | None = None
+    attempt: int | None = None
+    columns: tuple[int, ...] = ()
+    backend: str = ""
+    detail: str = ""
+
+
+class FaultLog:
+    """Structured record of injections and recovery actions.
+
+    Appended to from the dispatching thread and (for in-process chunk
+    faults) from pool threads — ``list.append`` is atomic under the
+    GIL, so no locking is needed.  Attached to
+    :class:`repro.core.solver.BlockSolveReport` so callers can see
+    what the execution layer survived.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+
+    def record(self, action: str, **kw) -> FaultEvent:
+        event = FaultEvent(action, **kw)
+        self.events.append(event)
+        return event
+
+    def count(self, action: str) -> int:
+        """Number of recorded events with the given ``action``."""
+        return sum(1 for e in self.events if e.action == action)
+
+    def actions(self) -> tuple[str, ...]:
+        """Event actions in record order."""
+        return tuple(e.action for e in self.events)
+
+    def summary(self) -> dict[str, int]:
+        """Action → count over all recorded events."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.action] = out.get(e.action, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultLog({self.summary()})"
+
+
+_log_var: contextvars.ContextVar[FaultLog | None] = contextvars.ContextVar(
+    "repro_fault_log", default=None)
+
+
+def current_fault_log() -> FaultLog | None:
+    """The ambient fault log for the calling thread, if any."""
+    return _log_var.get()
+
+
+@contextlib.contextmanager
+def use_fault_log(log: FaultLog | None = None):
+    """Install ``log`` (a fresh one when ``None``) as the ambient
+    fault log; yields the installed log."""
+    if log is None:
+        log = FaultLog()
+    token = _log_var.set(log)
+    try:
+        yield log
+    finally:
+        _log_var.reset(token)
+
+
+# -- application points -------------------------------------------------------
+
+
+def apply_chunk_faults(plan: FaultPlan, *, chunk: int, attempt: int,
+                       backend: str | None = None,
+                       phase: str | None = None,
+                       log: FaultLog | None = None) -> None:
+    """Fire any matching kill/hang directive for an in-process chunk.
+
+    In-process there is no worker to kill and no way to interrupt a
+    hung thread from outside, so both kinds degenerate to raising
+    :class:`InjectedFault` (hang after a bounded stall) — which the
+    retry machinery treats exactly like the process-side originals.
+    """
+    for d in plan.directives:
+        if not d.matches_chunk(chunk=chunk, attempt=attempt,
+                               backend=backend, phase=phase):
+            continue
+        if log is not None:
+            log.record("inject", kind=d.kind, chunk=chunk, attempt=attempt,
+                       backend=backend or "", detail=d.spec())
+        if d.kind == "hang":
+            time.sleep(min(d.seconds, _INPROCESS_HANG_CAP))
+        raise InjectedFault(
+            f"injected {d.kind}: chunk={chunk} attempt={attempt}")
+
+
+def apply_worker_faults(directives: tuple[FaultDirective, ...], *,
+                        chunk: int, attempt: int) -> None:
+    """Fire any matching directive inside a worker **process**.
+
+    ``kill`` exits the process hard (``os._exit``), producing a
+    genuine ``BrokenProcessPool`` in the parent; ``hang`` sleeps for
+    the directive's ``seconds`` — long enough for the parent's chunk
+    timeout to detect the stall and kill the pool — then raises
+    :class:`InjectedFault` as a bounded fallback when no timeout is
+    armed.  Directives arrive pre-filtered by backend/phase (see
+    :meth:`FaultPlan.chunk_directives`).
+    """
+    for d in directives:
+        if not d.matches_chunk(chunk=chunk, attempt=attempt):
+            continue
+        if d.kind == "kill":
+            os._exit(77)
+        time.sleep(d.seconds)
+        raise InjectedFault(
+            f"injected hang expired: chunk={chunk} attempt={attempt}")
+
+
+def inject_nan_columns(plan: FaultPlan, block: np.ndarray,
+                       col_ids: np.ndarray, iteration: int, stage: str,
+                       log: FaultLog | None = None) -> list[int]:
+    """Poison matching columns of ``block`` with NaN, in place.
+
+    ``col_ids`` maps the block's local columns to global right-hand-side
+    column indices (the coordinates ``nan:col=N`` directives are
+    written in), so injection keeps working when the blocked kernels
+    run on a column-chunked slice.  Returns the global ids hit.
+    """
+    hit: list[int] = []
+    for d in plan.directives:
+        if d.kind != "nan":
+            continue
+        if d.iteration != iteration:
+            continue
+        if d.stage is not None and d.stage != stage:
+            continue
+        local = np.nonzero(np.asarray(col_ids) == d.col)[0]
+        if local.size:
+            block[:, local] = np.nan
+            hit.extend(int(c) for c in np.asarray(col_ids)[local])
+            if log is not None:
+                log.record("inject", kind="nan", columns=(int(d.col),),
+                           detail=f"stage={stage} iteration={iteration}")
+    return hit

@@ -66,7 +66,7 @@ __all__ = ["WalkEngine", "WalkResult", "SAMPLERS", "default_sampler",
 SAMPLERS = ("alias", "bisect")
 
 def _parse_sampler(env: str | None) -> str:
-    value = (env or "bisect").strip().lower()
+    value = (env or "alias").strip().lower()
     if value not in SAMPLERS:
         raise ValueError(
             f"REPRO_SAMPLER must be one of {SAMPLERS}, got {env!r}")
@@ -74,7 +74,7 @@ def _parse_sampler(env: str | None) -> str:
 
 
 def default_sampler() -> str:
-    """Sampler name from ``REPRO_SAMPLER`` env var (default: bisect).
+    """Sampler name from ``REPRO_SAMPLER`` env var (default: alias).
 
     Raises :class:`ValueError` for anything outside :data:`SAMPLERS` —
     the sampler changes how the RNG stream maps to walk transitions,
@@ -198,7 +198,7 @@ class WalkEngine:
         ``"alias"`` (per-row alias planes, O(1)/query) or ``"bisect"``
         (global cumulative-weight bisection).  ``None`` (default)
         consults the ``REPRO_SAMPLER`` env var lazily (default
-        ``"bisect"``).  For a fixed seed and a fixed sampler, results
+        ``"alias"``).  For a fixed seed and a fixed sampler, results
         are bit-identical across backends and worker counts; the two
         samplers map the RNG stream to transitions differently, so
         cross-sampler agreement is distributional (DESIGN.md §8).
@@ -413,14 +413,14 @@ class WalkEngine:
             results = ctx.run_shipped(_walk_chunk_task, arrays,
                                       {"max_steps": max_steps,
                                        "sampler": self.sampler_kind},
-                                      pieces, rng=rng)
+                                      pieces, rng=rng, scope="walk")
         else:
 
             def one(lo: int, hi: int, stream) -> WalkResult:
                 return self.run(starts[lo:hi], seed=stream,
                                 max_steps=max_steps)
 
-            results = ctx.run_chunks(one, pieces, rng=rng)
+            results = ctx.run_chunks(one, pieces, rng=rng, scope="walk")
         if not results:
             return WalkResult(np.empty(0, np.int64), np.empty(0),
                               np.empty(0, np.int64), 0)

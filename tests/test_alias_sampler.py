@@ -229,7 +229,7 @@ class TestChiSquareAgreement:
 class TestSamplerSelection:
     def test_default_sampler_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_SAMPLER", raising=False)
-        assert default_sampler() == "bisect"
+        assert default_sampler() == "alias"
         monkeypatch.setenv("REPRO_SAMPLER", "alias")
         assert default_sampler() == "alias"
         monkeypatch.setenv("REPRO_SAMPLER", "bisect")
@@ -451,11 +451,24 @@ class TestRunColumnChunks:
     def test_broadcasts_and_slices(self):
         ctx = ExecutionContext(chunk_columns=2)
         b = np.arange(12.0).reshape(3, 4)
+        seen_ids = []
 
-        def block(bc, tc, none_col):
+        def block(bc, tc, none_col, ids):
             assert none_col is None
+            seen_ids.append(ids)
             return bc.sum(axis=0) + tc
 
         results = run_column_chunks(ctx, b, block, cols=(0.5, None))
         merged = np.concatenate(results)
         np.testing.assert_allclose(merged, b.sum(axis=0) + 0.5)
+        # Each chunk sees its global column ids (PR 6 quarantine needs
+        # caller-visible indices inside a chunk).
+        np.testing.assert_array_equal(np.concatenate(seen_ids),
+                                      np.arange(4))
+
+    def test_col_ids_passthrough(self):
+        ctx = ExecutionContext(chunk_columns=1)
+        b = np.zeros((2, 3))
+        got = run_column_chunks(ctx, b, lambda bc, ids: ids.copy(),
+                                col_ids=np.array([7, 9, 11]))
+        np.testing.assert_array_equal(np.concatenate(got), [7, 9, 11])
