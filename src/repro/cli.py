@@ -89,13 +89,19 @@ def _cmd_solve(args) -> int:
     # (process -> thread -> serial) is ON here, unlike the library
     # default (tests want failures loud).
     options = options.with_(degrade=args.degrade)
+    if args.ship_solves is not None:
+        options = options.with_(ship_solves=args.ship_solves)
     solver = LaplacianSolver(g, options=options, seed=args.seed)
     t_build = time.time() - t0
     t0 = time.time()
     report = solver.solve_report(b, eps=args.eps, method=args.method)
     t_solve = time.time() - t0
+    levels = solver.chain.level_nbytes()
     print(f"build: {t_build:.3f}s (d={report.chain_depth} levels, "
           f"{report.multiedges} multi-edges)")
+    print(f"chain payload: {solver.chain.nbytes / 1e6:.2f} MB "
+          f"(per level: "
+          f"{', '.join(f'{nb / 1e6:.2f}' for nb in levels)} MB)")
     print(f"solve: {t_solve:.3f}s ({report.iterations} iterations, "
           f"method={report.method}, residual="
           f"{report.residual_2norm:.3e})")
@@ -151,11 +157,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="worker count for the parallel phases "
                         "(default: REPRO_WORKERS env var / CPU count; "
                         "results are worker-count independent)")
-    p.add_argument("--backend", choices=["serial", "thread", "process"],
+    p.add_argument("--backend",
+                   choices=["serial", "thread", "process",
+                            "distributed"],
                    default=None,
                    help="execution backend (default: REPRO_BACKEND env "
                         "var / thread); process ships walker chunks to "
-                        "a shared-memory process pool — results are "
+                        "a shared-memory process pool, distributed to "
+                        "a loopback-socket work queue — results are "
                         "backend independent")
     p.add_argument("--sampler", choices=["alias", "bisect"],
                    default=None,
@@ -176,6 +185,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="degrade the backend (process -> thread -> "
                         "serial) when a chunk exhausts its retries "
                         "(default on for the CLI)")
+    p.add_argument("--ship-solves", default=None,
+                   action=argparse.BooleanOptionalAction,
+                   help="ship blocked-solve column chunks to the "
+                        "process/distributed pool over a shared-memory "
+                        "chain payload (default: REPRO_SHIP_SOLVES env "
+                        "var / off); results are bit-identical either "
+                        "way")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 

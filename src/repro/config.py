@@ -128,6 +128,15 @@ class SolverOptions:
         ``REPRO_DEGRADE`` env var, default off — tests want crashes
         loud; the CLI turns it on).  Degraded re-dispatch replays the
         identical chunks, so results stay bit-identical.
+    ship_solves:
+        Ship blocked-solve column chunks as self-contained tasks over
+        the execution context's process/distributed pool, against a
+        once-published shared-memory copy of the Cholesky chain
+        (DESIGN.md §10).  ``None`` (default) consults the
+        ``REPRO_SHIP_SOLVES`` env var lazily (default off).  Only
+        engages on the ``process``/``distributed`` backends with >1
+        chunk; fixed seed ⇒ bit-identical solutions and ledger totals
+        with or without shipping.
     incremental_csr:
         Maintain the elimination loops' restricted walk CSR
         incrementally across rounds
@@ -159,6 +168,7 @@ class SolverOptions:
     retries: int | None = None
     chunk_timeout: float | None = None
     degrade: bool | None = None
+    ship_solves: bool | None = None
     incremental_csr: bool = True
     seed: int | None = None
     track_costs: bool = True
@@ -198,6 +208,14 @@ class SolverOptions:
         from repro.sampling.walks import default_sampler
 
         return default_sampler()
+
+    def resolve_ship_solves(self) -> bool:
+        """Whether blocked solves ship *right now* (lazy env lookup)."""
+        if self.ship_solves is not None:
+            return self.ship_solves
+        from repro.pram.executor import default_ship_solves
+
+        return default_ship_solves()
 
     def execution(self) -> "ExecutionContext":
         """The :class:`repro.pram.ExecutionContext` these options imply."""

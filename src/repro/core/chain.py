@@ -66,6 +66,19 @@ class Level:
         self.jacobi = JacobiOperator(self.blocks.X, self.blocks.Y, eps)
         self.L_CF = self.blocks.L_FC.T.tocsr()
 
+    def nbytes(self) -> int:
+        """Bytes of the arrays a solve consumes at this level (the
+        payload-shipping cost): index maps, ``X``/``Y``, and both
+        coupling CSR triples."""
+        total = int(self.idxF.nbytes) + int(self.idxC.nbytes)
+        total += int(self.blocks.X.nbytes)
+        for M in (self.blocks.Y, self.blocks.L_FC,
+                  self.L_CF if self.L_CF is not None
+                  else self.blocks.L_FC.T.tocsr()):
+            total += int(M.data.nbytes) + int(M.indices.nbytes) \
+                + int(M.indptr.nbytes)
+        return total
+
     @property
     def nf(self) -> int:
         """Eliminated-block size ``|F|`` of this level."""
@@ -141,6 +154,98 @@ class CholeskyChain:
     def total_stored_edges(self) -> int:
         """Sum of physically stored edge groups across all levels."""
         return sum(self.stored_edge_counts)
+
+    # -- flat-array payload (shipped solves, DESIGN.md §10) ----------------
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the solve-time chain payload: every level's arrays
+        (:meth:`Level.nbytes`) plus the dense base-case pseudoinverse.
+        This is exactly what :meth:`payload_arrays` ships through shared
+        memory, so it is the observable cost of `ship_solves`."""
+        return sum(self.level_nbytes()) + int(self.final_pinv.nbytes)
+
+    def level_nbytes(self) -> list[int]:
+        """Per-level payload bytes (``[level 1, …, level d]``)."""
+        return [level.nbytes() for level in self.levels]
+
+    def payload_arrays(self) -> tuple[dict, dict]:
+        """Flatten the solve-time chain state into named arrays.
+
+        Returns ``(arrays, meta)``: ``arrays`` maps string keys to the
+        per-level ndarrays (index maps, ``X``, CSR triples of ``Y`` /
+        ``L_FC`` / ``L_CF``) plus ``final_pinv`` — everything
+        :class:`repro.core.apply_cholesky.ApplyCholeskyOperator` reads
+        during an apply, nothing else; ``meta`` holds the picklable
+        scalars (``n``, ``d``, ``jacobi_eps``) needed to rebuild shapes.
+        :meth:`from_payload` inverts this mapping with pure view-wiring
+        (no float is recomputed), so a reconstructed chain's applies are
+        bit-identical to the original's.
+        """
+        arrays: dict = {"final_pinv": self.final_pinv}
+        for k, level in enumerate(self.levels):
+            if level.jacobi is None or level.L_CF is None:
+                from repro.errors import FactorizationError
+                raise FactorizationError(
+                    "cannot export a chain payload before attach_jacobi")
+            p = f"lv{k}_"
+            arrays[p + "idxF"] = level.idxF
+            arrays[p + "idxC"] = level.idxC
+            arrays[p + "X"] = level.blocks.X
+            for tag, M in (("Y", level.blocks.Y),
+                           ("LFC", level.blocks.L_FC),
+                           ("LCF", level.L_CF)):
+                arrays[p + tag + "_data"] = M.data
+                arrays[p + tag + "_indices"] = M.indices
+                arrays[p + tag + "_indptr"] = M.indptr
+        meta = {"n": int(self.n), "d": int(self.d),
+                "jacobi_eps": float(self.jacobi_eps)}
+        return arrays, meta
+
+    @classmethod
+    def from_payload(cls, arrays: dict, meta: dict) -> "CholeskyChain":
+        """Rebuild a view-only solve chain from :meth:`payload_arrays`.
+
+        Every level is wired directly over the given arrays (typically
+        read-only shared-memory views): CSR blocks via zero-copy
+        ``csr_matrix((data, indices, indptr))`` and the Jacobi operator
+        via :meth:`repro.linalg.jacobi.JacobiOperator.from_parts`.  The
+        result supports :class:`ApplyCholeskyOperator` construction and
+        application only (graphs and global vertex ids are not shipped —
+        ``F``/``C`` alias the positional index maps, which preserves the
+        ``nf``/``nc`` sizes the apply needs).
+        """
+        eps = float(meta["jacobi_eps"])
+        levels: list[Level] = []
+        for k in range(int(meta["d"])):
+            p = f"lv{k}_"
+            idxF = arrays[p + "idxF"]
+            idxC = arrays[p + "idxC"]
+            nf, nc = idxF.size, idxC.size
+
+            def csr(tag: str, shape):
+                return sp.csr_matrix(
+                    (arrays[p + tag + "_data"],
+                     arrays[p + tag + "_indices"],
+                     arrays[p + tag + "_indptr"]),
+                    shape=shape, copy=False)
+
+            Y = csr("Y", (nf, nf))
+            L_FC = csr("LFC", (nf, nc))
+            L_CF = csr("LCF", (nc, nf))
+            level = Level(F=idxF, C=idxC, idxF=idxF, idxC=idxC,
+                          blocks=LaplacianBlocks(X=arrays[p + "X"],
+                                                 Y=Y, L_FC=L_FC),
+                          parent_edges=0,
+                          jacobi=JacobiOperator.from_parts(
+                              arrays[p + "X"], Y, eps),
+                          L_CF=L_CF)
+            levels.append(level)
+        final_pinv = arrays["final_pinv"]
+        return cls(n=int(meta["n"]), graphs=None, levels=levels,
+                   final_active=np.arange(final_pinv.shape[0]),
+                   final_pinv=final_pinv, jacobi_eps=eps,
+                   logical_edges=[], stored_edges=[])
 
     # -- dense reconstruction (test oracle) --------------------------------
 

@@ -88,8 +88,8 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
                               divergence_guard: bool = True,
                               freeze: bool = True,
                               ctx=None,
-                              col_ids: np.ndarray | None = None
-                              ) -> RichardsonResult:
+                              col_ids: np.ndarray | None = None,
+                              ship=None) -> RichardsonResult:
     """Solve ``A x = b`` given a δ-quality preconditioner ``B ≈_δ A⁺``.
 
     Parameters
@@ -149,6 +149,15 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
         to ``arange(k)``) — the coordinates breakdown quarantine and
         ``nan:col=N`` fault directives are expressed in, kept stable
         under column chunking and escalation re-solves.
+    ship:
+        Optional :class:`repro.pram.executor.SolveShipment` (the
+        solver's picklable chain payload).  When shipping is enabled
+        the column chunks run as pure tasks through ``run_shipped`` —
+        crossing the process boundary under the process/distributed
+        backends — with bit-identical results; when disabled (or the
+        layout is one chunk) the call falls through to the
+        closure-chunked ``ctx`` path.  ``ship`` implies ``apply_A`` /
+        ``apply_B`` are the owning solver's operators.
     """
     b = np.asarray(b, dtype=np.float64)
     if b.ndim == 2:
@@ -159,23 +168,35 @@ def preconditioned_richardson(apply_A: Callable[[np.ndarray], np.ndarray],
 
         plan = _faults.active_plan()
         flog = _faults.current_fault_log()
-        if ctx is not None and track_errors is None:
-            from repro.pram.executor import run_column_chunks
+        if (ctx is not None or ship is not None) \
+                and track_errors is None:
+            # Column chunks iterate independently — shipped as pure
+            # tasks when a SolveShipment is enabled, as closures on
+            # the context's pool otherwise; the layout is a function
+            # of the column count only, so results do not depend on
+            # the worker count, backend, or transport.  A diverging
+            # chunk raises ConvergenceError exactly as the unchunked
+            # block would (the caller's fallback covers the whole
+            # block).
+            results = None
+            if ship is not None:
+                results = ship.run(
+                    "richardson", b, cols=(eps,), col_ids=col_ids,
+                    params={"delta": delta, "project": project,
+                            "iterations": iterations,
+                            "divergence_guard": divergence_guard,
+                            "freeze": freeze})
+            if results is None and ctx is not None:
+                from repro.pram.executor import run_column_chunks
 
-            # Column chunks iterate independently on the context's
-            # pool; the layout is a function of the column count only,
-            # so results do not depend on the worker count.  A
-            # diverging chunk raises ConvergenceError exactly as the
-            # unchunked block would (the caller's fallback covers the
-            # whole block).
-            results = run_column_chunks(
-                ctx, b,
-                lambda bc, ec, ids: _blocked_richardson(
-                    apply_A, apply_B, bc, delta=delta, eps=ec,
-                    project=project, iterations=iterations,
-                    divergence_guard=divergence_guard, freeze=freeze,
-                    col_ids=ids, plan=plan, flog=flog),
-                cols=(eps,), col_ids=col_ids)
+                results = run_column_chunks(
+                    ctx, b,
+                    lambda bc, ec, ids: _blocked_richardson(
+                        apply_A, apply_B, bc, delta=delta, eps=ec,
+                        project=project, iterations=iterations,
+                        divergence_guard=divergence_guard, freeze=freeze,
+                        col_ids=ids, plan=plan, flog=flog),
+                    cols=(eps,), col_ids=col_ids)
             if results is not None:
                 broken = [r.broken_columns for r in results
                           if r.broken_columns is not None]

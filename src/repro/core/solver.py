@@ -90,6 +90,13 @@ class BlockSolveReport:
     #: rebuilds, quarantines, escalations).  Empty when nothing
     #: happened.
     fault_log: object | None = None
+    #: Resident size of the preconditioner chain's array payload in
+    #: bytes (the exact footprint one shipped-solve shared segment
+    #: holds; DESIGN.md §10).
+    chain_nbytes: int = 0
+    #: Per-level byte breakdown of :attr:`chain_nbytes` — one entry
+    #: per chain level plus the final dense pseudo-inverse.
+    chain_level_nbytes: tuple = ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"BlockSolveReport(method={self.method!r}, "
@@ -161,6 +168,50 @@ class LaplacianSolver:
         #: stepping inside ``block_cholesky`` already went through it).
         self.ctx = options.execution()
         self._L_csr = None
+        self._shipment = None
+
+    # -- shipped blocked solves (DESIGN.md §10) ------------------------------
+
+    @property
+    def shipment(self):
+        """Lazy :class:`repro.pram.executor.SolveShipment` for this chain.
+
+        Built on first use: serialises the factorization (plus the CSR
+        Laplacian) into a host-side payload that ``run_shipped``
+        publishes once per process-pool round as a shared-memory
+        segment.  Owned by the solver — :meth:`close` unlinks it.
+        """
+        if self._shipment is None:
+            from repro.pram.executor import SolveShipment
+            if self._L_csr is None:
+                from repro.graphs.laplacian import laplacian
+                self._L_csr = laplacian(self.graph)
+            arrays, chain_meta = self.chain.payload_arrays()
+            arrays["L_data"] = self._L_csr.data
+            arrays["L_indices"] = self._L_csr.indices
+            arrays["L_indptr"] = self._L_csr.indptr
+            meta = {"n": int(self.n), "m_edges": int(self.graph.m),
+                    "chain": chain_meta}
+            self._shipment = SolveShipment(
+                self.ctx, arrays, meta,
+                ship=self.options.ship_solves)
+        return self._shipment
+
+    def close(self) -> None:
+        """Release the shipped-solve shared-memory segment, if any.
+
+        Idempotent; the solver stays usable (a later shipped solve
+        re-publishes the payload).  Also invoked on garbage collection,
+        so ``live_segment_names()`` is empty once solvers go away.
+        """
+        if self._shipment is not None:
+            self._shipment.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- solving -------------------------------------------------------------
 
@@ -261,13 +312,18 @@ class LaplacianSolver:
         status = np.full(k, "pcg" if method == "pcg" else "richardson",
                          dtype=object)
         broken = None
+        # Shipped blocked solves (DESIGN.md §10): only the blocked
+        # (2-D) whole-block paths ship; the 1-D hot path and the
+        # per-column escalation CG stay in-process.  run() itself
+        # no-ops unless the knob + backend + chunking line up.
+        ship = None if squeeze else self.shipment
         with use_fault_log(fault_log):
             if method == "richardson":
                 try:
                     res = preconditioned_richardson(
                         self.apply_L, self.preconditioner.apply, B,
                         delta=self.options.richardson_delta, eps=eps_arg,
-                        ctx=self.ctx)
+                        ctx=self.ctx, ship=ship)
                     x, iters, per_col = res.x, res.iterations, \
                         res.per_column_iterations
                     broken = res.broken_columns
@@ -306,7 +362,8 @@ class LaplacianSolver:
                     res = conjugate_gradient(
                         self.apply_L, B, tol=eps_arg / 10.0,
                         preconditioner=self.preconditioner.apply,
-                        matvec_edges=self.graph.m, ctx=self.ctx)
+                        matvec_edges=self.graph.m, ctx=self.ctx,
+                        ship=ship)
                     x, iters, per_col = res.x, res.iterations, \
                         res.per_column_iterations
                     broken = res.broken_columns
@@ -314,7 +371,8 @@ class LaplacianSolver:
                 res = conjugate_gradient(
                     self.apply_L, B, tol=eps_arg,
                     preconditioner=self.preconditioner.apply,
-                    matvec_edges=self.graph.m, ctx=self.ctx)
+                    matvec_edges=self.graph.m, ctx=self.ctx,
+                    ship=ship)
                 x, iters, per_col = res.x, res.iterations, \
                     res.per_column_iterations
                 broken = res.broken_columns
@@ -353,7 +411,10 @@ class LaplacianSolver:
                                 chain_depth=self.chain.d,
                                 multiedges=self.multigraph.m_logical,
                                 column_status=status,
-                                fault_log=fault_log)
+                                fault_log=fault_log,
+                                chain_nbytes=self.chain.nbytes,
+                                chain_level_nbytes=tuple(
+                                    self.chain.level_nbytes()))
 
 
 def solve_laplacian(L_or_graph, b: np.ndarray, eps: float = 1e-6,

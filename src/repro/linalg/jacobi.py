@@ -77,6 +77,26 @@ class JacobiOperator:
             if not is_k_diagonally_dominant(M, 5.0):
                 raise FactorizationError("X + Y is not 5-DD")
 
+    @classmethod
+    def from_parts(cls, X: np.ndarray, Y: sp.csr_matrix,
+                   eps: float) -> "JacobiOperator":
+        """Wire an operator directly over prebuilt arrays (no copies).
+
+        The constructor's ``asarray``/``csr_matrix`` round-trips and
+        positivity scan are skipped: the parts come from a chain that
+        already passed them (typically read-only shared-memory views
+        reconstructed worker-side, DESIGN.md §10).  ``l`` and ``X⁻¹``
+        are recomputed from scalars/arrays deterministically, so applies
+        are bit-identical to the originating operator's.
+        """
+        op = cls.__new__(cls)
+        op.X = X
+        op.Y = Y
+        op.eps = float(eps)
+        op.l = jacobi_terms(eps)
+        op._xinv = 1.0 / X
+        return op
+
     @property
     def n(self) -> int:
         """Dimension of the operator (``|F|``)."""

@@ -14,10 +14,15 @@ provides:
   conversions, reductions, scans, sorts, sparse matvec).
 * :mod:`repro.pram.executor` — backend-pluggable chunked execution
   for the embarrassingly parallel phases: serial, thread-pool (numpy
-  releases the GIL inside chunk kernels), or process-pool over
+  releases the GIL inside chunk kernels), process-pool over
   shared-memory array payloads for the Python-bound phases the GIL
-  would otherwise serialise.  Results are bit-identical across
-  backends and worker counts for a fixed seed (DESIGN.md §6–§7).
+  would otherwise serialise, or a distributed stub (loopback-socket
+  work queue over the same shared-memory payloads).  Blocked solves
+  can additionally ship their column chunks as self-contained tasks
+  against a once-published chain payload
+  (:class:`SolveShipment`, DESIGN.md §10).  Results are bit-identical
+  across backends and worker counts for a fixed seed
+  (DESIGN.md §6–§7).
 * :mod:`repro.pram.faults` — deterministic fault injection
   (``REPRO_FAULTS`` / :func:`use_faults`) and the structured
   :class:`FaultLog` of recovery actions, backing the fault-tolerant
@@ -43,6 +48,7 @@ from repro.pram.executor import (
     SerialBackend,
     ThreadPoolBackend,
     ProcessPoolBackend,
+    DistributedBackend,
     RetryPolicy,
     parallel_map,
     chunk_ranges,
@@ -51,9 +57,13 @@ from repro.pram.executor import (
     default_retries,
     default_chunk_timeout,
     default_degrade,
+    default_ship_solves,
     get_backend,
     live_segment_names,
     BACKENDS,
+    SharedPayload,
+    PersistentPayload,
+    SolveShipment,
 )
 from repro.pram.faults import (
     FaultDirective,
@@ -83,6 +93,7 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "DistributedBackend",
     "RetryPolicy",
     "parallel_map",
     "chunk_ranges",
@@ -91,9 +102,13 @@ __all__ = [
     "default_retries",
     "default_chunk_timeout",
     "default_degrade",
+    "default_ship_solves",
     "get_backend",
     "live_segment_names",
     "BACKENDS",
+    "SharedPayload",
+    "PersistentPayload",
+    "SolveShipment",
     "FaultDirective",
     "FaultEvent",
     "FaultLog",

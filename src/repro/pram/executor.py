@@ -77,11 +77,14 @@ import numpy as np
 from repro.errors import ExecutionError
 
 __all__ = ["ExecutionContext", "ExecutionBackend", "SerialBackend",
-           "ThreadPoolBackend", "ProcessPoolBackend", "SharedPayload",
+           "ThreadPoolBackend", "ProcessPoolBackend",
+           "DistributedBackend", "SharedPayload", "PersistentPayload",
+           "SolveShipment",
            "RetryPolicy", "parallel_map", "chunk_ranges",
            "run_column_chunks", "default_workers", "default_backend",
            "default_chunk_items", "default_retries",
            "default_chunk_timeout", "default_degrade",
+           "default_ship_solves",
            "get_backend", "live_segment_names",
            "BACKENDS", "DEFAULT_CHUNK_ITEMS", "DEFAULT_CHUNK_COLUMNS",
            "MAX_CHUNKS", "DEFAULT_RETRIES"]
@@ -100,8 +103,12 @@ DEFAULT_CHUNK_COLUMNS = 16
 #: length).  Part of the chunk policy, hence worker-independent.
 MAX_CHUNKS = 256
 
-#: Recognised execution backends, in increasing isolation order.
-BACKENDS = ("serial", "thread", "process")
+#: Recognised execution backends, in increasing isolation order.  The
+#: ``distributed`` entry is the loopback-socket stub (DESIGN.md §10):
+#: worker processes fed over ``multiprocessing.connection`` instead of
+#: a ``ProcessPoolExecutor`` — same determinism contract, and the
+#: stepping stone from "process pool" to "fleet".
+BACKENDS = ("serial", "thread", "process", "distributed")
 
 # The ``default_*`` getters cache their (env string → value) lookup so
 # hot loops can consult them lazily at every dispatch; keying each
@@ -261,6 +268,31 @@ def default_degrade() -> bool:
             f"got {env!r}")
 
     return _env_cached("REPRO_DEGRADE", parse)
+
+
+def default_ship_solves() -> bool:
+    """Shipped-solve gate from ``REPRO_SHIP_SOLVES`` (default off).
+
+    When on, the blocked column solves (Richardson/PCG/Chebyshev) run
+    as picklable payload + pure task through :meth:`run_shipped` —
+    crossing the process boundary under the process and distributed
+    backends — instead of dispatching closures onto the thread pool.
+    Results are bit-identical either way (that is what the backend
+    matrix asserts); the knob only moves where the work runs.
+    ``SolverOptions.ship_solves`` takes precedence when set.
+    """
+
+    def parse(env: str | None) -> bool:
+        value = (env or "").strip().lower()
+        if value in ("", "0", "false", "no", "off"):
+            return False
+        if value in ("1", "true", "yes", "on"):
+            return True
+        raise ValueError(
+            f"REPRO_SHIP_SOLVES must be a boolean (0/1/true/false), "
+            f"got {env!r}")
+
+    return _env_cached("REPRO_SHIP_SOLVES", parse)
 
 
 @dataclass(frozen=True)
@@ -515,14 +547,64 @@ class SharedPayload:
                 pass
 
 
+class PersistentPayload:
+    """A shared-memory payload that outlives individual dispatches.
+
+    :class:`SharedPayload` is per-dispatch: published before the chunks
+    run, unlinked in the dispatch's ``finally``.  The solver's chain
+    payload (DESIGN.md §10) must instead live as long as the solver —
+    it is published once, attached once per worker (the LRU keeps it
+    resident), and reused by every shipped solve dispatch.  This
+    wrapper owns that lifecycle: :meth:`ensure` lazily (re)publishes
+    the segment — including after an external teardown such as the
+    ``atexit`` sweep — and :meth:`close` unlinks it on solver close or
+    GC, after which :func:`live_segment_names` is empty again.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        self.arrays = dict(arrays)
+        self._payload: SharedPayload | None = None
+
+    def ensure(self) -> SharedPayload:
+        """The live segment, publishing (or re-publishing) on demand."""
+        if self._payload is None \
+                or self._payload.spec[0] not in _live_segments:
+            self._payload = SharedPayload(self.arrays)
+        return self._payload
+
+    @property
+    def nbytes(self) -> int:
+        """Host-side bytes of the payload arrays (segment-size proxy)."""
+        return sum(int(np.asarray(a).nbytes)
+                   for a in self.arrays.values())
+
+    def close(self) -> None:
+        """Unlink the segment if published (idempotent)."""
+        if self._payload is not None:
+            self._payload.close()
+            self._payload = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 # Worker-side attachment cache: segment name → (SharedMemory, arrays).
-# Segment names are never reused, so a cache hit can only come from
-# chunks of the *same* dispatch — one live payload suffices.  Keeping
+# Segment names are never reused, so a cache hit can only come from a
+# payload that is still the *current* one for its role.  Two roles
+# coexist since shipped solves landed: the per-dispatch payload (RHS
+# block and column params, fresh each dispatch) and the solver's
+# persistent chain payload (attached once, reused across every solve
+# dispatch).  Two slots hold exactly one of each — the worker touches
+# the chain payload first on every chunk, so LRU eviction always
+# reclaims the previous dispatch's payload, never the chain.  Keeping
 # the bound tight matters because an unlinked segment's pages are freed
 # only when the last mapping closes: a larger cache would pin that many
 # dead payloads in every worker's RSS.
 _attached: "OrderedDict[str, tuple]" = OrderedDict()
-_ATTACH_CACHE = 1
+_ATTACH_CACHE = 2
 
 
 def _attach_payload(spec: tuple) -> dict[str, np.ndarray]:
@@ -573,7 +655,8 @@ def _attach_payload(spec: tuple) -> dict[str, np.ndarray]:
 
 
 def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
-                    want_ledger, fault_directives=(), chunk=0, attempt=0):
+                    want_ledger, fault_directives=(), chunk=0, attempt=0,
+                    shared_spec=None):
     """Run one shipped chunk inside a worker process.
 
     Reconstructs the array views from shared memory, rebuilds the
@@ -589,6 +672,11 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
     task runs: a matching ``kill`` exits this process hard, a ``hang``
     stalls it — both of which the parent's retry machinery must
     survive.
+
+    ``shared_spec`` is the spec of a :class:`PersistentPayload` (the
+    solver's chain payload): attached **first** so the LRU keeps it
+    hot across dispatches, its arrays merged under the dispatch
+    payload's (dispatch keys win on collision).
     """
     from repro.pram.ledger import WorkDepthLedger, detach_ledger
 
@@ -606,7 +694,11 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
 
             apply_worker_faults(fault_directives, chunk=chunk,
                                 attempt=attempt)
+        shared_arrays = {} if shared_spec is None \
+            else _attach_payload(shared_spec)
         arrays = _attach_payload(spec)
+        if shared_arrays:
+            arrays = {**shared_arrays, **arrays}
         return True, task(arrays, meta, lo, hi, stream, ledger), ledger
     except Exception as exc:
         return False, exc, ledger
@@ -615,7 +707,7 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
 def _run_shipped_inprocess(task, arrays, meta, pieces, seed_seqs,
                            bitgen_cls, want_ledger, workers,
                            backend_name="serial", policy=None,
-                           scope=None, log=None):
+                           scope=None, log=None, shared=None):
     """Shared in-process realisation of the shipped-task protocol.
 
     Used by the serial and thread backends: same task signature, same
@@ -634,6 +726,11 @@ def _run_shipped_inprocess(task, arrays, meta, pieces, seed_seqs,
     from repro.pram.ledger import WorkDepthLedger
 
     plan = _faults.active_plan()
+    if shared is not None:
+        # In-process there is no boundary to cross: hand the task the
+        # persistent payload's host arrays directly (dispatch keys win,
+        # mirroring the worker-side merge).
+        arrays = {**shared.arrays, **arrays}
 
     def one(i: int, attempt: int = 0):
         lo, hi = pieces[i]
@@ -742,14 +839,17 @@ class ExecutionBackend:
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
                     bitgen_cls, want_ledger, workers, policy=None,
-                    scope=None, log=None) -> list:
+                    scope=None, log=None, shared=None) -> list:
         """Run a shippable task; ``(ok, value, ledger)`` per chunk.
 
         ``policy`` is the :class:`RetryPolicy` governing transient
         failures, ``scope`` labels the dispatch for fault-plan
-        matching (``"walk"``/``"columns"``), and ``log`` is an
+        matching (``"walk"``/``"columns"``/``"solve"``), ``log`` is an
         optional :class:`repro.pram.faults.FaultLog` that receives
-        every recovery action.
+        every recovery action, and ``shared`` is an optional
+        :class:`PersistentPayload` whose arrays are merged under the
+        dispatch payload (the solver's chain payload, published once
+        per solver rather than once per dispatch).
         """
         raise NotImplementedError
 
@@ -766,12 +866,13 @@ class SerialBackend(ExecutionBackend):
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
                     bitgen_cls, want_ledger, workers, policy=None,
-                    scope=None, log=None):
+                    scope=None, log=None, shared=None):
         """Run the shipped-task protocol sequentially in-process."""
         return _run_shipped_inprocess(task, arrays, meta, pieces,
                                       seed_seqs, bitgen_cls, want_ledger,
                                       workers=1, backend_name=self.name,
-                                      policy=policy, scope=scope, log=log)
+                                      policy=policy, scope=scope, log=log,
+                                      shared=shared)
 
 
 class ThreadPoolBackend(ExecutionBackend):
@@ -786,13 +887,14 @@ class ThreadPoolBackend(ExecutionBackend):
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
                     bitgen_cls, want_ledger, workers, policy=None,
-                    scope=None, log=None):
+                    scope=None, log=None, shared=None):
         """Run the shipped-task protocol on the thread pool."""
         return _run_shipped_inprocess(task, arrays, meta, pieces,
                                       seed_seqs, bitgen_cls, want_ledger,
                                       workers=workers,
                                       backend_name=self.name,
-                                      policy=policy, scope=scope, log=log)
+                                      policy=policy, scope=scope, log=log,
+                                      shared=shared)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -817,7 +919,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
                     bitgen_cls, want_ledger, workers, policy=None,
-                    scope=None, log=None):
+                    scope=None, log=None, shared=None):
         """Publish ``arrays`` once via shared memory and run the chunks
         on the persistent process pool, surviving worker crashes and
         stalls via deterministic re-dispatch.
@@ -860,6 +962,10 @@ class ProcessPoolBackend(ExecutionBackend):
                     # The segment was torn down (e.g. by an atexit
                     # sweep racing a crash) — publish a fresh one.
                     payload = SharedPayload(arrays)
+                # The persistent payload (if any) is owned by the
+                # caller — ensure it is live, never close it here.
+                shared_spec = None if shared is None \
+                    else shared.ensure().spec
                 pool = _process_pool(nworkers)
                 futures: dict = {}
                 broken = False
@@ -869,7 +975,7 @@ class ProcessPoolBackend(ExecutionBackend):
                         fut = pool.submit(
                             _shipped_worker, payload.spec, task, meta,
                             lo, hi, seed_seqs[i], bitgen_cls, want_ledger,
-                            directives, i, attempt)
+                            directives, i, attempt, shared_spec)
                         futures[fut] = i
                 except BrokenProcessPool:
                     broken = True
@@ -971,10 +1077,285 @@ class ProcessPoolBackend(ExecutionBackend):
             payload.close()
 
 
+# -- distributed stub (loopback-socket work queue) ----------------------------
+
+
+def _distributed_worker_main(address, authkey):
+    """Entry point of one distributed-stub worker process.
+
+    Connects back to the parent's loopback listener and serves jobs
+    until told to stop: ``("job", i, args)`` runs
+    :func:`_shipped_worker` (the exact same chunk protocol the process
+    pool uses) and replies ``("result", i, triple)``.  A ``kill``
+    fault directive ``os._exit``\\ s mid-job, which the parent observes
+    as EOF on this connection — the "machine fell over" case the
+    retry machinery must survive.
+    """
+    from multiprocessing.connection import Client
+
+    conn = Client(address, authkey=authkey)
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _, i, args = msg
+            triple = _shipped_worker(*args)
+            conn.send(("result", i, triple))
+    except (EOFError, OSError):  # pragma: no cover - parent went away
+        pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+class _DistributedPool:
+    """A fixed set of worker processes behind a loopback socket.
+
+    The transport is ``multiprocessing.connection`` over
+    ``127.0.0.1`` — deliberately *not* a ``ProcessPoolExecutor`` —
+    so every byte a job needs travels through a picklable message or
+    a named shared-memory segment, exactly the constraint a multi-node
+    deployment would impose.  One connection per worker doubles as the
+    liveness signal: EOF means the worker (or its "machine") is gone.
+    """
+
+    def __init__(self, workers: int) -> None:
+        import multiprocessing
+        from multiprocessing.connection import Listener
+
+        method = "fork" \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else "spawn"
+        ctx = multiprocessing.get_context(method)
+        authkey = os.urandom(16)
+        self._listener = Listener(("127.0.0.1", 0), authkey=authkey)
+        self._procs: list = []
+        self.conns: list = []
+        for _ in range(max(1, workers)):
+            proc = ctx.Process(
+                target=_distributed_worker_main,
+                args=(self._listener.address, authkey),
+                daemon=True)
+            proc.start()
+            self._procs.append(proc)
+            self.conns.append(self._listener.accept())
+
+    def shutdown(self, terminate: bool = False) -> None:
+        """Stop every worker (``terminate`` kills wedged ones first)."""
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover
+                pass
+        for proc in self._procs:
+            try:
+                if terminate:
+                    proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - slow exit
+                    proc.terminate()
+            except Exception:  # pragma: no cover
+                pass
+        try:
+            self._listener.close()
+        except Exception:  # pragma: no cover
+            pass
+        self.conns.clear()
+        self._procs.clear()
+
+
+_dist_pools: dict[int, _DistributedPool] = {}
+
+
+def _dist_pool(workers: int) -> _DistributedPool:
+    """A persistent distributed-stub pool per worker count."""
+    pool = _dist_pools.get(workers)
+    if pool is None:
+        pool = _DistributedPool(workers)
+        _dist_pools[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_dist_pools() -> None:  # pragma: no cover - interpreter exit
+    for pool in _dist_pools.values():
+        try:
+            pool.shutdown(terminate=True)
+        except Exception:
+            pass
+    _dist_pools.clear()
+
+
+class DistributedBackend(ExecutionBackend):
+    """Multi-node-shaped scheduling stub over a loopback work queue.
+
+    Same contract as :class:`ProcessPoolBackend` — chunk layout a
+    function of problem size only, per-chunk seed keys, fork/join
+    ledgers, bounded retries with stall timeouts — but the transport
+    is a socket work queue instead of an executor, which is the shape
+    a real fleet deployment has (DESIGN.md §10).  Jobs are handed to
+    idle workers one at a time; a worker death (EOF) loses only the
+    jobs it held, and a stalled round tears the whole pool down
+    exactly like the process backend's rebuild.
+    """
+
+    name = "distributed"
+
+    def map(self, fn, items, workers):
+        """Closures cannot cross a socket — run them on the thread
+        pool (same rationale as :meth:`ProcessPoolBackend.map`)."""
+        return parallel_map(fn, items, workers=workers)
+
+    def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
+                    bitgen_cls, want_ledger, workers, policy=None,
+                    scope=None, log=None, shared=None):
+        """Queue the chunks over the loopback connections, surviving
+        worker deaths and stalls via deterministic re-dispatch (round
+        semantics identical to :meth:`ProcessPoolBackend.run_shipped`).
+        """
+        from concurrent.futures.process import BrokenProcessPool
+        from multiprocessing import connection as mpc
+
+        from repro.pram import faults as _faults
+
+        nworkers = max(1, workers)
+        max_attempts = policy.max_attempts if policy is not None else 1
+        timeout = policy.timeout if policy is not None else None
+        plan = _faults.active_plan()
+        directives = () if plan is None else \
+            plan.chunk_directives(backend=self.name, phase=scope)
+
+        results: list = [None] * len(pieces)
+        pending = list(range(len(pieces)))
+        attempt = 0
+        payload = SharedPayload(arrays)
+        try:
+            while True:
+                if payload.spec[0] not in _live_segments:
+                    payload = SharedPayload(arrays)
+                shared_spec = None if shared is None \
+                    else shared.ensure().spec
+                pool = _dist_pool(nworkers)
+
+                def job(i: int) -> tuple:
+                    lo, hi = pieces[i]
+                    return ("job", i, (payload.spec, task, meta, lo, hi,
+                                       seed_seqs[i], bitgen_cls,
+                                       want_ledger, directives, i,
+                                       attempt, shared_spec))
+
+                queue = list(pending)
+                inflight: dict = {}
+                still_pending: list[int] = []
+                causes: dict[int, BaseException] = {}
+                broken = False
+                stalled = False
+
+                def feed(conn) -> None:
+                    # Hand the next queued chunk to ``conn``; a failed
+                    # send loses only that chunk (re-dispatched next
+                    # round) and retires the connection.
+                    nonlocal broken
+                    if not queue:
+                        return
+                    i = queue.pop(0)
+                    try:
+                        conn.send(job(i))
+                        inflight[conn] = i
+                    except (OSError, ValueError):
+                        broken = True
+                        still_pending.append(i)
+                        causes[i] = BrokenProcessPool(
+                            f"chunk {i} lost to a dead worker")
+
+                for conn in pool.conns:
+                    feed(conn)
+                while inflight:
+                    ready = mpc.wait(list(inflight), timeout=timeout)
+                    if not ready:
+                        stalled = True
+                        break
+                    for conn in ready:
+                        i = inflight.pop(conn)
+                        try:
+                            _, j, triple = conn.recv()
+                        except (EOFError, OSError):
+                            broken = True
+                            still_pending.append(i)
+                            causes[i] = BrokenProcessPool(
+                                f"chunk {i} lost to a dead worker")
+                            continue
+                        ok, val, _ = triple
+                        if ok or not _is_transient(val):
+                            results[j] = triple
+                        else:
+                            still_pending.append(j)
+                            causes[j] = val
+                        feed(conn)
+                if stalled:
+                    for conn, i in inflight.items():
+                        still_pending.append(i)
+                        causes[i] = TimeoutError(
+                            f"chunk {i} did not complete within "
+                            f"{timeout}s (stalled dispatch)")
+                still_pending.extend(queue)
+                for i in queue:
+                    causes.setdefault(i, BrokenProcessPool(
+                        f"chunk {i} was never scheduled"))
+
+                if broken or stalled:
+                    # A dead worker poisons its connection and a
+                    # stalled one is wedged: rebuild the whole pool
+                    # next round, mirroring the process backend.
+                    _dist_pools.pop(nworkers, None)
+                    pool.shutdown(terminate=True)
+                    if log is not None:
+                        log.record(
+                            "timeout" if stalled else "pool_rebuild",
+                            backend=self.name, attempt=attempt,
+                            detail=f"chunks {sorted(still_pending)} "
+                                   f"unfinished")
+
+                if not still_pending:
+                    return results
+                attempt += 1
+                if attempt >= max_attempts:
+                    for i in sorted(still_pending):
+                        if log is not None:
+                            log.record("exhausted", chunk=i,
+                                       attempt=max_attempts,
+                                       backend=self.name,
+                                       detail=repr(causes.get(i)))
+                        results[i] = (False, ExecutionError(
+                            f"chunk {i} failed after {max_attempts} "
+                            f"attempt(s) on the distributed backend",
+                            chunk=i, attempts=max_attempts,
+                            cause=causes.get(i)), None)
+                    return results
+                if log is not None:
+                    for i in sorted(still_pending):
+                        log.record("retry", chunk=i, attempt=attempt,
+                                   backend=self.name,
+                                   detail=repr(causes.get(i)))
+                if policy is not None:
+                    time.sleep(policy.delay(attempt))
+                pending = sorted(still_pending)
+        finally:
+            payload.close()
+
+
 _BACKENDS: dict[str, ExecutionBackend] = {
     "serial": SerialBackend(),
     "thread": ThreadPoolBackend(),
     "process": ProcessPoolBackend(),
+    "distributed": DistributedBackend(),
 }
 
 
@@ -1000,10 +1381,11 @@ class ExecutionContext:
         monkeypatching it in a test) takes effect immediately.  The
         worker count never influences results — only wall-clock.
     backend:
-        ``"serial"``, ``"thread"``, or ``"process"`` — see
-        :class:`ExecutionBackend`.  ``None`` (default) consults the
-        ``REPRO_BACKEND`` env var lazily (default ``"thread"``).  Like
-        ``workers``, the backend never influences results.
+        ``"serial"``, ``"thread"``, ``"process"``, or
+        ``"distributed"`` — see :class:`ExecutionBackend`.  ``None``
+        (default) consults the ``REPRO_BACKEND`` env var lazily
+        (default ``"thread"``).  Like ``workers``, the backend never
+        influences results.
     chunk_items:
         Target work items (walkers) per chunk for :meth:`item_chunks`.
         ``None`` (default) consults the ``REPRO_CHUNK_ITEMS`` env var
@@ -1229,7 +1611,8 @@ class ExecutionContext:
                     meta: dict,
                     pieces: Sequence[tuple[int, int]],
                     rng: np.random.Generator | None = None,
-                    scope: str | None = None) -> list[R]:
+                    scope: str | None = None,
+                    shared: "PersistentPayload | None" = None) -> list[R]:
         """Run a shippable ``task`` over ``pieces`` on this backend.
 
         ``task`` must be a **module-level** function (pickled by
@@ -1259,10 +1642,15 @@ class ExecutionContext:
         faults) are re-dispatched under :meth:`resolve_retry`; when
         :meth:`resolve_degrade` is on, chunks that exhaust their
         attempts fall back down the backend ladder
-        (process→thread→serial) with the **same** seed keys — the
-        fallback results are bit-identical, so degradation never
-        changes answers, only where they were computed.  ``scope``
-        labels the dispatch for fault-plan ``phase=`` matching.
+        (distributed→process→thread→serial) with the **same** seed
+        keys — the fallback results are bit-identical, so degradation
+        never changes answers, only where they were computed.
+        ``scope`` labels the dispatch for fault-plan ``phase=``
+        matching, and ``shared`` is an optional
+        :class:`PersistentPayload` of long-lived arrays (the solver's
+        chain payload) merged under the per-dispatch ``arrays`` —
+        published once per owner, attached once per worker, never
+        torn down by the dispatch.
         """
         from repro.pram import faults as _faults
         from repro.pram.ledger import current_ledger
@@ -1281,7 +1669,7 @@ class ExecutionContext:
         outs = backend.run_shipped(task, arrays, meta, pieces, seed_seqs,
                                    bitgen_cls, parent is not None,
                                    self.resolve_workers(), policy=policy,
-                                   scope=scope, log=log)
+                                   scope=scope, log=log, shared=shared)
         if self.resolve_degrade():
             ladder = list(BACKENDS[:BACKENDS.index(backend_name)])[::-1]
             for fallback in ladder:
@@ -1297,7 +1685,7 @@ class ExecutionContext:
                     task, arrays, meta, [pieces[i] for i in failed],
                     [seed_seqs[i] for i in failed], bitgen_cls,
                     parent is not None, self.resolve_workers(),
-                    policy=policy, scope=scope, log=log)
+                    policy=policy, scope=scope, log=log, shared=shared)
                 for i, triple in zip(failed, sub):
                     outs[i] = triple
         subs = [sub for _, _, sub in outs if sub is not None]
@@ -1312,3 +1700,182 @@ class ExecutionContext:
 #: Shared all-defaults context (lazy ``REPRO_WORKERS``/``REPRO_BACKEND``
 #: resolution).
 ExecutionContext.DEFAULT = ExecutionContext()
+
+
+# -- shipped blocked solves (DESIGN.md §10) -----------------------------------
+
+
+def _solve_chunk_task(arrays, meta, lo, hi, stream, ledger):
+    """Shipped blocked-solve chunk: reconstruct, iterate, report.
+
+    The worker-side half of :class:`SolveShipment`.  ``arrays`` merges
+    the solver's persistent chain payload (per-level CSR blocks, Jacobi
+    diagonals, ``final_pinv``, the Laplacian CSR triple) with the
+    per-dispatch payload (RHS block, per-column parameter vectors,
+    global column ids).  The task rebuilds view-only operators over
+    those arrays — :meth:`CholeskyChain.from_payload` plus a CSR
+    ``apply_L`` closure with the in-process path's exact ledger charge
+    — and runs the requested blocked kernel on its column slice
+    ``[lo, hi)``, charging only inside the explicit sub-ledger so
+    totals stay backend-invariant.
+
+    Returns ``(kernel_result, fault_events)``: quarantine/injection
+    events recorded by the kernel land in a chunk-local
+    :class:`~repro.pram.faults.FaultLog` (contextvars do not cross the
+    process boundary) and are merged into the caller's ambient log in
+    chunk order.
+    """
+    import scipy.sparse as sp
+
+    from repro.core.apply_cholesky import ApplyCholeskyOperator
+    from repro.core.chain import CholeskyChain
+    from repro.pram import charge, ledger_active, use_ledger
+    from repro.pram import primitives as P
+    from repro.pram.faults import FaultLog
+
+    n = int(meta["n"])
+    m_edges = int(meta["m_edges"])
+    chain = CholeskyChain.from_payload(arrays, meta["chain"])
+    precond = ApplyCholeskyOperator(chain)
+    L = sp.csr_matrix((arrays["L_data"], arrays["L_indices"],
+                       arrays["L_indptr"]), shape=(n, n), copy=False)
+
+    def apply_L(x):
+        x = np.asarray(x, dtype=np.float64)
+        if ledger_active():
+            charge(*P.matvec_cost(m_edges * x.shape[1]),
+                   label="apply_laplacian")
+        return L @ x
+
+    b = arrays["rhs"][:, lo:hi]
+    cols = [None if key is None else arrays[key][lo:hi]
+            for key in meta["col_params"]]
+    ids = arrays["col_ids"][lo:hi]
+    plan = meta["plan"]
+    flog = FaultLog()
+    params = dict(meta["params"])
+    kernel = meta["kernel"]
+
+    def run():
+        if kernel == "richardson":
+            from repro.core.richardson import _blocked_richardson
+
+            return _blocked_richardson(
+                apply_L, precond.apply, b, eps=cols[0],
+                col_ids=ids, plan=plan, flog=flog, **params)
+        if kernel == "cg":
+            from repro.linalg.cg import _blocked_cg
+
+            prec = precond.apply if params.pop("preconditioned") else None
+            return _blocked_cg(apply_L, b, tol=cols[0],
+                               preconditioner=prec, col_ids=ids,
+                               plan=plan, flog=flog, **params)
+        if kernel == "chebyshev":
+            from repro.linalg.chebyshev import _blocked_chebyshev
+
+            return _blocked_chebyshev(apply_L, precond.apply, b,
+                                      tol=cols[0], col_ids=ids,
+                                      plan=plan, flog=flog, **params)
+        raise ValueError(f"unknown shipped kernel {kernel!r}")
+
+    if ledger is None:
+        result = run()
+    else:
+        with use_ledger(ledger):
+            result = run()
+    return result, tuple(flog.events)
+
+
+class SolveShipment:
+    """Shipped-solve dispatcher for one solver's blocked column loops.
+
+    Owns the solver's :class:`PersistentPayload` (the serialized
+    :class:`~repro.core.chain.CholeskyChain` plus Laplacian CSR —
+    published once, reused by every dispatch, unlinked on
+    :meth:`close`) and turns a blocked kernel call into a
+    :meth:`ExecutionContext.run_shipped` dispatch of
+    :func:`_solve_chunk_task` over the context's column chunks.  The
+    chunk layout, per-column parameter broadcast, and global-id
+    slicing are exactly :func:`run_column_chunks`'s, so for a fixed
+    seed the shipped results are bit-identical to the threaded
+    closure path on every backend × worker count.
+
+    ``ship=None`` defers the on/off decision to ``REPRO_SHIP_SOLVES``
+    lazily at each call; an explicit bool wins
+    (``SolverOptions.ship_solves``).
+    """
+
+    def __init__(self, ctx: ExecutionContext,
+                 arrays: dict[str, np.ndarray], meta: dict,
+                 ship: bool | None = None) -> None:
+        self.ctx = ctx
+        self.payload = PersistentPayload(arrays)
+        self.meta = dict(meta)
+        self.ship = ship
+
+    def enabled(self) -> bool:
+        """Is shipping on *right now* (lazy env consultation)?"""
+        if self.ship is not None:
+            return bool(self.ship)
+        return default_ship_solves()
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the persistent payload (the per-solver ship cost)."""
+        return self.payload.nbytes
+
+    def close(self) -> None:
+        """Unlink the chain payload segment (idempotent)."""
+        self.payload.close()
+
+    def run(self, kernel: str, b: np.ndarray,
+            cols: Sequence[np.ndarray | float | None] = (),
+            col_ids: np.ndarray | None = None,
+            params: dict | None = None) -> list | None:
+        """Dispatch ``kernel`` over the column chunks of ``b``.
+
+        Mirrors :func:`run_column_chunks`: returns the per-chunk
+        kernel results in column order, or ``None`` when shipping is
+        disabled or the layout is a single chunk — callers fall
+        through to their existing (threaded-closure or unchunked)
+        path.
+        """
+        if not self.enabled():
+            return None
+        k = b.shape[1]
+        pieces = self.ctx.column_chunks(k)
+        if len(pieces) <= 1:
+            return None
+        from repro.pram import faults as _faults
+
+        # Resolve the ambient plan/log here, in the calling thread —
+        # the plan crosses in ``meta``; worker-side events come back
+        # in the task result and are merged below in chunk order.
+        plan = _faults.active_plan()
+        flog = _faults.current_fault_log()
+        bc = [None if c is None
+              else np.broadcast_to(np.asarray(c, dtype=np.float64),
+                                   (k,)).copy()
+              for c in cols]
+        ids = np.arange(k, dtype=np.int64) if col_ids is None \
+            else np.asarray(col_ids, dtype=np.int64)
+        arrays: dict[str, np.ndarray] = {"rhs": b}
+        col_keys: list[str | None] = []
+        for j, c in enumerate(bc):
+            if c is None:
+                col_keys.append(None)
+            else:
+                key = f"colp{j}"
+                col_keys.append(key)
+                arrays[key] = c
+        arrays["col_ids"] = ids
+        meta = {**self.meta, "kernel": kernel,
+                "params": dict(params or {}),
+                "col_params": tuple(col_keys), "plan": plan}
+        outs = self.ctx.run_shipped(_solve_chunk_task, arrays, meta,
+                                    pieces, scope="solve",
+                                    shared=self.payload)
+        if flog is not None:
+            for _, events in outs:
+                flog.events.extend(events)
+        return [result for result, _ in outs]

@@ -21,10 +21,15 @@ Selectors
 ---------
 ``chunk=N`` (required for kill/hang), ``attempt=N`` (default ``0``;
 ``*`` = every attempt — how the exhaustion/degradation paths are
-exercised), ``backend=serial|thread|process`` (only fire under that
-backend), ``phase=walk|columns`` (only fire in that dispatch scope),
-``seconds=F`` (hang duration, default 30), ``col=N`` (required for
-nan), ``iter=N`` (default 0), ``stage=richardson|cg|chebyshev``.
+exercised), ``backend=serial|thread|process|distributed`` (only fire
+under that backend), ``phase=walk|columns|solve`` (only fire in that
+dispatch scope), ``seconds=F`` (hang duration, default 30), ``col=N``
+(required for nan), ``iter=N`` (default 0),
+``stage=richardson|cg|chebyshev|solve``.  For kill/hang directives
+``stage=`` is an alias for ``phase=`` (``stage=solve`` pins a kill to
+the shipped-solve dispatches); for nan directives ``stage=solve``
+matches every blocked solve kernel, where a specific stage name
+matches only that kernel.
 
 Directives are **stateless**: whether one fires depends only on the
 match coordinates (chunk, attempt, column, iteration, ...), never on
@@ -129,6 +134,11 @@ class FaultDirective:
         if self.phase is not None and phase is not None \
                 and self.phase != phase:
             return False
+        # For kill/hang, stage= is a phase alias: ``stage=solve`` pins
+        # the directive to the shipped-solve dispatch scope.
+        if self.stage is not None and phase is not None \
+                and self.stage != phase:
+            return False
         return True
 
     def spec(self) -> str:
@@ -228,6 +238,9 @@ class FaultPlan:
                 continue
             if d.phase is not None and phase is not None \
                     and d.phase != phase:
+                continue
+            if d.stage is not None and phase is not None \
+                    and d.stage != phase:
                 continue
             out.append(d)
         return tuple(out)
@@ -443,7 +456,11 @@ def inject_nan_columns(plan: FaultPlan, block: np.ndarray,
             continue
         if d.iteration != iteration:
             continue
-        if d.stage is not None and d.stage != stage:
+        # ``stage=solve`` is a wildcard over the blocked solve kernels
+        # (richardson/cg/chebyshev) — the coordinate shipped-solve
+        # fault tests are written in.
+        if d.stage is not None and d.stage != stage \
+                and d.stage != "solve":
             continue
         local = np.nonzero(np.asarray(col_ids) == d.col)[0]
         if local.size:

@@ -96,6 +96,71 @@ def _vose_row_sweep(prob, alias, smalls, larges, scaled) -> None:
         alias[larges[k]] = larges[k + 1]
 
 
+def _rowwise_merge_ranks(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row rank of every cell of ``[a | b]`` under a stable sort.
+
+    Both inputs are ``(g, ·)`` blocks of non-decreasing rows; the
+    return aligns with their concatenation along axis 1.  Comparison
+    only — no float arithmetic — so the ranks reproduce per-row
+    ``searchsorted`` answers exactly (see the callers for which side
+    of the tie each use needs).
+    """
+    merged = np.concatenate((a, b), axis=1)
+    order = np.argsort(merged, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    np.put_along_axis(
+        ranks, order,
+        np.broadcast_to(np.arange(merged.shape[1]), merged.shape),
+        axis=1)
+    return ranks
+
+
+def _vose_rows_sweep_batch(prob, alias, smalls2d, larges2d,
+                           scaled) -> None:
+    """One 2-D pass over same-shape high-degree rows.
+
+    ``smalls2d``/``larges2d`` are ``(g, ns)``/``(g, nl)`` global slot
+    blocks for ``g`` rows sharing one ``(deg, ns)`` signature, so every
+    per-row statement of :func:`_vose_row_sweep` lifts to an axis-1
+    twin: the cumulative sums accumulate sequentially within each row
+    (numpy's ``cumsum`` is a plain running sum — per-row bitwise equal
+    to the 1-D call), the elementwise leftover arithmetic is identical,
+    and the two ``searchsorted`` calls become stable merge-rank
+    subtractions (comparison-only, integer-exact):
+
+    * ``j_idx = searchsorted(E, d_prev, "left")`` — rank ``d_prev[i]``
+      in the merge with queries *first* (ties ahead of equal ``E``),
+      then subtract the ``i`` earlier queries (``d_prev`` is
+      non-decreasing, so exactly ``i`` of them precede it).
+    * ``i_star = searchsorted(D, E, "right")`` — rank ``E[j]`` in the
+      merge with ``D`` first (ties behind equal ``D``), minus ``j``.
+
+    Output planes are therefore bit-identical to calling
+    :func:`_vose_row_sweep` once per row — the batch is pure
+    scheduling, collapsing the heavy-row Python loop to one numpy
+    pass per ``(deg, ns)`` group.
+    """
+    s_sc = scaled[smalls2d]
+    l_sc = scaled[larges2d]
+    g, ns = s_sc.shape
+    nl = l_sc.shape[1]
+    D = np.cumsum(1.0 - s_sc, axis=1)
+    E = np.cumsum(l_sc - 1.0, axis=1)
+    prob[smalls2d] = s_sc
+    d_prev = np.concatenate((np.zeros((g, 1)), D[:, :-1]), axis=1)
+    j_idx = _rowwise_merge_ranks(d_prev, E)[:, :ns] - np.arange(ns)
+    np.minimum(j_idx, nl - 1, out=j_idx)  # rounding clamp (leftovers)
+    alias[smalls2d] = np.take_along_axis(larges2d, j_idx, axis=1)
+    i_star = _rowwise_merge_ranks(D, E)[:, ns:] - np.arange(nl)
+    dem = i_star < ns
+    dem[:, -1] = False
+    if dem.any():
+        rows, k = np.nonzero(dem)
+        tgt = larges2d[rows, k]
+        prob[tgt] = 1.0 + (E[dem] - D[rows, i_star[dem]])
+        alias[tgt] = larges2d[rows, k + 1]
+
+
 def _vose_row_scalar(prob, alias, perm, scaled,
                      i: int, i_end: int, j: int, j_end: int,
                      resid: float) -> None:
@@ -220,12 +285,34 @@ def build_alias_tables(indptr: np.ndarray, weight: np.ndarray
     # only arise from rounding and fall to the leftover prob = 1 rule —
     # both are already the default plane values.
     pairing = ok & (ns > 0) & (ns < deg)
-    # High-degree rows take the vectorised per-row sweep (see
-    # _SWEEP_DEG for why the split is keyed on the row alone).
-    for r in np.flatnonzero(pairing & (deg >= _SWEEP_DEG)).tolist():
-        lo, split, hi = indptr[r], indptr[r] + ns[r], indptr[r + 1]
-        _vose_row_sweep(prob, alias, perm[lo:split], perm[split:hi],
-                        scaled)
+    # High-degree rows take the vectorised prefix-sum sweep (see
+    # _SWEEP_DEG for why the split is keyed on the row alone).  Rows
+    # sharing one (deg, ns) signature batch into a single 2-D pass
+    # that is bit-identical to the per-row sweep (pure scheduling —
+    # see _vose_rows_sweep_batch); singletons keep the 1-D call.
+    heavy = np.flatnonzero(pairing & (deg >= _SWEEP_DEG))
+    if heavy.size:
+        heavy = heavy[np.lexsort((ns[heavy], deg[heavy]))]
+        d_h, ns_h = deg[heavy], ns[heavy]
+        cut = np.ones(heavy.size, dtype=bool)
+        cut[1:] = (d_h[1:] != d_h[:-1]) | (ns_h[1:] != ns_h[:-1])
+        starts = np.flatnonzero(cut)
+        for a, b in zip(starts.tolist(),
+                        np.append(starts[1:], heavy.size).tolist()):
+            if b - a == 1:
+                r = int(heavy[a])
+                lo, split, hi = indptr[r], indptr[r] + ns[r], \
+                    indptr[r + 1]
+                _vose_row_sweep(prob, alias, perm[lo:split],
+                                perm[split:hi], scaled)
+            else:
+                nsg, dg = int(ns_h[a]), int(d_h[a])
+                base = indptr[heavy[a:b]][:, None]
+                _vose_rows_sweep_batch(
+                    prob, alias,
+                    perm[base + np.arange(nsg)],
+                    perm[base + np.arange(nsg, dg)],
+                    scaled)
     act = np.flatnonzero(pairing & (deg < _SWEEP_DEG))
     i = indptr[act].copy()             # next small to consume
     i_end = indptr[act] + ns[act]

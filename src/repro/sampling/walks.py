@@ -394,7 +394,8 @@ class WalkEngine:
             pieces = ctx.item_chunks(starts.size) if chunks is None \
                 else chunk_ranges(starts.size, chunks)
 
-        if ctx.resolve_backend() == "process" and len(pieces) > 1:
+        if ctx.resolve_backend() in ("process", "distributed") \
+                and len(pieces) > 1:
             arrays = {"indptr": self.adj.indptr,
                       "neighbor": self.adj.neighbor,
                       "weight": self.adj.weight,

@@ -125,6 +125,40 @@ class TestBuildAliasTables:
             want = np.where(ok, w / np.where(ok, total[row_of], 1.0), 0.0)
             np.testing.assert_allclose(out, want, rtol=1e-9, atol=1e-12)
 
+    def test_batched_sweep_bit_identical_to_per_row(self, rng,
+                                                    monkeypatch):
+        # ISSUE 7 satellite: same-(deg, ns) high-degree rows batch
+        # into one 2-D sweep pass.  The batch is pure scheduling — its
+        # planes must equal a per-row _vose_row_sweep loop bit for bit,
+        # so the (deg, ns) grouping can never leak into results.
+        import repro.sampling.alias as A
+
+        for trial in range(6):
+            trial_rng = np.random.default_rng(100 + trial)
+            degs = ([200] * 7 + [300] * 4 + [257] + [128] * 3 +
+                    [5, 40, 1, 0, 129, 2000])
+            trial_rng.shuffle(degs)
+            indptr = np.concatenate(
+                ([0], np.cumsum(degs))).astype(np.int64)
+            w = trial_rng.gamma(0.4, size=int(indptr[-1]))
+            w[trial_rng.random(w.size) < 0.05] = 0.0
+
+            batched = build_alias_tables(indptr, w)
+            calls = []
+
+            def per_row(prob, alias, smalls2d, larges2d, scaled):
+                calls.append(smalls2d.shape[0])
+                for s_row, l_row in zip(smalls2d, larges2d):
+                    A._vose_row_sweep(prob, alias, s_row, l_row,
+                                      scaled)
+
+            monkeypatch.setattr(A, "_vose_rows_sweep_batch", per_row)
+            reference = build_alias_tables(indptr, w)
+            monkeypatch.undo()
+            assert calls and all(g > 1 for g in calls)
+            for got, want in zip(batched, reference):
+                np.testing.assert_array_equal(got, want)
+
     def test_row_planes_independent_of_batch_grouping(self):
         # The incremental cache rebuilds rows in mini-CSRs; a row's
         # planes must not depend on which batch built it — including

@@ -609,3 +609,141 @@ class TestChebyshevPreconditionedFreeze:
         chunked = chebyshev_iteration(L, solver.preconditioner.apply, B,
                                       lo, hi, 30, ctx=ctx)
         np.testing.assert_allclose(chunked, plain, rtol=1e-12, atol=1e-12)
+
+
+class TestShippedSolves:
+    """ISSUE 7 tentpole: blocked solves ship as self-contained tasks
+    over a once-published shared-memory chain payload.  Fixed seed ⇒
+    bit-identical solutions and ledger totals vs the threaded closure
+    path across {process, distributed} × {1, 2, 4} workers, and no
+    shared memory survives solver teardown."""
+
+    WORKER_COUNTS = (1, 2, 4)
+
+    @staticmethod
+    def _problem():
+        g = G.grid2d(13, 13)
+        rng = np.random.default_rng(3)
+        B = rng.standard_normal((g.n, 8))
+        B -= B.mean(axis=0)
+        return g, B
+
+    @staticmethod
+    def _opts():
+        # chunk_columns=2 over k=8 RHS -> 4 column chunks, so every
+        # kernel genuinely fans out; chunk policy is part of the
+        # result, held fixed across the matrix.
+        return practical_options().with_(chunk_columns=2,
+                                         chunk_items=512)
+
+    def _solve(self, g, B, backend, workers, ship,
+               method="richardson", eps=1e-6):
+        opts = self._opts().with_(backend=backend, workers=workers,
+                                  ship_solves=ship)
+        solver = LaplacianSolver(g, options=opts, seed=11)
+        with use_ledger() as ledger:
+            rep = solver.solve_many_report(B, eps=eps, method=method)
+        solver.close()
+        return rep, (ledger.work, ledger.depth)
+
+    @pytest.mark.parametrize("method", ["richardson", "pcg"])
+    def test_shipped_matrix_bit_identical(self, method):
+        g, B = self._problem()
+        base, lbase = self._solve(g, B, "thread", 2, False, method)
+        assert base.iterations > 0
+        for backend in ("process", "distributed"):
+            for workers in self.WORKER_COUNTS:
+                rep, led = self._solve(g, B, backend, workers, True,
+                                       method)
+                np.testing.assert_array_equal(
+                    rep.x, base.x,
+                    err_msg=f"{backend} workers={workers}")
+                assert rep.iterations == base.iterations
+                assert led == lbase, (backend, workers)
+        assert live_segment_names() == ()
+
+    def test_chebyshev_shipped_matches_chunked(self):
+        import math
+
+        from repro.graphs.laplacian import laplacian
+        from repro.linalg.chebyshev import chebyshev_iteration
+
+        g, B = self._problem()
+        lo, hi = math.exp(-1), math.exp(1)
+        opts = self._opts().with_(backend="process", workers=2,
+                                  ship_solves=True)
+        solver = LaplacianSolver(g, options=opts, seed=4)
+        L = laplacian(g)
+        plain = chebyshev_iteration(
+            L, solver.preconditioner.apply, B, lo, hi, 40, tol=1e-8,
+            ctx=solver.ctx)
+        shipped = chebyshev_iteration(
+            L, solver.preconditioner.apply, B, lo, hi, 40, tol=1e-8,
+            ship=solver.shipment)
+        np.testing.assert_array_equal(shipped, plain)
+        solver.close()
+        assert live_segment_names() == ()
+
+    def test_frozen_column_compaction_across_chunks(self):
+        # Per-column targets spanning seven decades stagger the freeze
+        # points, so columns compact out of their chunks at different
+        # iterations; shipped chunks must reproduce the threaded
+        # freeze/compaction trajectory exactly.
+        g, B = self._problem()
+        eps = np.geomspace(1e-2, 1e-9, B.shape[1])
+        base, lbase = self._solve(g, B, "thread", 2, False, eps=eps)
+        per = base.per_column_iterations
+        assert per is not None and np.unique(per).size > 1
+        rep, led = self._solve(g, B, "process", 2, True, eps=eps)
+        np.testing.assert_array_equal(rep.x, base.x)
+        np.testing.assert_array_equal(rep.per_column_iterations, per)
+        assert led == lbase
+        assert live_segment_names() == ()
+
+    def test_shipment_lifecycle_and_hygiene(self):
+        g, B = self._problem()
+        opts = self._opts().with_(backend="process", workers=2,
+                                  ship_solves=True)
+        solver = LaplacianSolver(g, options=opts, seed=11)
+        shipment = solver.shipment
+        assert solver.shipment is shipment  # cached on the solver
+        # Payload = chain + Laplacian CSR, so strictly bigger than the
+        # chain alone; both sizes surface on the report.
+        assert shipment.nbytes > solver.chain.nbytes > 0
+        rep = solver.solve_many_report(B, eps=1e-5)
+        assert rep.chain_nbytes == solver.chain.nbytes
+        assert sum(rep.chain_level_nbytes) <= rep.chain_nbytes
+        # The chain segment persists between dispatches (publish once,
+        # attach per worker) ...
+        assert len(live_segment_names()) == 1
+        x1 = rep.x
+        np.testing.assert_array_equal(
+            solver.solve_many(B, eps=1e-5), x1)
+        # ... and close() unlinks it; idempotent, solver still usable.
+        solver.close()
+        assert live_segment_names() == ()
+        np.testing.assert_array_equal(
+            solver.solve_many(B, eps=1e-5), x1)
+        solver.close()
+        solver.close()
+        assert live_segment_names() == ()
+
+    def test_ship_solves_env_knob(self, monkeypatch):
+        from repro.pram.executor import default_ship_solves
+
+        monkeypatch.delenv("REPRO_SHIP_SOLVES", raising=False)
+        assert default_ship_solves() is False
+        for val, want in (("1", True), ("true", True), ("on", True),
+                          ("yes", True), ("0", False), ("no", False),
+                          ("off", False), ("", False)):
+            monkeypatch.setenv("REPRO_SHIP_SOLVES", val)
+            assert default_ship_solves() is want, val
+        monkeypatch.setenv("REPRO_SHIP_SOLVES", "wat")
+        with pytest.raises(ValueError):
+            default_ship_solves()
+        # An explicit option beats the env var; None defers to it.
+        monkeypatch.setenv("REPRO_SHIP_SOLVES", "1")
+        opts = default_options()
+        assert opts.resolve_ship_solves() is True
+        assert opts.with_(ship_solves=False).resolve_ship_solves() \
+            is False

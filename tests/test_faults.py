@@ -442,6 +442,91 @@ class TestSolverFaultInvariance:
         assert faulted[1:] == base[1:]
 
 
+class TestShippedSolveFaults:
+    """ISSUE 7: the fault machinery covers shipped solve chunks
+    unchanged.  ``stage=solve`` pins kill/hang to the shipped-solve
+    dispatch scope (and widens nan directives over every kernel
+    stage); recovery replays the identical column chunks, so faulted
+    runs stay bit-identical — solutions and ledger totals — and no
+    shared memory survives a worker dying mid-solve."""
+
+    def _solve(self, plan, backend="process", ship=True, retries=2):
+        g = G.grid2d(12, 12)
+        rng = np.random.default_rng(5)
+        B = rng.standard_normal((g.n, 8))
+        B -= B.mean(axis=0)
+        opts = practical_options().with_(
+            chunk_columns=2, chunk_items=512, backend=backend,
+            workers=2, ship_solves=ship, retries=retries)
+        solver = LaplacianSolver(g, options=opts, seed=11)
+        with use_faults(plan):
+            with use_ledger() as ledger:
+                rep = solver.solve_many_report(B, eps=1e-6)
+        solver.close()
+        return rep, (ledger.work, ledger.depth)
+
+    def test_stage_solve_selector_semantics(self):
+        plan = FaultPlan.parse("kill:chunk=1:stage=solve")
+        assert plan.chunk_directives(phase="solve")
+        assert not plan.chunk_directives(phase="walk")
+        assert not plan.chunk_directives(phase="columns")
+        d = plan.directives[0]
+        assert d.matches_chunk(chunk=1, attempt=0, phase="solve")
+        assert not d.matches_chunk(chunk=1, attempt=0, phase="walk")
+        assert FaultPlan.parse(d.spec()) == plan  # spec round-trips
+
+    @pytest.mark.parametrize("backend", ["process", "distributed"])
+    def test_killed_solve_chunk_recovers_bit_identical(self, backend):
+        base, lbase = self._solve(None, backend=backend)
+        assert base.iterations > 0
+        rep, led = self._solve("kill:chunk=1:stage=solve",
+                               backend=backend)
+        np.testing.assert_array_equal(rep.x, base.x)
+        assert rep.iterations == base.iterations
+        assert led == lbase
+        assert rep.fault_log.summary().get("retry", 0) >= 1
+        assert live_segment_names() == ()
+
+    def test_hung_solve_chunk_recovers_bit_identical(self):
+        base, lbase = self._solve(None)
+        rep, led = self._solve(
+            "hang:chunk=0:seconds=0.01:stage=solve")
+        np.testing.assert_array_equal(rep.x, base.x)
+        assert led == lbase
+        assert rep.fault_log.summary().get("retry", 0) >= 1
+        assert live_segment_names() == ()
+
+    def test_nan_stage_solve_shipped_matches_inprocess(self):
+        # stage=solve is a wildcard over the kernel stages for nan
+        # directives; the quarantine fires inside a shipped worker, the
+        # escalation runs parent-side — the whole trajectory (status,
+        # solutions, ledger) must equal the unshipped thread run.
+        ship, led_s = self._solve("nan:col=3:stage=solve")
+        plain, led_p = self._solve("nan:col=3:stage=solve",
+                                   backend="thread", ship=False)
+        np.testing.assert_array_equal(ship.x, plain.x)
+        assert ship.method == plain.method
+        assert list(ship.column_status) == list(plain.column_status)
+        assert "dense" in ship.column_status or \
+            "pcg" in ship.column_status
+        assert led_s == led_p
+        assert ship.fault_log.summary()["quarantine"] == \
+            plain.fault_log.summary()["quarantine"]
+        assert live_segment_names() == ()
+
+    def test_shm_clean_after_killed_worker_mid_solve(self):
+        # The killed worker dies holding live attachments to both the
+        # dispatch payload and the persistent chain payload; neither
+        # may outlive the run on the filesystem.
+        rep, _ = self._solve("kill:chunk=1:stage=solve")
+        assert np.isfinite(rep.x).all()
+        assert live_segment_names() == ()
+        prefix = f"repro-{os.getpid()}-"
+        if os.path.isdir("/dev/shm"):
+            assert [name for name in os.listdir("/dev/shm")
+                    if name.startswith(prefix)] == []
+
+
 class TestNumericalContainment:
     """NaN/Inf guards: quarantine broken columns, escalate, contain."""
 
