@@ -91,6 +91,8 @@ def _cmd_solve(args) -> int:
     options = options.with_(degrade=args.degrade)
     if args.ship_solves is not None:
         options = options.with_(ship_solves=args.ship_solves)
+    if args.coalesce is not None:
+        options = options.with_(coalesce_emitted=args.coalesce)
     solver = LaplacianSolver(g, options=options, seed=args.seed)
     t_build = time.time() - t0
     t0 = time.time()
@@ -192,6 +194,13 @@ def main(argv: list[str] | None = None) -> int:
                         "chain payload (default: REPRO_SHIP_SOLVES env "
                         "var / off); results are bit-identical either "
                         "way")
+    p.add_argument("--coalesce", default=None,
+                   action=argparse.BooleanOptionalAction,
+                   help="coalesce each elimination level's emitted "
+                        "parallel edges in the incremental walk store "
+                        "(default: REPRO_COALESCE env var / off); same "
+                        "Laplacians and smaller levels — results are "
+                        "deterministic per (seed, coalesce) pair")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 

@@ -145,6 +145,21 @@ class SolverOptions:
         changes results; ``False`` trades the store's O(m) footprint
         for per-round rebuilds (e.g. for memory-constrained streaming
         factorizations).
+    coalesce_emitted:
+        Coalesce each elimination round's emitted parallel edges in
+        the incremental walk store: same-``{u, v}`` duplicates merge
+        within the batch (weight-sum, multiplicity-sum) and fold into
+        previously coalesced live slots, so heavy rows hold one slot
+        per neighbour instead of one per walker (DESIGN.md §11).
+        ``None`` (default) consults the ``REPRO_COALESCE`` env var
+        lazily (default off).  The stored graph's Laplacian is
+        preserved exactly and α-boundedness is maintained; walks
+        through the coalesced store differ *distributionally* from the
+        uncoalesced realisation (fixed seed + fixed coalesce setting ⇒
+        bit-identical graphs, solutions, and ledger totals across
+        backends, worker counts, and per sampler).  Requires
+        ``incremental_csr``; legacy baselines are structurally pinned
+        off.
     seed:
         Default seed threaded to all stochastic routines.
     """
@@ -170,6 +185,7 @@ class SolverOptions:
     degrade: bool | None = None
     ship_solves: bool | None = None
     incremental_csr: bool = True
+    coalesce_emitted: bool | None = None
     seed: int | None = None
     track_costs: bool = True
 
@@ -216,6 +232,15 @@ class SolverOptions:
         from repro.pram.executor import default_ship_solves
 
         return default_ship_solves()
+
+    def resolve_coalesce(self) -> bool:
+        """Whether emitted edges coalesce *right now* (lazy env
+        lookup)."""
+        if self.coalesce_emitted is not None:
+            return self.coalesce_emitted
+        from repro.pram.executor import default_coalesce
+
+        return default_coalesce()
 
     def execution(self) -> "ExecutionContext":
         """The :class:`repro.pram.ExecutionContext` these options imply."""

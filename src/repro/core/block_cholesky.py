@@ -106,7 +106,12 @@ def block_cholesky(graph: MultiGraph,
     Walker batches inside each level step through ``options``'
     execution context (serial / thread / shared-memory process
     backend); for a fixed seed the chain is bit-identical across
-    backends and worker counts (DESIGN.md §6–§7).
+    backends and worker counts (DESIGN.md §6–§7).  With
+    ``options.coalesce_emitted`` (or ``REPRO_COALESCE``) each level's
+    emitted parallel edges are merged per ``{u, v}`` pair in the
+    incremental store — same Laplacian, smaller levels; the chain for
+    a fixed (seed, coalesce) pair stays bit-identical across backends
+    (DESIGN.md §11).
 
     With ``keep_graphs=False`` (streaming mode) each per-level graph is
     dropped as soon as its blocks are extracted and the next level is
@@ -126,6 +131,9 @@ def block_cholesky(graph: MultiGraph,
         from repro.sampling.inc_csr import IncrementalWalkCSR
 
         inc = IncrementalWalkCSR(graph)
+    # Emitted-edge coalescing lives in the incremental store; without
+    # the store the flag is structurally inert (DESIGN.md §11).
+    coalesce = inc is not None and opts.resolve_coalesce()
 
     active = np.arange(graph.n, dtype=np.int64)
     current = graph
@@ -169,7 +177,14 @@ def block_cholesky(graph: MultiGraph,
             # emitted edges — mirror it into the incremental store.
             p = walk_stats.passthrough_stored
             inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
-                        None if nxt.mult is None else nxt.mult[p:])
+                        None if nxt.mult is None else nxt.mult[p:],
+                        coalesce=coalesce)
+            if coalesce:
+                # Duplicates merged (and possibly folded into live
+                # slots): the next level's working graph is the
+                # store's live image.  Laplacian and logical edge
+                # counts are preserved.
+                nxt = inc.live_graph()
         levels.append(Level(F=F, C=C, idxF=idxF, idxC=idxC,
                             blocks=blocks, parent_edges=current.m_logical))
         if keep_graphs:

@@ -74,6 +74,16 @@ class ApproxSchurReport:
     stored_edges_per_round: list[int] = field(default_factory=list)
     peak_edge_bytes: int = 0
     total_walkers: int = 0
+    #: Whether emitted edges were coalesced in the incremental store
+    #: (``SolverOptions.coalesce_emitted`` / ``REPRO_COALESCE``).
+    coalesced: bool = False
+    #: Emitted slots merged away by coalescing (batch duplicates +
+    #: live-slot folds); 0 when not coalescing.
+    emitted_slots_saved: int = 0
+    #: Alias-table slots rebuilt after the one-time prime (the
+    #: per-round churn cost coalescing shrinks); 0 without the store
+    #: or under the bisect sampler.
+    alias_rebuilt_slots: int = 0
 
 
 def approx_schur(graph: MultiGraph,
@@ -114,7 +124,12 @@ def approx_schur(graph: MultiGraph,
         rebuilding it per round.  The extracted views are bit-identical
         to from-scratch builds, so the output is unchanged; ``False``
         re-runs the per-round rebuild for comparison.  ``None``
-        (default) follows ``options.incremental_csr``.
+        (default) follows ``options.incremental_csr``.  With the store
+        active, ``options.coalesce_emitted`` / ``REPRO_COALESCE``
+        additionally merges each round's emitted parallel edges per
+        ``{u, v}`` pair (Laplacian preserved exactly, walks change
+        distributionally — DESIGN.md §11); the legacy baseline never
+        coalesces.
 
     The walker batches step through ``options``' execution context in
     deterministic disjoint chunks, so for a fixed seed the output is
@@ -145,6 +160,9 @@ def approx_schur(graph: MultiGraph,
         from repro.sampling.inc_csr import IncrementalWalkCSR
 
         inc = IncrementalWalkCSR(work)
+    # Coalescing is a property of the incremental store; without the
+    # store (or on the legacy baseline) the flag is structurally inert.
+    coalesce = inc is not None and opts.resolve_coalesce()
 
     in_C = np.zeros(graph.n, dtype=bool)
     in_C[C] = True
@@ -215,7 +233,15 @@ def approx_schur(graph: MultiGraph,
         if inc is not None:
             p = stats.passthrough_stored
             inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
-                        None if nxt.mult is None else nxt.mult[p:])
+                        None if nxt.mult is None else nxt.mult[p:],
+                        coalesce=coalesce)
+            if coalesce:
+                # The store merged duplicates (and possibly folded
+                # groups into live slots): the next round's working
+                # graph is the store's live image, not the raw
+                # emission.  Logical edge counts are preserved —
+                # multiplicities sum.
+                nxt = inc.live_graph()
         inc_bytes = 0 if inc is None else inc.nbytes
         walk_bytes = (work.edge_nbytes + stats.csr_nbytes
                       + stats.walker_nbytes + nxt.edge_nbytes + inc_bytes)
@@ -230,10 +256,16 @@ def approx_schur(graph: MultiGraph,
         interior_per_round.append(U.size)
 
     if return_report:
-        return ApproxSchurReport(graph=work, rounds=rounds,
-                                 edges_per_round=edges_per_round,
-                                 interior_per_round=interior_per_round,
-                                 stored_edges_per_round=stored_per_round,
-                                 peak_edge_bytes=peak_bytes,
-                                 total_walkers=total_walkers)
+        return ApproxSchurReport(
+            graph=work, rounds=rounds,
+            edges_per_round=edges_per_round,
+            interior_per_round=interior_per_round,
+            stored_edges_per_round=stored_per_round,
+            peak_edge_bytes=peak_bytes,
+            total_walkers=total_walkers,
+            coalesced=coalesce,
+            emitted_slots_saved=0 if inc is None
+            else inc.emitted_slots_saved,
+            alias_rebuilt_slots=0 if inc is None
+            else inc.alias_rebuilt_slots)
     return work

@@ -128,7 +128,11 @@ class LaplacianSolver:
     ``REPRO_WORKERS`` and ``backend`` / ``REPRO_BACKEND`` pick the
     machinery (serial, thread pool, shared-memory process pool) but
     never the result — fixed seed ⇒ bit-identical factorizations and
-    solutions (DESIGN.md §6–§7).
+    solutions (DESIGN.md §6–§7).  ``coalesce_emitted`` /
+    ``REPRO_COALESCE`` additionally merges each elimination level's
+    emitted parallel edges in the incremental walk store (smaller
+    chain levels, same Laplacians; fixed seed + fixed coalesce setting
+    keeps the bit-identical contract — DESIGN.md §11).
     """
 
     def __init__(self, graph: MultiGraph,

@@ -25,6 +25,17 @@ walker pair per logical copy; their emitted edges are explicit
 (``mult = 1``) because each carries its own sampled resistance.  The
 walkers sample from the engine's interior-restricted CSR — the full
 ``O(m/α)``-sized split graph is never materialised anywhere.
+
+Coalesced inputs (DESIGN.md §11): when the incremental store merges a
+round's emitted parallels, a later round sees one group ``(Σw_i,
+mult=k)`` where the uncoalesced realisation held ``k`` explicit edges.
+Expansion is unchanged — ``k`` walker pairs launch either way, so
+Lemma 5.4's logical edge accounting is untouched — but each copy's
+base resistance becomes ``k/Σw_i``, the conditional *mean* of the
+individual ``1/w_i`` under weight-proportional choice.  Lemma 5.1's
+unbiasedness therefore survives coalescing (with strictly smaller
+variance per splice term); realised walks differ from the uncoalesced
+run distributionally only.
 """
 
 from __future__ import annotations

@@ -295,6 +295,34 @@ def default_ship_solves() -> bool:
     return _env_cached("REPRO_SHIP_SOLVES", parse)
 
 
+def default_coalesce() -> bool:
+    """Emitted-edge coalescing gate from ``REPRO_COALESCE`` (default
+    off).
+
+    When on, the elimination loops' incremental walk store merges each
+    round's emitted parallel edges per ``{u, v}`` pair (and folds them
+    into previously coalesced live slots), shrinking heavy-row degrees,
+    alias-plane rebuild cost, and peak edge memory (DESIGN.md §11).
+    The Laplacian is preserved exactly; walk realisations change
+    *distributionally* (per flag setting results stay bit-deterministic
+    across backends and worker counts).  ``SolverOptions.
+    coalesce_emitted`` takes precedence when set; legacy baselines are
+    structurally pinned off (they never build the store).
+    """
+
+    def parse(env: str | None) -> bool:
+        value = (env or "").strip().lower()
+        if value in ("", "0", "false", "no", "off"):
+            return False
+        if value in ("1", "true", "yes", "on"):
+            return True
+        raise ValueError(
+            f"REPRO_COALESCE must be a boolean (0/1/true/false), "
+            f"got {env!r}")
+
+    return _env_cached("REPRO_COALESCE", parse)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded re-dispatch policy for transient chunk failures.

@@ -343,6 +343,7 @@ class FaultLog:
         self.events: list[FaultEvent] = []
 
     def record(self, action: str, **kw) -> FaultEvent:
+        """Append a :class:`FaultEvent` for ``action`` and return it."""
         event = FaultEvent(action, **kw)
         self.events.append(event)
         return event

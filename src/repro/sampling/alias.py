@@ -410,6 +410,18 @@ class CSRAliasSampler:
         """Wire a sampler around prebuilt planes (no build, no charge)."""
         return cls(adj, planes=(prob, alias, row_total))
 
+    @property
+    def plane_nbytes(self) -> int:
+        """Bytes held by the alias planes (perf accounting).
+
+        One ``(prob, alias)`` slot pair per CSR slot plus the per-row
+        totals — exactly the footprint emitted-edge coalescing shrinks
+        when it collapses heavy rows (DESIGN.md §11), which is what the
+        coalesce benchmark reports.
+        """
+        return (self.prob.nbytes + self.alias.nbytes
+                + self.row_total.nbytes)
+
     def row_totals(self) -> np.ndarray:
         """Total weight per row (the weighted degrees)."""
         return self.row_total

@@ -41,6 +41,23 @@ extracted view, because a table is a pure function of the row's live
 weight *sequence* and the store preserves per-row slot order across
 mutations — including epoch compaction, which only renames global slot
 ids (the cache stores row-local aliases, so it survives epochs intact).
+
+**Coalesced inserts** (DESIGN.md §11): ``insert(..., coalesce=True)``
+merges same-``{u, v}`` duplicates *within the batch* (sort/``unique``
+on a packed ``lo·n + hi`` key, weight-sum, multiplicity-sum — the
+``MultiGraph.coalesced`` idiom) and then folds each surviving group
+into the row's live *previously coalesced* slot when one exists (a
+``(u, v) → slot`` lookup maintained across rounds and remapped at
+epoch compaction), so heavy rows accumulate one slot per neighbour
+instead of one per walker.  A coalesced group of ``k`` emitted
+parallels with weights ``w_1..w_k`` stores ``(Σw_i, mult=k)``: the
+Laplacian is unchanged (weights add) and the per-copy resistance
+``k/Σw_i`` is exactly the conditional mean of the individual ``1/w_i``
+under weight-proportional slot choice, so terminal-walk estimates stay
+unbiased (and α-boundedness is preserved — the mean of bounded
+leverages is bounded).  Walks through a coalesced store differ from
+the uncoalesced realisation *distributionally only*; per flag setting
+the store remains bit-deterministic.
 """
 
 from __future__ import annotations
@@ -188,6 +205,21 @@ class IncrementalWalkCSR:
         self._alias_rows: dict[int, tuple[np.ndarray, np.ndarray,
                                           float]] = {}
         self._alias_primed = False
+        # Rows whose alias tables can ever be needed again: set by
+        # prime_alias (the primed interior), shrunk by eliminate.
+        # None = no narrowing (pre-prime).  Invariant: cached rows are
+        # always inside the mask, so narrowed invalidation never
+        # skips a live entry.
+        self._primed_mask: np.ndarray | None = None
+        # Coalesced-insert state: packed {u,v} key -> live slot id for
+        # slots created by a coalescing insert (remapped at epoch
+        # compaction, dropped lazily when the slot dies).
+        self._slot_lookup: dict = {}
+        # Perf counters for the coalesce/alias benchmarks.
+        self.emitted_slots_saved = 0
+        self.live_merged_slots = 0
+        self.alias_built_slots = 0
+        self.alias_primed_slots = 0
         self._build_epoch()
 
     # -- buffer views --------------------------------------------------------
@@ -236,7 +268,16 @@ class IncrementalWalkCSR:
                   + self._v_indptr.nbytes + self._v_slots.nbytes)
         total += sum(p.nbytes + a.nbytes + 8
                      for p, a, _ in self._alias_rows.values())
+        # Coalesce lookup: ~one dict entry (key + slot id + table
+        # overhead) per coalesced slot.
+        total += 64 * len(self._slot_lookup)
         return total
+
+    @property
+    def alias_rebuilt_slots(self) -> int:
+        """Alias-table slots rebuilt *after* the one-time prime — the
+        per-round churn cost the coalesce benchmark gates on."""
+        return self.alias_built_slots - self.alias_primed_slots
 
     @property
     def m_alive(self) -> int:
@@ -268,6 +309,15 @@ class IncrementalWalkCSR:
         """Compact dead edges away and re-index both edge sides."""
         if self._alive_count != self._size:
             keep = np.flatnonzero(self._balive[:self._size])
+            if self._slot_lookup:
+                # Compaction renames slot ids: remap the coalesce
+                # lookup (and drop entries whose slot died).
+                pos = np.full(self._size, -1, dtype=np.int64)
+                pos[keep] = np.arange(keep.size, dtype=np.int64)
+                self._slot_lookup = {
+                    key: int(pos[slot])
+                    for key, slot in self._slot_lookup.items()
+                    if pos[slot] >= 0}
             m = keep.size
             self._bu[:m] = self._bu[keep]
             self._bv[:m] = self._bv[keep]
@@ -322,52 +372,173 @@ class IncrementalWalkCSR:
         alive[newly] = False
         self._invalidate_alias(self._bu[:self._size][newly],
                                self._bv[:self._size][newly])
+        # Eliminated rows can never be sampled again: drop them from
+        # the primed set (after the invalidation above popped their
+        # now-dead entries) so later churn skips them entirely.
+        if self._primed_mask is not None:
+            self._primed_mask[F] = False
+        if self._alias_rows:
+            cache = self._alias_rows
+            for r in F.tolist():
+                cache.pop(r, None)
         if ledger_active():
             charge(*P.map_cost(hit_u.size + hit_v.size),
                    label="inc_csr_delete")
 
+    def _promote_mult(self) -> None:
+        """Lazily grow a multiplicity column (all existing slots = 1).
+
+        Stores built from a multiplicity-less graph historically
+        *rejected* ``mult > 1`` inserts; coalesced groups and implicit
+        α-split pass-throughs now share one representation, and
+        :attr:`nbytes` charges the column's true footprint from the
+        moment it exists.
+        """
+        if self._has_mult:
+            return
+        self._bmult = np.ones(self._bu.shape[0], dtype=np.int32)
+        self._has_mult = True
+
     def insert(self, u: np.ndarray, v: np.ndarray, w: np.ndarray,
-               mult: np.ndarray | None = None) -> None:
-        """Append emitted edges (they land after all current edges)."""
+               mult: np.ndarray | None = None,
+               coalesce: bool = False) -> None:
+        """Append emitted edges (they land after all current edges).
+
+        With ``coalesce=True`` same-``{u, v}`` duplicates are merged
+        within the batch (weights sum, multiplicities sum) and groups
+        whose pair already owns a live coalesced slot fold into it in
+        place instead of appending (module docstring; DESIGN.md §11).
+        ``mult > 1`` inserts into a multiplicity-less store promote a
+        mult column lazily rather than raising.
+        """
         u = np.asarray(u, dtype=np.int64)
         if u.size == 0:
             self._maybe_rebuild()
             return
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
         if mult is not None and not self._has_mult \
                 and np.any(np.asarray(mult) != 1):
-            raise ValueError(
-                "store was built from a multiplicity-less graph; "
-                "inserting edges with mult > 1 would silently drop "
-                "their logical copies")
-        lo, hi = self._size, self._size + u.size
-        self._reserve(u.size)
-        self._bu[lo:hi] = u
-        self._bv[lo:hi] = np.asarray(v, dtype=np.int64)
-        self._bw[lo:hi] = np.asarray(w, dtype=np.float64)
-        if self._has_mult:
-            self._bmult[lo:hi] = 1 if mult is None \
-                else np.asarray(mult, dtype=np.int32)
-        self._balive[lo:hi] = True
-        self._size = hi
-        self._alive_count += u.size
-        self._invalidate_alias(u, self._bv[lo:hi])
+            self._promote_mult()
+        if coalesce:
+            self._insert_coalesced(u, v, w, mult)
+            return
+        self._append(u, v, w,
+                     None if mult is None
+                     else np.asarray(mult, dtype=np.int32))
         if ledger_active():
             charge(*P.map_cost(u.size), label="inc_csr_insert")
         self._maybe_rebuild()
 
+    def _append(self, u: np.ndarray, v: np.ndarray, w: np.ndarray,
+                mult: np.ndarray | None) -> np.ndarray:
+        """Raw append of prepared arrays; returns the new slot ids."""
+        lo, hi = self._size, self._size + u.size
+        self._reserve(u.size)
+        self._bu[lo:hi] = u
+        self._bv[lo:hi] = v
+        self._bw[lo:hi] = w
+        if self._has_mult:
+            self._bmult[lo:hi] = 1 if mult is None else mult
+        self._balive[lo:hi] = True
+        self._size = hi
+        self._alive_count += u.size
+        self._invalidate_alias(u, v)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def _insert_coalesced(self, u: np.ndarray, v: np.ndarray,
+                          w: np.ndarray,
+                          mult: np.ndarray | None) -> None:
+        """Batch-coalesced insert with live-slot folding.
+
+        Deterministic: the batch merge is a sorted ``unique`` over the
+        packed pair key with sequential per-key weight sums in batch
+        order, and the live-slot lookup is keyed on those same sorted
+        unique pairs — no iteration-order dependence anywhere.
+        """
+        self._promote_mult()
+        lo_e = np.minimum(u, v)
+        hi_e = np.maximum(u, v)
+        m_in = np.ones(u.size, dtype=np.int64) if mult is None \
+            else np.asarray(mult, dtype=np.int64)
+        if self.n <= 3_037_000_499:  # n² - 1 fits in int64
+            key = lo_e * self.n + hi_e
+            uniq, inverse = np.unique(key, return_inverse=True)
+            cu, cv = uniq // self.n, uniq % self.n
+            n_uniq = uniq.size
+            keys = uniq.tolist()
+        else:
+            pair = np.stack([lo_e, hi_e], axis=1)
+            uniq, inverse = np.unique(pair, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)  # numpy >= 2.0: may be (m, 1)
+            cu, cv = uniq[:, 0], uniq[:, 1]
+            n_uniq = uniq.shape[0]
+            keys = list(zip(cu.tolist(), cv.tolist()))
+        cw = weighted_bincount(inverse, w, n_uniq)
+        # Exact for counts far below 2**53 (bincount accumulates in
+        # float64); back to int for the stored column.
+        cm = np.bincount(inverse, weights=m_in.astype(np.float64),
+                         minlength=n_uniq).astype(np.int64)
+        if np.any(cm > np.iinfo(np.int32).max):
+            raise OverflowError(
+                "coalesced multiplicity exceeds int32; split the batch")
+        cm = cm.astype(np.int32)
+        # Fold groups whose pair already owns a live coalesced slot.
+        lookup = self._slot_lookup
+        slots = np.full(n_uniq, -1, dtype=np.int64)
+        if lookup:
+            alive = self._balive
+            for i, key_i in enumerate(keys):
+                s = lookup.get(key_i, -1)
+                if s < 0:
+                    continue
+                if alive[s]:
+                    slots[i] = s
+                else:
+                    del lookup[key_i]  # died since; epoch would drop it
+        merge = slots >= 0
+        n_merge = int(np.count_nonzero(merge))
+        if n_merge:
+            tgt = slots[merge]
+            self._bw[tgt] += cw[merge]
+            self._bmult[tgt] += cm[merge]
+            self._invalidate_alias(self._bu[tgt], self._bv[tgt])
+            self.live_merged_slots += n_merge
+        app = ~merge
+        new_slots = self._append(cu[app], cv[app], cw[app], cm[app])
+        for key_i, s in zip([k for k, a in zip(keys, app.tolist()) if a],
+                            new_slots.tolist()):
+            lookup[key_i] = s
+        self.emitted_slots_saved += int(u.size) - int(new_slots.size)
+        if ledger_active():
+            charge(*P.sort_cost(u.size), label="inc_csr_coalesce")
+        self._maybe_rebuild()
+
     def advance(self, F: np.ndarray, emitted_u: np.ndarray,
                 emitted_v: np.ndarray, emitted_w: np.ndarray,
-                emitted_mult: np.ndarray | None = None) -> None:
+                emitted_mult: np.ndarray | None = None,
+                coalesce: bool = False) -> None:
         """One elimination round: delete ``F``'s edges, insert emissions."""
         self.eliminate(F)
-        self.insert(emitted_u, emitted_v, emitted_w, emitted_mult)
+        self.insert(emitted_u, emitted_v, emitted_w, emitted_mult,
+                    coalesce=coalesce)
 
     def _invalidate_alias(self, us: np.ndarray, vs: np.ndarray) -> None:
-        """Drop cached alias tables for every endpoint of churned edges."""
+        """Drop cached alias tables for churned-edge endpoints.
+
+        Narrowed to the primed interior: rows outside
+        :attr:`_primed_mask` (terminals never primed, rows already
+        eliminated) can never be sampled again, so their endpoints cost
+        nothing here — late rounds, whose churn lands almost entirely
+        on terminals, stop paying no-op invalidations and rebuilds.
+        """
         if not self._alias_rows:
             return
         cache = self._alias_rows
-        for r in np.unique(np.concatenate([us, vs])).tolist():
+        rows = np.unique(np.concatenate([us, vs]))
+        if self._primed_mask is not None:
+            rows = rows[self._primed_mask[rows]]
+        for r in rows.tolist():
             cache.pop(r, None)
 
     # -- extraction ----------------------------------------------------------
@@ -481,10 +652,16 @@ class IncrementalWalkCSR:
         self._alias_primed = True
         if rows is None:
             rows = np.arange(self.n, dtype=np.int64)
+            self._primed_mask = np.ones(self.n, dtype=bool)
         else:
             rows = np.unique(np.asarray(rows, dtype=np.int64))
+            mask = np.zeros(self.n, dtype=bool)
+            mask[rows] = True
+            self._primed_mask = mask
         if rows.size:
+            before = self.alias_built_slots
             self._build_alias_rows(rows, self.restricted_view(rows)[0])
+            self.alias_primed_slots += self.alias_built_slots - before
 
     def _build_alias_rows(self, rows: np.ndarray,
                           view: AdjacencyView) -> None:
@@ -502,6 +679,10 @@ class IncrementalWalkCSR:
                    if r not in cache and indptr[r + 1] > indptr[r]]
         if missing:
             miss = np.asarray(missing, dtype=np.int64)
+            if self._primed_mask is not None:
+                # Keep the invariant "cached rows ⊆ primed mask" so the
+                # narrowed invalidation can never skip a live entry.
+                self._primed_mask[miss] = True
             lens = indptr[miss + 1] - indptr[miss]
             mini_indptr = np.zeros(miss.size + 1, dtype=np.int64)
             np.cumsum(lens, out=mini_indptr[1:])
@@ -515,6 +696,7 @@ class IncrementalWalkCSR:
                 # alias slice is already a fresh array (`- lo`).
                 cache[r] = (prob_m[lo:hi].copy(), alias_m[lo:hi] - lo,
                             float(tot_m[t]))
+            self.alias_built_slots += int(w_mini.size)
             if ledger_active():
                 charge(*P.sampler_build_cost(int(w_mini.size)),
                        label="alias_build")

@@ -398,6 +398,43 @@ class TestIncrementalAliasPlanes:
             rounds += 1
         assert rounds >= 2
 
+    def test_round_by_round_plane_equality_coalesced(self):
+        # Same lockstep as above, but the store coalesces each round's
+        # emissions: planes must stay bitwise == scratch builds over
+        # the coalesced view, through churn and epoch compaction.
+        from repro.core.boundedness import naive_split
+
+        g = naive_split(G.grid2d(9, 9), 0.25)
+        inc = IncrementalWalkCSR(g, rebuild_factor=0.05)
+        rng = np.random.default_rng(0)
+        work = g
+        remaining = np.arange(g.n)
+        rounds = 0
+        for _ in range(4):
+            if remaining.size <= 4:
+                break
+            F = np.unique(rng.choice(remaining,
+                                     size=max(1, remaining.size // 5),
+                                     replace=False))
+            terminals = np.setdiff1d(remaining, F)
+            view, _ = inc.restricted_view(F)
+            got = inc.alias_planes(F, view)
+            want = build_alias_tables(view.indptr, view.weight)
+            np.testing.assert_array_equal(got[0], want[0])
+            np.testing.assert_array_equal(got[1], want[1])
+            np.testing.assert_array_equal(got[2][F], want[2][F])
+            nxt, stats = terminal_walks(work, terminals, seed=rng,
+                                        return_stats=True)
+            p = stats.passthrough_stored
+            inc.advance(F, nxt.u[p:], nxt.v[p:], nxt.w[p:],
+                        None if nxt.mult is None else nxt.mult[p:],
+                        coalesce=True)
+            work = inc.live_graph()  # walk the coalesced graph next
+            remaining = terminals
+            rounds += 1
+        assert rounds >= 2
+        assert inc.emitted_slots_saved > 0
+
     def test_churn_invalidates_touched_rows_only(self):
         g = G.grid2d(5, 5)
         inc = IncrementalWalkCSR(g)
@@ -416,7 +453,10 @@ class TestIncrementalAliasPlanes:
     def test_incremental_matches_scratch_end_to_end(self):
         g = G.grid2d(13, 13)
         C = np.arange(0, g.n, 4)
-        opts = default_options().with_(sampler="alias")
+        # Scratch rebuilds cannot coalesce — pin the flag off so the
+        # equality is well-defined under a REPRO_COALESCE=1 ambient.
+        opts = default_options().with_(sampler="alias",
+                                       coalesce_emitted=False)
         a = approx_schur(g, C, eps=0.5, seed=99, options=opts,
                          incremental=True)
         b = approx_schur(g, C, eps=0.5, seed=99, options=opts,
@@ -428,7 +468,8 @@ class TestIncrementalAliasPlanes:
         from repro.core.solver import LaplacianSolver
 
         g = G.grid2d(12, 12)
-        opts = practical_options().with_(sampler="alias")
+        opts = practical_options().with_(sampler="alias",
+                                         coalesce_emitted=False)
         on = LaplacianSolver(g, options=opts, seed=8)
         off = LaplacianSolver(g, options=opts.with_(incremental_csr=False),
                               seed=8)

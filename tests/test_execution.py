@@ -340,6 +340,25 @@ class TestBackendMatrix:
             for workers in self.WORKER_COUNTS:
                 assert totals(backend, workers) == base, (backend, workers)
 
+    def test_approx_schur_backend_matrix_with_coalesce(self, monkeypatch):
+        # The determinism matrix holds per fixed coalesce setting too:
+        # coalescing happens store-side, after the (backend-invariant)
+        # walk realisation, so the flag cannot reintroduce
+        # backend/worker dependence.
+        opts = self._opts().with_(coalesce_emitted=True)
+
+        def schur(backend, workers):
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            monkeypatch.setenv("REPRO_WORKERS", str(workers))
+            g = G.grid2d(14, 14)
+            C = np.arange(0, g.n, 3)
+            return approx_schur(g, C, eps=0.5, seed=123, options=opts)
+
+        base = schur("serial", 1)
+        for backend in BACKENDS:
+            for workers in self.WORKER_COUNTS:
+                assert schur(backend, workers) == base, (backend, workers)
+
     def test_solve_many_backend_invariant(self, monkeypatch):
         g = G.grid2d(12, 12)
         rng = np.random.default_rng(7)
@@ -439,8 +458,14 @@ class TestInteriorDegreeOracle:
         # acceptance ⇒ same RNG consumption ⇒ same F sequence).
         g = G.grid2d(13, 13)
         C = np.arange(0, g.n, 4)
-        a = approx_schur(g, C, eps=0.5, seed=99, incremental=True)
-        b = approx_schur(g, C, eps=0.5, seed=99, incremental=False)
+        # Coalescing only exists with the store: pin it off so both
+        # paths realise the same walks (tests/test_coalesce.py covers
+        # the coalesced store's own scratch-equality contract).
+        opts = default_options().with_(coalesce_emitted=False)
+        a = approx_schur(g, C, eps=0.5, seed=99, options=opts,
+                         incremental=True)
+        b = approx_schur(g, C, eps=0.5, seed=99, options=opts,
+                         incremental=False)
         assert a == b
 
 
@@ -490,16 +515,22 @@ class TestIncrementalCSR:
     def test_incremental_matches_scratch_end_to_end(self):
         g = G.grid2d(13, 13)
         C = np.arange(0, g.n, 4)
-        a = approx_schur(g, C, eps=0.5, seed=99, incremental=True)
-        b = approx_schur(g, C, eps=0.5, seed=99, incremental=False)
+        # Scratch rebuilds cannot coalesce — pin the flag off so the
+        # equality is well-defined under a REPRO_COALESCE=1 ambient.
+        opts = default_options().with_(coalesce_emitted=False)
+        a = approx_schur(g, C, eps=0.5, seed=99, options=opts,
+                         incremental=True)
+        b = approx_schur(g, C, eps=0.5, seed=99, options=opts,
+                         incremental=False)
         assert a == b
 
     def test_options_knob_disables_store_identically(self):
         # incremental_csr=False must not change any result — the views
         # are bit-identical either way — but lets memory-constrained
         # callers skip the store (e.g. streaming factorizations).
+        # Coalescing needs the store, so it is pinned off here too.
         g = G.grid2d(12, 12)
-        opts = practical_options()
+        opts = practical_options().with_(coalesce_emitted=False)
         on = LaplacianSolver(g, options=opts, seed=8)
         off = LaplacianSolver(g, options=opts.with_(incremental_csr=False),
                               seed=8)
