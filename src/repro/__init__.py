@@ -54,6 +54,8 @@ Package layout
 * :mod:`repro.sampling` — parallel sampling + random-walk engine.
 * :mod:`repro.linalg` — Jacobi operator, CG, Loewner-order oracles.
 * :mod:`repro.pram` — CREW PRAM work/depth cost ledger.
+* :mod:`repro.serve` — solver-as-a-service: resident chain cache +
+  micro-batched solves (``repro serve`` / ``repro client``).
 * :mod:`repro.baselines` — KS16 approximate Cholesky, CG, direct.
 * :mod:`repro.apps` — applications (learning, flows, spanning trees...).
 * :mod:`repro.theory` — concentration and complexity-fit utilities.
@@ -84,9 +86,11 @@ from repro.errors import (
     ConvergenceError,
     FactorizationError,
     SamplingError,
+    ServiceError,
 )
 from repro.graphs import MultiGraph, generators, laplacian
 from repro.pram import ExecutionContext, WorkDepthLedger, use_ledger
+from repro.serve import ChainCache, ServeResult, SolverService
 
 __version__ = "1.0.0"
 
@@ -114,8 +118,12 @@ __all__ = [
     "MultiGraph",
     "generators",
     "laplacian",
+    "ServiceError",
     "WorkDepthLedger",
     "use_ledger",
     "ExecutionContext",
+    "SolverService",
+    "ChainCache",
+    "ServeResult",
     "__version__",
 ]

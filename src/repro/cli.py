@@ -7,6 +7,10 @@ Commands
 * ``solve``  — solve ``L x = b`` for a saved graph (b from .npy or an
   s/t unit demand), printing solve diagnostics
 * ``bench``  — quick work/depth ledger report for one build+solve
+* ``serve``  — long-lived HTTP solver service: resident chain cache +
+  micro-batched solves (DESIGN.md §12)
+* ``client`` — talk to a running ``serve`` instance (register graphs,
+  solve, stats)
 
 The CLI is a thin veneer over the library; every command is also
 callable in-process (`repro.cli.main([...])`) which is how the test
@@ -128,6 +132,94 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro import default_options
+    from repro.graphs.io import load_npz
+    from repro.serve.service import SolverService
+
+    g = load_npz(args.graph)
+    options = default_options()
+    if args.sampler is not None:
+        options = options.with_(sampler=args.sampler)
+    if args.backend is not None:
+        options = options.with_(backend=args.backend)
+    service = SolverService(options=options,
+                            window_ms=args.window_ms,
+                            max_batch=args.max_batch,
+                            cache_bytes=args.cache_bytes)
+    service.start()
+    # SIGTERM should tear down like Ctrl-C: unlink shm segments and
+    # close the cache instead of dying mid-batch.
+    signal.signal(signal.SIGTERM, signal.default_int_handler)
+    try:
+        key = service.register(g, seed=args.seed)
+        host, port = service.serve_http(args.host, args.port)
+        print(f"serving http://{host}:{port} key={key} "
+              f"n={g.n} m={g.m}", flush=True)
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from repro.serve.http import http_request
+
+    base = args.url.rstrip("/")
+    if args.stats:
+        code, payload = http_request(base + "/stats")
+        print(json.dumps(payload, indent=2))
+        return 0 if code == 200 else 1
+    if args.register:
+        from repro.graphs.io import load_npz
+        g = load_npz(args.register)
+        code, payload = http_request(
+            base + "/graphs", method="POST",
+            payload={"n": g.n, "u": g.u.tolist(), "v": g.v.tolist(),
+                     "w": g.w.tolist(),
+                     "mult": g.mult.tolist()
+                     if g.mult is not None else None,
+                     "seed": args.seed})
+        if code != 200:
+            print(f"error: {payload.get('error', code)}",
+                  file=sys.stderr)
+            return 1
+        print(f"registered key={payload['key']} n={payload['n']} "
+              f"m={payload['m']} "
+              f"chain_nbytes={payload['chain_nbytes']}")
+        return 0
+    if not args.key:
+        print("client needs --key (or --stats / --register)",
+              file=sys.stderr)
+        return 2
+    body = {"key": args.key, "eps": args.eps, "method": args.method}
+    if args.rhs:
+        body["b"] = np.load(args.rhs).tolist()
+    else:
+        body["source"] = args.source
+        body["sink"] = args.sink
+    code, payload = http_request(base + "/solve", method="POST",
+                                 payload=body)
+    if code != 200:
+        print(f"error: {payload.get('error', code)}", file=sys.stderr)
+        return 1
+    print(f"solved: status={payload['status']} "
+          f"iterations={payload['iterations']} "
+          f"residual={payload['residual_2norm']:.3e} "
+          f"batched_k={payload['batched_k']}")
+    if args.output:
+        np.save(args.output, np.asarray(payload["x"]))
+        print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
@@ -209,6 +301,51 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--eps", type=float, default=1e-6)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("serve",
+                       help="HTTP solver service (resident chains + "
+                            "micro-batched solves)")
+    p.add_argument("graph", help="initial .npz graph to register")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "printed on startup)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window-ms", type=float, default=None,
+                   help="micro-batch gathering window in ms (default: "
+                        "REPRO_SERVE_WINDOW_MS env var / 2.0)")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="flush a batch early at this many requests "
+                        "(default: REPRO_SERVE_MAX_BATCH env var / 64)")
+    p.add_argument("--cache-bytes", type=int, default=None,
+                   help="resident chain byte budget (default: "
+                        "REPRO_SERVE_CACHE_BYTES env var / 256 MiB)")
+    p.add_argument("--sampler", choices=["alias", "bisect"],
+                   default=None)
+    p.add_argument("--backend",
+                   choices=["serial", "thread", "process",
+                            "distributed"],
+                   default=None)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="talk to a running `repro serve` instance")
+    p.add_argument("url", help="service base URL, e.g. "
+                               "http://127.0.0.1:8000")
+    p.add_argument("--stats", action="store_true",
+                   help="print the service stats snapshot")
+    p.add_argument("--register", metavar="GRAPH.npz",
+                   help="register (and warm-build) a graph")
+    p.add_argument("--key", help="graph cache key to solve against")
+    p.add_argument("--rhs", help=".npy right-hand side")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--sink", type=int, default=-1)
+    p.add_argument("--eps", type=float, default=1e-6)
+    p.add_argument("--method", choices=["richardson", "pcg"],
+                   default="richardson")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="save x as .npy")
+    p.set_defaults(fn=_cmd_client)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -23,6 +23,7 @@ __all__ = [
     "theorem_1_1_options",
     "theorem_1_2_options",
     "practical_options",
+    "reset_env_caches",
 ]
 
 SplittingStrategy = Literal["naive", "leverage", "none"]
@@ -270,6 +271,27 @@ class SolverOptions:
             return ExecutionContext.DEFAULT
         return ExecutionContext(workers=self.workers,
                                 backend=self.backend, **kwargs)
+
+
+def reset_env_caches() -> None:
+    """Forget every cached ``REPRO_*`` environment lookup.
+
+    The env-var knobs (``REPRO_WORKERS``, ``REPRO_BACKEND``,
+    ``REPRO_SAMPLER``, ``REPRO_CHUNK_ITEMS``, ``REPRO_FAULTS``, the
+    ``REPRO_SERVE_*`` family, ...) all funnel through one module-level
+    cache (:func:`repro.pram.executor._env_cached`), keyed on the raw
+    env string.  A *changed* value is therefore picked up automatically,
+    but a long-lived process wants a hard reset point: stale parse
+    results that leaked in from an importing process (or from a test
+    poking the cache directly) must not survive into a serving daemon's
+    lifetime.  The serve front end calls this on startup
+    (:meth:`repro.serve.SolverService.start`) and the test suite calls
+    it in teardown (autouse fixture in ``tests/conftest.py``), so no
+    test can leak a cached knob into the next.
+    """
+    from repro.pram.executor import _env_caches
+
+    _env_caches.clear()
 
 
 def default_options() -> SolverOptions:

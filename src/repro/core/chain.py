@@ -202,6 +202,28 @@ class CholeskyChain:
                 "jacobi_eps": float(self.jacobi_eps)}
         return arrays, meta
 
+    def payload_fingerprint(self) -> str:
+        """Hex digest of the solve-time payload (:meth:`payload_arrays`).
+
+        Two chains with equal fingerprints produce bit-identical
+        preconditioner applies, because the payload is *everything* an
+        apply reads.  The serving cache uses this as its cheap equality
+        witness that a cached chain and a fresh rebuild of the same
+        ``(graph, options, seed)`` are interchangeable (DESIGN.md §12).
+        """
+        import hashlib
+
+        arrays, meta = self.payload_arrays()
+        h = hashlib.sha256()
+        h.update(repr(sorted(meta.items())).encode())
+        for name in sorted(arrays):
+            arr = np.ascontiguousarray(arrays[name])
+            h.update(name.encode())
+            h.update(str(arr.dtype).encode())
+            h.update(repr(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
     @classmethod
     def from_payload(cls, arrays: dict, meta: dict) -> "CholeskyChain":
         """Rebuild a view-only solve chain from :meth:`payload_arrays`.

@@ -143,7 +143,12 @@ class LaplacianSolver:
                             "solve_laplacian() for matrix inputs")
         options = options or default_options()
         require_connected(graph)
-        rng = as_generator(seed if seed is not None else options.seed)
+        #: The seed as given (``options.seed`` when the argument was
+        #: ``None``) — what :meth:`cache_key` hashes.  A Generator
+        #: argument is kept as-is but is not replayable, so it cannot
+        #: be part of a cache identity.
+        self.seed = seed if seed is not None else options.seed
+        rng = as_generator(self.seed)
         self.graph = graph
         self.options = options
 
@@ -216,6 +221,19 @@ class LaplacianSolver:
             self.close()
         except Exception:
             pass
+
+    def cache_key(self) -> str:
+        """Canonical serving-cache key for ``(graph, options, seed)``.
+
+        Two solvers with equal keys build bit-identical chains (same
+        canonical multigraph, same chain-affecting options, same seed),
+        which is what lets :class:`repro.serve.ChainCache` substitute a
+        resident chain for a fresh build.  Requires the seed to be an
+        int or ``None`` — a live Generator is not replayable and
+        raises ``TypeError``.
+        """
+        from repro.serve.keys import solver_cache_key
+        return solver_cache_key(self.graph, self.options, self.seed)
 
     # -- solving -------------------------------------------------------------
 

@@ -59,6 +59,15 @@ class NumericalBreakdownError(ConvergenceError):
         self.iteration = iteration
 
 
+class ServiceError(ReproError):
+    """The serving layer rejected or could not complete a request.
+
+    Raised by :class:`repro.serve.SolverService` for unknown graph
+    keys, submissions to a closed service, and micro-batches whose
+    shared solve failed for every cohabiting request.
+    """
+
+
 class ExecutionError(ReproError):
     """A dispatched chunk failed after exhausting its retry budget.
 

@@ -22,14 +22,25 @@ Selectors
 ``chunk=N`` (required for kill/hang), ``attempt=N`` (default ``0``;
 ``*`` = every attempt — how the exhaustion/degradation paths are
 exercised), ``backend=serial|thread|process|distributed`` (only fire
-under that backend), ``phase=walk|columns|solve`` (only fire in that
-dispatch scope), ``seconds=F`` (hang duration, default 30), ``col=N``
-(required for nan), ``iter=N`` (default 0),
-``stage=richardson|cg|chebyshev|solve``.  For kill/hang directives
-``stage=`` is an alias for ``phase=`` (``stage=solve`` pins a kill to
-the shipped-solve dispatches); for nan directives ``stage=solve``
-matches every blocked solve kernel, where a specific stage name
-matches only that kernel.
+under that backend), ``phase=walk|columns|solve|serve`` (only fire in
+that dispatch scope), ``seconds=F`` (hang duration, default 30),
+``col=N`` (required for nan), ``iter=N`` (default 0),
+``stage=richardson|cg|chebyshev|solve|serve``.  For kill/hang
+directives ``stage=`` is an alias for ``phase=`` (``stage=solve`` pins
+a kill to the shipped-solve dispatches); for nan directives
+``stage=solve`` matches every blocked solve kernel, where a specific
+stage name matches only that kernel.
+
+The ``serve`` scope targets the micro-batch dispatch point of
+:class:`repro.serve.SolverService`: a serve-pinned kill/hang uses the
+**batch sequence number** as its ``chunk=`` coordinate and fires in
+the serving thread before the batched ``solve_many`` runs (retried
+under the ambient :class:`repro.pram.executor.RetryPolicy`, exactly
+like a lost chunk); ``nan:col=N:stage=serve`` is rewritten by
+:func:`split_serve_plan` to ``stage=solve`` so the existing in-kernel
+injection poisons batch column ``N`` — i.e. the ``N``-th request of
+the batch — and the quarantine/escalation ladder (DESIGN.md §9)
+contains the damage to that one caller.
 
 Directives are **stateless**: whether one fires depends only on the
 match coordinates (chunk, attempt, column, iteration, ...), never on
@@ -62,7 +73,8 @@ __all__ = ["FAULT_KINDS", "FaultDirective", "FaultPlan", "FaultEvent",
            "FaultLog", "InjectedFault", "use_faults", "active_plan",
            "faults_active", "use_fault_log", "current_fault_log",
            "apply_chunk_faults", "apply_worker_faults",
-           "inject_nan_columns"]
+           "inject_nan_columns", "split_serve_plan",
+           "apply_serve_faults"]
 
 #: Recognised fault kinds.
 FAULT_KINDS = ("kill", "hang", "nan")
@@ -439,6 +451,62 @@ def apply_worker_faults(directives: tuple[FaultDirective, ...], *,
         time.sleep(d.seconds)
         raise InjectedFault(
             f"injected hang expired: chunk={chunk} attempt={attempt}")
+
+
+def split_serve_plan(plan: FaultPlan | None
+                     ) -> tuple[tuple[FaultDirective, ...],
+                                FaultPlan | None]:
+    """Partition ``plan`` for the serving layer's dispatch point.
+
+    Returns ``(serve_directives, inner_plan)``.  Kill/hang directives
+    pinned to the ``serve`` scope (``stage=serve`` or ``phase=serve``)
+    fire at the micro-batch dispatch point — the batch sequence number
+    is their ``chunk=`` coordinate — and must *not* reach the blocked
+    kernels; ``nan:...:stage=serve`` directives are rewritten to
+    ``stage=solve`` so the existing in-kernel injection poisons the
+    request's batch column.  Everything else passes through to
+    ``inner_plan`` unchanged, preserving composed plans that mix serve
+    and executor faults.
+    """
+    if plan is None:
+        return (), None
+    from dataclasses import replace
+
+    serve: list[FaultDirective] = []
+    inner: list[FaultDirective] = []
+    for d in plan.directives:
+        if d.kind in ("kill", "hang") and "serve" in (d.stage, d.phase):
+            serve.append(d)
+        elif d.kind == "nan" and d.stage == "serve":
+            inner.append(replace(d, stage="solve"))
+        else:
+            inner.append(d)
+    return tuple(serve), (FaultPlan(tuple(inner)) if inner else None)
+
+
+def apply_serve_faults(directives: tuple[FaultDirective, ...], *,
+                       batch: int, attempt: int,
+                       log: FaultLog | None = None) -> None:
+    """Fire any matching serve-scope kill/hang for a micro-batch.
+
+    Serve dispatches are in-process (the batch runs in the service's
+    solve thread), so the semantics mirror :func:`apply_chunk_faults`:
+    both kinds raise :class:`InjectedFault` (hang after a bounded
+    stall), which the service's retry loop treats exactly like a lost
+    executor chunk — stateless directives make the re-dispatched batch
+    bit-identical to an undisturbed one.
+    """
+    for d in directives:
+        if not d.matches_chunk(chunk=batch, attempt=attempt,
+                               phase="serve"):
+            continue
+        if log is not None:
+            log.record("inject", kind=d.kind, chunk=batch,
+                       attempt=attempt, backend="serve", detail=d.spec())
+        if d.kind == "hang":
+            time.sleep(min(d.seconds, _INPROCESS_HANG_CAP))
+        raise InjectedFault(
+            f"injected {d.kind}: batch={batch} attempt={attempt}")
 
 
 def inject_nan_columns(plan: FaultPlan, block: np.ndarray,

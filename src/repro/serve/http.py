@@ -1,0 +1,221 @@
+"""Minimal stdlib HTTP/1.1 front end over :class:`SolverService`.
+
+No web framework in the dependency budget, and none needed: the wire
+surface is four JSON endpoints, each one connection = one request
+(``Connection: close``), parsed with ``asyncio`` stream primitives.
+Handlers run as tasks on the service's event loop, so concurrent
+``POST /solve`` connections land in the same micro-batch window —
+HTTP callers get the blocked-solve win with zero client coordination.
+
+Endpoints
+---------
+* ``GET /healthz`` → ``{"ok": true, "graphs": N}``
+* ``GET /stats`` → :meth:`SolverService.stats`
+* ``POST /graphs`` — body ``{"n", "u", "v", "w", ["mult"], ["seed"]}``;
+  registers (and warm-builds) the graph, returns
+  ``{"key", "n", "m", "chain_nbytes"}``.
+* ``POST /solve`` — body ``{"key", "b" | ("source", "sink"),
+  ["eps"], ["method"]}``; returns the request's scattered column:
+  ``{"x", "status", "iterations", "residual_2norm", "method",
+  "batched_k", "batch_seq"}``.
+
+Errors come back as ``{"error": msg}`` with 400 (bad request), 404
+(unknown route/key), or 500 (unexpected).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+
+import numpy as np
+
+from repro.errors import ReproError, ServiceError
+
+__all__ = ["start_http", "http_request"]
+
+_MAX_BODY = 256 * 1024 * 1024
+
+
+async def start_http(service, host: str, port: int):
+    """``asyncio.start_server`` wrapper binding the request handler."""
+    return await asyncio.start_server(
+        functools.partial(_handle, service), host, port)
+
+
+async def _handle(service, reader: asyncio.StreamReader,
+                  writer: asyncio.StreamWriter) -> None:
+    status, payload = 500, {"error": "internal error"}
+    try:
+        request_line = await reader.readline()
+        if not request_line:
+            writer.close()
+            return
+        try:
+            method, path, _ = request_line.decode("latin1").split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length")
+        if length > _MAX_BODY:
+            raise _HttpError(400, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        status, payload = await _dispatch(service, method.upper(),
+                                          path.strip(), body)
+    except _HttpError as exc:
+        status, payload = exc.status, {"error": exc.message}
+    except (asyncio.IncompleteReadError, ConnectionError):
+        writer.close()
+        return
+    except Exception as exc:  # pragma: no cover - defensive
+        status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+    data = json.dumps(payload).encode()
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              500: "Internal Server Error"}.get(status, "Error")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin1")
+    try:
+        writer.write(head + data)
+        await writer.drain()
+    except ConnectionError:  # pragma: no cover - client went away
+        pass
+    finally:
+        writer.close()
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _json_body(body: bytes) -> dict:
+    if not body:
+        raise _HttpError(400, "missing JSON body")
+    try:
+        obj = json.loads(body.decode())
+    except (ValueError, UnicodeDecodeError):
+        raise _HttpError(400, "invalid JSON body")
+    if not isinstance(obj, dict):
+        raise _HttpError(400, "JSON body must be an object")
+    return obj
+
+
+async def _dispatch(service, method: str, path: str,
+                    body: bytes) -> tuple[int, dict]:
+    if method == "GET" and path == "/healthz":
+        return 200, {"ok": True, "graphs": len(service._specs)}
+    if method == "GET" and path == "/stats":
+        return 200, service.stats()
+    if method == "POST" and path == "/graphs":
+        return await _post_graph(service, _json_body(body))
+    if method == "POST" and path == "/solve":
+        return await _post_solve(service, _json_body(body))
+    return 404, {"error": f"no route {method} {path}"}
+
+
+async def _post_graph(service, obj: dict) -> tuple[int, dict]:
+    from repro.graphs.multigraph import MultiGraph
+
+    for field in ("n", "u", "v", "w"):
+        if field not in obj:
+            raise _HttpError(400, f"graph body needs {field!r}")
+    try:
+        graph = MultiGraph(int(obj["n"]),
+                           np.asarray(obj["u"]), np.asarray(obj["v"]),
+                           np.asarray(obj["w"], dtype=np.float64),
+                           mult=np.asarray(obj["mult"])
+                           if obj.get("mult") is not None else None)
+    except (ReproError, TypeError, ValueError) as exc:
+        raise _HttpError(400, f"bad graph: {exc}")
+    seed = obj.get("seed")
+    loop = asyncio.get_running_loop()
+    try:
+        # The warm build is the expensive part — run it off-loop in the
+        # solve executor (single-flight via the cache either way).
+        key = await loop.run_in_executor(
+            service._solve_pool,
+            functools.partial(service.register, graph,
+                              seed=None if seed is None else int(seed)))
+    except ReproError as exc:
+        raise _HttpError(400, f"build failed: {exc}")
+    solver = service.cache.get(key)
+    return 200, {"key": key, "n": graph.n, "m": graph.m,
+                 "chain_nbytes": int(solver.chain.nbytes)
+                 if solver is not None else None}
+
+
+async def _post_solve(service, obj: dict) -> tuple[int, dict]:
+    key = obj.get("key")
+    if not isinstance(key, str):
+        raise _HttpError(400, "solve body needs a string 'key'")
+    if key not in service._specs:
+        raise _HttpError(404, f"unknown graph key {key!r}")
+    spec = service._specs[key]
+    if obj.get("b") is not None:
+        b = np.asarray(obj["b"], dtype=np.float64)
+        if b.ndim != 1:
+            raise _HttpError(400, "'b' must be a flat array")
+    elif "source" in obj and "sink" in obj:
+        b = np.zeros(spec.graph.n)
+        try:
+            b[int(obj["source"])] = 1.0
+            b[int(obj["sink"])] += -1.0
+        except (IndexError, ValueError):
+            raise _HttpError(400, "source/sink out of range")
+    else:
+        raise _HttpError(400, "solve body needs 'b' or 'source'+'sink'")
+    eps = float(obj.get("eps", 1e-6))
+    method = obj.get("method", "richardson")
+    if method not in ("richardson", "pcg"):
+        raise _HttpError(400, f"unknown method {method!r}")
+    try:
+        result = await service._submit(key, b, eps, method, plan=None)
+    except ServiceError as exc:
+        raise _HttpError(404, str(exc))
+    except ReproError as exc:
+        raise _HttpError(400, f"solve failed: {exc}")
+    return 200, {"x": result.x.tolist(), "status": result.status,
+                 "iterations": result.iterations,
+                 "residual_2norm": result.residual_2norm,
+                 "method": result.method, "batched_k": result.batched_k,
+                 "batch_seq": result.batch_seq}
+
+
+def http_request(url: str, method: str = "GET", payload: dict | None = None,
+                 timeout: float = 60.0) -> tuple[int, dict]:
+    """Tiny synchronous JSON client (urllib) for the CLI and tests.
+
+    Returns ``(status_code, decoded_body)``; 4xx/5xx responses are
+    returned, not raised, so callers can surface the server's
+    ``{"error": ...}`` message.
+    """
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode() or "{}")
+    except urllib.error.HTTPError as err:
+        try:
+            body = json.loads(err.read().decode() or "{}")
+        except ValueError:
+            body = {"error": err.reason}
+        return err.code, body

@@ -1,0 +1,327 @@
+"""Long-lived solver service: resident chains + micro-batched solves.
+
+:class:`SolverService` is the in-process heart of ``repro serve``
+(DESIGN.md §12).  It owns
+
+* a dedicated thread running an asyncio event loop (request plumbing),
+* a single-worker solve executor (batched solves and chain builds run
+  one at a time, so batch execution order — and therefore the fault
+  coordinates of ``stage=serve`` directives — is deterministic),
+* a :class:`repro.serve.cache.ChainCache` of resident solvers built
+  with ``keep_graphs=False`` (streaming builds: the cache holds the
+  solve payload, not the per-level graphs), and
+* a :class:`repro.serve.batcher.MicroBatcher` that fuses concurrent
+  single-RHS requests into one ``solve_many`` block.
+
+Thread model: callers live anywhere (:meth:`submit` is thread-safe and
+returns a ``concurrent.futures.Future``); fault plans are resolved in
+the *calling* thread (the same rule the executor's dispatch sites
+follow — see :mod:`repro.pram.faults`) and travel with the request, so
+a ``use_faults`` block around a submission works even though the solve
+happens on the service's thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SolverOptions, default_options, reset_env_caches
+from repro.core.solver import LaplacianSolver
+from repro.errors import DimensionMismatchError, ServiceError
+from repro.graphs.multigraph import MultiGraph
+from repro.pram.executor import RetryPolicy
+from repro.pram.faults import (
+    FaultLog,
+    InjectedFault,
+    active_plan,
+    apply_serve_faults,
+    split_serve_plan,
+    use_faults,
+)
+from repro.serve.batcher import (
+    MicroBatcher,
+    ServeResult,
+    default_serve_max_batch,
+    default_serve_window_ms,
+)
+from repro.serve.cache import ChainCache
+from repro.serve.keys import solver_cache_key
+
+__all__ = ["SolverService", "GraphSpec"]
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """What it takes to (re)build one registered graph's solver."""
+
+    graph: MultiGraph
+    options: SolverOptions
+    seed: int | None
+
+
+class SolverService:
+    """Resident-chain, micro-batching front end over the solver.
+
+    Parameters
+    ----------
+    options:
+        Default :class:`SolverOptions` for registered graphs (per-graph
+        overrides via :meth:`register`).  ``keep_graphs`` is forced off
+        for cache builds — the service holds solve payloads, not
+        diagnostics graphs.
+    window_ms / max_batch / cache_bytes:
+        Explicit knob overrides; ``None`` resolves
+        ``REPRO_SERVE_WINDOW_MS`` / ``REPRO_SERVE_MAX_BATCH`` /
+        ``REPRO_SERVE_CACHE_BYTES`` lazily.
+    """
+
+    def __init__(self, *, options: SolverOptions | None = None,
+                 window_ms: float | None = None,
+                 max_batch: int | None = None,
+                 cache_bytes: int | None = None) -> None:
+        self.options = options or default_options()
+        self.cache = ChainCache(max_bytes=cache_bytes)
+        #: Serve-level fault log: ``stage=serve`` injections, batch
+        #: retries/exhaustions, plus every batch report's own events.
+        self.fault_log = FaultLog()
+        self._window_ms = window_ms
+        self._max_batch = max_batch
+        self._specs: dict[str, GraphSpec] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._solve_pool: ThreadPoolExecutor | None = None
+        self.batcher: MicroBatcher | None = None
+        self._http_servers: list = []
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SolverService":
+        """Spin up the event loop thread. Idempotent."""
+        if self._started:
+            return self
+        if self._closed:
+            raise ServiceError("service was closed; build a new one")
+        # A daemon must see the environment it was launched with, not
+        # whatever its importing process had already cached.
+        reset_env_caches()
+        self._solve_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-solve")
+        self.batcher = MicroBatcher(
+            self._run_batch, self._solve_pool,
+            window_ms=self._window_ms, max_batch=self._max_batch)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop",
+            daemon=True)
+        self._thread.start()
+        self._started = True
+        return self
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain, stop the loop, and release every resident chain."""
+        if not self._started or self._closed:
+            self._closed = True
+            self.cache.close()
+            return
+        self._closed = True
+        try:
+            fut = asyncio.run_coroutine_threadsafe(
+                self._shutdown_async(), self._loop)
+            fut.result(timeout=30)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        if not self._loop.is_running():
+            self._loop.close()
+        self._solve_pool.shutdown(wait=True)
+        self.cache.close()
+
+    async def _shutdown_async(self) -> None:
+        for server in self._http_servers:
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        self._http_servers.clear()
+        await self.batcher.shutdown(ServiceError("service closed"))
+
+    def _require_started(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+        if not self._started:
+            raise ServiceError("service not started; call start() or "
+                               "use it as a context manager")
+
+    # -- graph registry ------------------------------------------------------
+
+    def register(self, graph: MultiGraph,
+                 options: SolverOptions | None = None,
+                 seed: int | None = None, warm: bool = True) -> str:
+        """Register ``graph`` and return its canonical cache key.
+
+        The spec is retained so an evicted chain can be rebuilt on the
+        next request for its key; ``warm=True`` (default) builds the
+        chain now (through the cache, so concurrent registrations
+        single-flight).
+        """
+        options = options if options is not None else self.options
+        if seed is None:
+            seed = options.seed if options.seed is not None else 0
+        key = solver_cache_key(graph, options, seed)
+        self._specs[key] = GraphSpec(graph, options, int(seed))
+        if warm:
+            self._resolve_solver(key)
+        return key
+
+    def _build(self, spec: GraphSpec) -> LaplacianSolver:
+        return LaplacianSolver(
+            spec.graph, options=spec.options.with_(keep_graphs=False),
+            seed=spec.seed)
+
+    def _resolve_solver(self, key: str) -> LaplacianSolver:
+        spec = self._specs.get(key)
+        if spec is None:
+            raise ServiceError(
+                f"unknown graph key {key!r}; register the graph first")
+        return self.cache.get_or_build(key, lambda: self._build(spec))
+
+    # -- request path --------------------------------------------------------
+
+    def submit(self, key: str, b: np.ndarray, eps: float = 1e-6,
+               method: str = "richardson") -> "Future[ServeResult]":
+        """Queue one single-RHS request; thread-safe.
+
+        Returns a ``concurrent.futures.Future`` resolving to this
+        request's :class:`ServeResult` once its micro-batch completes.
+        The ambient fault plan is captured here, in the calling thread.
+        """
+        self._require_started()
+        b = np.ascontiguousarray(np.asarray(b, dtype=np.float64))
+        if b.ndim != 1:
+            raise DimensionMismatchError(
+                f"service requests are single right-hand sides; "
+                f"got shape {b.shape}")
+        plan = active_plan()
+        return asyncio.run_coroutine_threadsafe(
+            self._submit(key, b, float(eps), method, plan), self._loop)
+
+    def solve(self, key: str, b: np.ndarray, eps: float = 1e-6,
+              method: str = "richardson",
+              timeout: float | None = 120.0) -> ServeResult:
+        """Blocking convenience wrapper over :meth:`submit`."""
+        return self.submit(key, b, eps=eps, method=method).result(
+            timeout=timeout)
+
+    async def _submit(self, key: str, b: np.ndarray, eps: float,
+                      method: str, plan) -> ServeResult:
+        loop = asyncio.get_running_loop()
+        solver = self.cache.get(key)
+        if solver is None:
+            # Build (or wait on the single-flight build) off-loop, in
+            # the solve executor: a cold chain must not stall the
+            # event loop's request plumbing.
+            solver = await loop.run_in_executor(
+                self._solve_pool, self._resolve_solver, key)
+        if b.shape != (solver.n,):
+            raise DimensionMismatchError(
+                f"b must have shape ({solver.n},) for this graph, "
+                f"got {b.shape}")
+        return await self.batcher.submit(key, solver, b, eps, method,
+                                         plan=plan)
+
+    def _run_batch(self, solver: LaplacianSolver, B: np.ndarray,
+                   eps_col: np.ndarray, method: str, plan,
+                   batch_seq: int):
+        """Execute one micro-batch (solve-executor thread).
+
+        ``stage=serve`` kill/hang directives fire here, before the
+        blocked solve, and are retried under the ambient
+        :class:`RetryPolicy` — stateless directives make the replay
+        bit-identical.  The remaining plan is installed around the
+        solve so in-kernel injection (including rewritten
+        ``nan:stage=serve`` directives) behaves exactly as it would
+        under a direct ``solve_many``.
+        """
+        serve_directives, inner_plan = split_serve_plan(plan)
+        policy = RetryPolicy.from_env()
+        attempt = 0
+        while True:
+            try:
+                if serve_directives:
+                    apply_serve_faults(serve_directives, batch=batch_seq,
+                                       attempt=attempt,
+                                       log=self.fault_log)
+                context = use_faults(inner_plan) if plan is not None \
+                    else contextlib.nullcontext()
+                with context:
+                    report = solver.solve_many_report(B, eps=eps_col,
+                                                      method=method)
+                if report.fault_log is not None:
+                    self.fault_log.events.extend(report.fault_log.events)
+                return report
+            except InjectedFault as exc:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    self.fault_log.record(
+                        "exhausted", kind="serve", chunk=batch_seq,
+                        attempt=attempt, backend="serve",
+                        detail=str(exc))
+                    raise
+                self.fault_log.record(
+                    "retry", chunk=batch_seq, attempt=attempt,
+                    backend="serve", detail="re-dispatching batch")
+                time.sleep(policy.base_delay * (2 ** (attempt - 1)))
+
+    # -- HTTP front end ------------------------------------------------------
+
+    def serve_http(self, host: str = "127.0.0.1",
+                   port: int = 8000) -> tuple[str, int]:
+        """Start the stdlib HTTP front end; returns ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the returned value is the
+        real one).  Runs on the service's event loop; closed with the
+        service.
+        """
+        self._require_started()
+        from repro.serve.http import start_http
+
+        fut = asyncio.run_coroutine_threadsafe(
+            start_http(self, host, port), self._loop)
+        server = fut.result(timeout=30)
+        self._http_servers.append(server)
+        sock = server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Cache, batcher, fault, and knob snapshot (JSON-friendly)."""
+        window_ms = self._window_ms if self._window_ms is not None \
+            else default_serve_window_ms()
+        max_batch = self._max_batch if self._max_batch is not None \
+            else default_serve_max_batch()
+        return {
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats()
+            if self.batcher is not None else {},
+            "faults": self.fault_log.summary(),
+            "graphs": len(self._specs),
+            "knobs": {"window_ms": float(window_ms),
+                      "max_batch": int(max_batch),
+                      "cache_bytes": int(self.cache.max_bytes)},
+        }

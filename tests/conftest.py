@@ -9,6 +9,21 @@ from repro.graphs import generators as G
 from repro.graphs.multigraph import MultiGraph
 
 
+@pytest.fixture(autouse=True)
+def _reset_env_caches():
+    """Teardown: drop cached ``REPRO_*`` env lookups after every test.
+
+    The env knobs are parsed once per raw value into a shared
+    module-level cache (:func:`repro.pram.executor._env_cached`); a
+    test that monkeypatches an env var or pokes the cache must not
+    leak its parse results into the next test.
+    """
+    yield
+    from repro.config import reset_env_caches
+
+    reset_env_caches()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0xC0FFEE)

@@ -1,0 +1,712 @@
+"""Service-level test suite: resident chain cache + micro-batched solves.
+
+Re-proves the library's contracts at the service boundary
+(DESIGN.md §12):
+
+* **batching equivalence** — k concurrent single-RHS requests through
+  the micro-batcher are bit-identical to one direct ``solve_many`` on
+  the assembled block, across ``{serial, thread, process}`` backends
+  and both samplers; sequential library ``solve(b)`` calls agree to
+  solver tolerance (the blocked path's documented contract — see
+  ``FREEZE_FACTOR`` in :mod:`repro.core.richardson`);
+* **cache semantics** — canonical graph hashing, LRU eviction under a
+  byte budget audited against ``CholeskyChain.nbytes``, single-flight
+  concurrent builds, cached-vs-fresh-chain bit-identity;
+* **fault isolation** — ``stage=serve`` kill/hang retries recover
+  bit-identically; a nan-poisoned request degrades only its own
+  column (``column_status``) while cohabiting requests in the same
+  batch are untouched;
+* **hygiene** — no leaked shared-memory segments after shutdown; env
+  caches reset on server start and in test teardown.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import default_options, practical_options, reset_env_caches
+from repro.core.solver import LaplacianSolver
+from repro.errors import DimensionMismatchError, ServiceError
+from repro.graphs import generators as G
+from repro.graphs.multigraph import MultiGraph
+from repro.pram.executor import _env_caches, default_workers, \
+    live_segment_names
+from repro.pram.faults import FaultPlan, InjectedFault, split_serve_plan, \
+    use_faults
+from repro.serve import (
+    ChainCache,
+    SolverService,
+    default_serve_cache_bytes,
+    default_serve_max_batch,
+    default_serve_window_ms,
+    graph_fingerprint,
+    solver_cache_key,
+)
+
+#: Generous gathering window for tests that must co-batch their
+#: submissions regardless of scheduler jitter.
+WINDOW_MS = 200.0
+
+
+def _streaming(options=None):
+    return (options or default_options()).with_(keep_graphs=False)
+
+
+def _build_solver(graph, options=None, seed=0):
+    return LaplacianSolver(graph, options=_streaming(options), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# canonical cache keys
+
+
+class TestGraphKeys:
+    def test_edge_order_permutation_hashes_identically(self):
+        g = G.grid2d(5, 5)
+        perm = np.random.default_rng(3).permutation(g.m)
+        shuffled = MultiGraph(g.n, g.u[perm], g.v[perm], g.w[perm])
+        assert graph_fingerprint(shuffled) == graph_fingerprint(g)
+
+    def test_endpoint_orientation_hashes_identically(self):
+        g = G.path(10)
+        flipped = MultiGraph(g.n, g.v.copy(), g.u.copy(), g.w.copy())
+        assert graph_fingerprint(flipped) == graph_fingerprint(g)
+
+    def test_dtype_variants_hash_identically(self):
+        g = G.cycle(12)
+        narrow = MultiGraph(g.n,
+                            g.u.astype(np.int32), g.v.astype(np.int32),
+                            g.w.astype(np.float32))
+        assert graph_fingerprint(narrow) == graph_fingerprint(g)
+
+    def test_node_relabeling_hashes_distinctly(self):
+        g = G.grid2d(5, 5)
+        relabel = np.arange(g.n)
+        relabel[[0, 1]] = [1, 0]
+        relabeled = MultiGraph(g.n, relabel[g.u], relabel[g.v], g.w)
+        assert graph_fingerprint(relabeled) != graph_fingerprint(g)
+
+    def test_weights_hash_distinctly(self):
+        g = G.path(10)
+        heavier = MultiGraph(g.n, g.u, g.v, g.w * 2.0)
+        assert graph_fingerprint(heavier) != graph_fingerprint(g)
+
+    def test_mult_grouping_is_part_of_identity(self):
+        # Two unit groups vs one mult=2 group have the same Laplacian
+        # but different stored layouts, hence different walk
+        # realisations — they must not share a chain.
+        two_groups = MultiGraph(3, [0, 0, 1], [1, 1, 2],
+                                [1.0, 1.0, 1.0])
+        merged = MultiGraph(3, [0, 1], [1, 2], [2.0, 1.0],
+                            mult=[2, 1])
+        assert graph_fingerprint(two_groups) != graph_fingerprint(merged)
+        # ...but an explicit all-ones mult is the same identity as None.
+        explicit = MultiGraph(3, [0, 0, 1], [1, 1, 2],
+                              [1.0, 1.0, 1.0], mult=[1, 1, 1])
+        assert graph_fingerprint(explicit) == graph_fingerprint(two_groups)
+
+    def test_seed_and_chain_options_change_the_key(self):
+        g = G.grid2d(5, 5)
+        base = solver_cache_key(g, default_options(), 0)
+        assert solver_cache_key(g, default_options(), 1) != base
+        assert solver_cache_key(g, practical_options(), 0) != base
+        assert solver_cache_key(
+            g, default_options().with_(min_vertices=50), 0) != base
+        assert solver_cache_key(
+            g, default_options().with_(chunk_columns=4), 0) != base
+
+    def test_runtime_knobs_do_not_change_the_key(self):
+        # The determinism contract (DESIGN.md §6) proves these
+        # result-neutral, so clients differing only in them share a
+        # resident chain.
+        g = G.grid2d(5, 5)
+        base = solver_cache_key(g, default_options(), 0)
+        for variant in (default_options().with_(workers=3),
+                        default_options().with_(backend="process"),
+                        default_options().with_(retries=7),
+                        default_options().with_(degrade=True),
+                        default_options().with_(ship_solves=True),
+                        default_options().with_(keep_graphs=False)):
+            assert solver_cache_key(g, variant, 0) == base
+
+    def test_sampler_resolution_changes_the_key(self):
+        g = G.grid2d(5, 5)
+        alias = solver_cache_key(
+            g, default_options().with_(sampler="alias"), 0)
+        bisect = solver_cache_key(
+            g, default_options().with_(sampler="bisect"), 0)
+        assert alias != bisect
+
+    def test_solver_cache_key_method(self):
+        g = G.grid2d(4, 4)
+        opts = _streaming()
+        solver = LaplacianSolver(g, options=opts, seed=0)
+        assert solver.cache_key() == solver_cache_key(g, opts, 0)
+        gen = LaplacianSolver(g, options=opts,
+                              seed=np.random.default_rng(0))
+        with pytest.raises(TypeError):
+            gen.cache_key()
+
+
+# ---------------------------------------------------------------------------
+# cache semantics
+
+
+class TestChainCache:
+    def test_hit_miss_and_build_counts(self):
+        g = G.path(20)
+        cache = ChainCache(max_bytes=1 << 30)
+        key = solver_cache_key(g, default_options(), 0)
+        built = []
+
+        def build():
+            solver = _build_solver(g)
+            built.append(solver)
+            return solver
+
+        first = cache.get_or_build(key, build)
+        second = cache.get_or_build(key, build)
+        assert first is second and len(built) == 1
+        assert cache.builds == 1 and cache.misses == 1
+        assert cache.hits == 1
+        assert key in cache and len(cache) == 1
+
+    def test_lru_eviction_audited_against_chain_nbytes(self):
+        graphs = [G.path(30), G.grid2d(5, 5), G.cycle(40)]
+        solvers = [_build_solver(g) for g in graphs]
+        sizes = [s.chain.nbytes for s in solvers]
+        keys = [solver_cache_key(g, default_options(), 0)
+                for g in graphs]
+        # Budget admits the first two chains but not all three.
+        budget = sizes[0] + sizes[1] + sizes[2] - 1
+        cache = ChainCache(max_bytes=budget)
+        cache.get_or_build(keys[0], lambda: solvers[0])
+        cache.get_or_build(keys[1], lambda: solvers[1])
+        assert cache.total_bytes() == sizes[0] + sizes[1]
+        # Touch key 0 so key 1 is the LRU entry...
+        assert cache.get(keys[0]) is solvers[0]
+        cache.get_or_build(keys[2], lambda: solvers[2])
+        # ...and the third insert evicts exactly key 1.
+        assert cache.keys() == (keys[0], keys[2])
+        assert cache.evictions == 1
+        assert cache.total_bytes() == sizes[0] + sizes[2] <= budget
+
+    def test_oversized_single_entry_is_retained(self):
+        g = G.path(25)
+        cache = ChainCache(max_bytes=1)
+        key = solver_cache_key(g, default_options(), 0)
+        solver = cache.get_or_build(key, lambda: _build_solver(g))
+        assert cache.get(key) is solver
+        assert cache.evictions == 0
+
+    def test_single_flight_concurrent_misses_build_once(self):
+        g = G.grid2d(5, 5)
+        cache = ChainCache(max_bytes=1 << 30)
+        key = solver_cache_key(g, default_options(), 0)
+        build_calls = []
+        barrier = threading.Barrier(6)
+        results = []
+
+        def build():
+            build_calls.append(1)
+            time.sleep(0.05)  # widen the race window
+            return _build_solver(g)
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_build(key, build))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(build_calls) == 1 and cache.builds == 1
+        assert len(results) == 6
+        assert all(r is results[0] for r in results)
+
+    def test_build_failure_propagates_and_is_not_cached(self):
+        cache = ChainCache(max_bytes=1 << 30)
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("injected build failure")
+
+        with pytest.raises(ValueError):
+            cache.get_or_build("k", boom)
+        # A later miss retries (failures are not poisoned-cached).
+        g = G.path(10)
+        solver = cache.get_or_build("k", lambda: _build_solver(g))
+        assert solver.n == g.n and len(calls) == 1
+
+    def test_cached_vs_fresh_chain_solves_bit_identical(self):
+        g = G.grid2d(6, 6)
+        cache = ChainCache(max_bytes=1 << 30)
+        key = solver_cache_key(g, default_options(), 0)
+        cached = cache.get_or_build(key, lambda: _build_solver(g))
+        fresh = _build_solver(g)
+        assert cached.chain.payload_fingerprint() \
+            == fresh.chain.payload_fingerprint()
+        B = np.random.default_rng(7).normal(size=(g.n, 4))
+        np.testing.assert_array_equal(cached.solve_many(B),
+                                      fresh.solve_many(B))
+
+    def test_close_releases_everything(self):
+        g = G.path(15)
+        cache = ChainCache(max_bytes=1 << 30)
+        cache.get_or_build("k", lambda: _build_solver(g))
+        cache.close()
+        assert len(cache) == 0
+        assert live_segment_names() == ()
+
+
+# ---------------------------------------------------------------------------
+# batching equivalence (backend × sampler matrix)
+
+
+class TestBatchingEquivalence:
+    K = 5
+
+    @pytest.mark.parametrize("sampler", ["alias", "bisect"])
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_batched_bit_identical_to_direct_solve_many(
+            self, backend, sampler):
+        # n > min_vertices so the build actually walks (the sampler and
+        # backend matter); chunk_columns=2 so the blocked solve fans
+        # out column chunks through the chosen backend too.
+        g = G.grid2d(12, 12)
+        opts = practical_options(seed=0).with_(
+            backend=backend, sampler=sampler, chunk_columns=2)
+        with SolverService(options=opts, window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(5).normal(size=(g.n, self.K))
+            futures = [svc.submit(key, B[:, i]) for i in range(self.K)]
+            results = [f.result(timeout=120) for f in futures]
+            # One batch, columns scattered in submission order.
+            assert {r.batch_seq for r in results} == \
+                {results[0].batch_seq}
+            assert all(r.batched_k == self.K for r in results)
+            X = np.stack([r.x for r in results], axis=1)
+            solver = svc.cache.get(key)
+            direct = solver.solve_many_report(B, eps=1e-6)
+            np.testing.assert_array_equal(X, direct.x)
+            assert [r.status for r in results] \
+                == list(direct.column_status)
+            assert [r.iterations for r in results] \
+                == list(direct.per_column_iterations)
+
+    def test_batched_matches_sequential_solves_to_tolerance(self):
+        # Sequential solve(b) runs the 1-D scalar hot path (different
+        # kernels, no freeze), so agreement is to solver tolerance —
+        # the documented blocked-path contract — while both meet eps.
+        g = G.grid2d(8, 8)
+        with SolverService(window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(2).normal(size=(g.n, 4))
+            futures = [svc.submit(key, B[:, i], eps=1e-8)
+                       for i in range(4)]
+            results = [f.result(timeout=60) for f in futures]
+            solver = svc.cache.get(key)
+        for i, r in enumerate(results):
+            x_seq = solver.solve(B[:, i], eps=1e-8)
+            np.testing.assert_allclose(r.x, x_seq, rtol=1e-6,
+                                       atol=1e-9)
+            assert r.residual_2norm < 1e-6
+
+    def test_heterogeneous_eps_per_request(self):
+        g = G.grid2d(8, 8)
+        with SolverService(window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(3).normal(size=(g.n, 3))
+            eps = [1e-4, 1e-8, 1e-6]
+            futures = [svc.submit(key, B[:, i], eps=eps[i])
+                       for i in range(3)]
+            results = [f.result(timeout=60) for f in futures]
+            assert all(r.batched_k == 3 for r in results)
+            X = np.stack([r.x for r in results], axis=1)
+            direct = svc.cache.get(key).solve_many(
+                B, eps=np.array(eps))
+        np.testing.assert_array_equal(X, direct)
+
+    def test_single_request_is_a_batch_of_one(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=20.0) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(4).normal(size=g.n)
+            r = svc.solve(key, b)
+            assert r.batched_k == 1
+            direct = svc.cache.get(key).solve_many(b[:, None])
+        np.testing.assert_array_equal(r.x, direct[:, 0])
+
+    def test_max_batch_flushes_before_the_window(self):
+        g = G.grid2d(6, 6)
+        # Window absurdly long: only the max-batch flush can finish.
+        with SolverService(window_ms=60_000.0, max_batch=3) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(6).normal(size=(g.n, 3))
+            t0 = time.perf_counter()
+            futures = [svc.submit(key, B[:, i]) for i in range(3)]
+            results = [f.result(timeout=30) for f in futures]
+            elapsed = time.perf_counter() - t0
+        assert elapsed < 30.0
+        assert all(r.batched_k == 3 for r in results)
+
+    def test_methods_do_not_share_a_batch(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(8).normal(size=g.n)
+            f1 = svc.submit(key, b, method="richardson")
+            f2 = svc.submit(key, b, method="pcg")
+            r1, r2 = f1.result(60), f2.result(60)
+        assert r1.batch_seq != r2.batch_seq
+        assert r1.batched_k == r2.batched_k == 1
+        assert r2.method == "pcg"
+
+    def test_two_graphs_batch_separately(self):
+        g1, g2 = G.grid2d(6, 6), G.path(30)
+        with SolverService(window_ms=WINDOW_MS) as svc:
+            k1 = svc.register(g1, seed=0)
+            k2 = svc.register(g2, seed=0)
+            assert k1 != k2
+            b1 = np.random.default_rng(9).normal(size=g1.n)
+            b2 = np.random.default_rng(10).normal(size=g2.n)
+            f1 = svc.submit(k1, b1)
+            f2 = svc.submit(k2, b2)
+            r1, r2 = f1.result(60), f2.result(60)
+        assert r1.batch_seq != r2.batch_seq
+        assert r1.x.shape == (g1.n,) and r2.x.shape == (g2.n,)
+
+    def test_eviction_then_request_rebuilds_transparently(self):
+        g1, g2 = G.path(30), G.cycle(40)
+        nb = _build_solver(g1).chain.nbytes
+        # Budget below two chains: registering g2 evicts g1's chain.
+        with SolverService(window_ms=20.0, cache_bytes=nb) as svc:
+            k1 = svc.register(g1, seed=0)
+            baseline = svc.solve(
+                k1, np.random.default_rng(11).normal(size=g1.n))
+            k2 = svc.register(g2, seed=0)
+            assert svc.cache.keys() == (k2,)
+            # The evicted key still serves: the retained spec rebuilds.
+            again = svc.solve(
+                k1, np.random.default_rng(11).normal(size=g1.n))
+            assert svc.cache.builds == 3
+        np.testing.assert_array_equal(again.x, baseline.x)
+
+    def test_request_validation(self):
+        g = G.grid2d(5, 5)
+        with SolverService(window_ms=10.0) as svc:
+            key = svc.register(g, seed=0)
+            with pytest.raises(ServiceError):
+                svc.solve("no-such-key",
+                          np.zeros(g.n))
+            with pytest.raises(DimensionMismatchError):
+                svc.submit(key, np.zeros((g.n, 2)))
+            bad = svc.submit(key, np.zeros(g.n + 1))
+            with pytest.raises(DimensionMismatchError):
+                bad.result(timeout=30)
+        with pytest.raises(ServiceError):
+            svc.submit(key, np.zeros(g.n))
+
+
+# ---------------------------------------------------------------------------
+# service-level fault injection
+
+
+class TestServeFaults:
+    def test_kill_retry_recovers_bit_identically(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=20.0) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(12).normal(size=g.n)
+            clean = svc.solve(key, b)  # batch_seq 0
+            with use_faults("kill:chunk=1:stage=serve"):
+                faulted = svc.solve(key, b)  # batch_seq 1
+            assert faulted.batch_seq == 1
+            np.testing.assert_array_equal(faulted.x, clean.x)
+            summary = svc.fault_log.summary()
+        assert summary.get("inject") == 1
+        assert summary.get("retry") == 1
+
+    def test_hang_retry_recovers_bit_identically(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=20.0) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(13).normal(size=g.n)
+            clean = svc.solve(key, b)
+            with use_faults("hang:chunk=1:stage=serve:seconds=5"):
+                t0 = time.perf_counter()
+                faulted = svc.solve(key, b)
+                elapsed = time.perf_counter() - t0
+            # In-process hangs are capped to a bounded stall.
+            assert elapsed < 5.0
+            np.testing.assert_array_equal(faulted.x, clean.x)
+            assert svc.fault_log.count("inject") == 1
+
+    def test_kill_every_attempt_exhausts_the_whole_batch(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(14).normal(size=(g.n, 3))
+            with use_faults("kill:chunk=0:attempt=*:stage=serve"):
+                futures = [svc.submit(key, B[:, i]) for i in range(3)]
+            # Batch-level failure reaches every cohabiting caller.
+            for f in futures:
+                with pytest.raises(InjectedFault):
+                    f.result(timeout=60)
+            assert svc.fault_log.count("exhausted") == 1
+            # The service survives: the directive pins batch 0 only.
+            ok = svc.solve(key, B[:, 0])
+            assert np.isfinite(ok.x).all()
+
+    def test_nan_poisons_only_its_own_request(self):
+        # Same workload as TestNumericalContainment in test_faults.py,
+        # through the service: request 3 of a 6-wide batch is poisoned;
+        # its column walks the escalation ladder while the cohabiting
+        # five are bit-identical to the fault-free batch.
+        g = G.grid2d(8, 8)
+        opts = default_options().with_(chunk_columns=4)
+        with SolverService(options=opts, window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(1).normal(size=(g.n, 6))
+            futures = [svc.submit(key, B[:, i]) for i in range(6)]
+            clean = [f.result(timeout=60) for f in futures]
+            assert all(r.batched_k == 6 for r in clean)
+            assert all(r.status == "richardson" for r in clean)
+            with use_faults("nan:col=3:stage=serve"):
+                futures = [svc.submit(key, B[:, i]) for i in range(6)]
+            faulted = [f.result(timeout=60) for f in futures]
+            summary = svc.fault_log.summary()
+        assert all(r.batched_k == 6 for r in faulted)
+        # The poisoned request alone degrades (nan at iter 0, re-fired
+        # by the stage wildcard inside the escalation CG -> dense).
+        assert faulted[3].status == "dense"
+        assert np.isfinite(faulted[3].x).all()
+        assert faulted[3].residual_2norm < 1e-6
+        for i in (0, 1, 2, 4, 5):
+            assert faulted[i].status == "richardson"
+            np.testing.assert_array_equal(faulted[i].x, clean[i].x)
+        assert summary.get("quarantine", 0) >= 1
+        assert summary.get("escalate", 0) >= 1
+
+    def test_serve_faults_compose_with_executor_faults(self):
+        plan = FaultPlan.parse(
+            "kill:chunk=0:stage=serve,nan:col=1:stage=serve,"
+            "kill:chunk=2:phase=walk")
+        serve, inner = split_serve_plan(plan)
+        assert len(serve) == 1 and serve[0].kind == "kill"
+        assert inner is not None and len(inner.directives) == 2
+        kinds = {d.kind for d in inner.directives}
+        assert kinds == {"nan", "kill"}
+        nan = next(d for d in inner.directives if d.kind == "nan")
+        assert nan.stage == "solve"  # rewritten for the kernels
+        walk = next(d for d in inner.directives if d.kind == "kill")
+        assert walk.phase == "walk"  # untouched pass-through
+        assert split_serve_plan(None) == ((), None)
+
+    def test_shm_hygiene_after_shutdown(self):
+        # Shipped solves publish the chain payload through shared
+        # memory; closing the service must unlink every segment.
+        g = G.grid2d(6, 6)
+        opts = default_options().with_(backend="process",
+                                       ship_solves=True,
+                                       chunk_columns=2)
+        with SolverService(options=opts, window_ms=WINDOW_MS) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(15).normal(size=(g.n, 4))
+            futures = [svc.submit(key, B[:, i]) for i in range(4)]
+            for f in futures:
+                assert np.isfinite(f.result(timeout=120).x).all()
+        assert live_segment_names() == ()
+
+
+# ---------------------------------------------------------------------------
+# env-cache reset (satellite fix)
+
+
+class TestEnvCacheReset:
+    def test_reset_clears_the_shared_cache_dict(self):
+        default_workers()
+        assert "REPRO_WORKERS" in _env_caches
+        reset_env_caches()
+        assert _env_caches == {}
+
+    def test_reset_drops_stale_parse_results(self):
+        # Simulate a poisoned entry (same raw env value, stale parse):
+        # the raw-value check alone cannot catch this; reset can.
+        real = default_workers()
+        _env_caches["REPRO_WORKERS"] = (
+            os.environ.get("REPRO_WORKERS"), real + 555)
+        assert default_workers() == real + 555
+        reset_env_caches()
+        assert default_workers() == real
+
+    def test_service_start_resets_env_caches(self):
+        real = default_workers()
+        _env_caches["REPRO_WORKERS"] = (
+            os.environ.get("REPRO_WORKERS"), real + 555)
+        svc = SolverService(window_ms=10.0)
+        try:
+            svc.start()
+            assert default_workers() == real
+        finally:
+            svc.close()
+
+    def test_serve_knobs_are_env_cached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WINDOW_MS", "7.5")
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "9")
+        monkeypatch.setenv("REPRO_SERVE_CACHE_BYTES", "12345")
+        assert default_serve_window_ms() == 7.5
+        assert default_serve_max_batch() == 9
+        assert default_serve_cache_bytes() == 12345
+        monkeypatch.setenv("REPRO_SERVE_WINDOW_MS", "oops")
+        with pytest.raises(ValueError):
+            default_serve_window_ms()
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "0")
+        with pytest.raises(ValueError):
+            default_serve_max_batch()
+        monkeypatch.setenv("REPRO_SERVE_CACHE_BYTES", "-1")
+        with pytest.raises(ValueError):
+            default_serve_cache_bytes()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+
+
+class TestServeHTTP:
+    @staticmethod
+    def _request(base, path, method="GET", payload=None):
+        from repro.serve.http import http_request
+        return http_request(base + path, method=method, payload=payload)
+
+    def test_healthz_stats_and_errors(self):
+        with SolverService(window_ms=20.0) as svc:
+            host, port = svc.serve_http("127.0.0.1", 0)
+            base = f"http://{host}:{port}"
+            code, payload = self._request(base, "/healthz")
+            assert code == 200 and payload["ok"] is True
+            code, payload = self._request(base, "/stats")
+            assert code == 200 and "cache" in payload
+            code, payload = self._request(base, "/nope")
+            assert code == 404
+            code, payload = self._request(
+                base, "/solve", method="POST",
+                payload={"key": "missing", "source": 0, "sink": -1})
+            assert code == 404 and "unknown graph key" in payload["error"]
+            code, payload = self._request(
+                base, "/graphs", method="POST", payload={"n": 3})
+            assert code == 400
+
+    def test_register_and_solve_round_trip(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=20.0) as svc:
+            svc.start()
+            host, port = svc.serve_http("127.0.0.1", 0)
+            base = f"http://{host}:{port}"
+            code, reg = self._request(
+                base, "/graphs", method="POST",
+                payload={"n": g.n, "u": g.u.tolist(),
+                         "v": g.v.tolist(), "w": g.w.tolist(),
+                         "seed": 0})
+            assert code == 200
+            assert reg["n"] == g.n and reg["m"] == g.m
+            assert reg["chain_nbytes"] > 0
+            key = reg["key"]
+            assert key == solver_cache_key(g, svc.options, 0)
+            code, sol = self._request(
+                base, "/solve", method="POST",
+                payload={"key": key, "source": 0, "sink": -1})
+            assert code == 200 and sol["status"] == "richardson"
+            # JSON floats round-trip exactly (repr-based), so the HTTP
+            # answer is bit-identical to the direct blocked solve.
+            b = np.zeros(g.n)
+            b[0], b[-1] = 1.0, -1.0
+            direct = svc.cache.get(key).solve_many(b[:, None])
+            np.testing.assert_array_equal(np.asarray(sol["x"]),
+                                          direct[:, 0])
+
+    def test_concurrent_http_requests_share_a_batch(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=400.0) as svc:
+            key = svc.register(g, seed=0)
+            host, port = svc.serve_http("127.0.0.1", 0)
+            base = f"http://{host}:{port}"
+            results = [None, None]
+
+            def call(i, source):
+                results[i] = self._request(
+                    base, "/solve", method="POST",
+                    payload={"key": key, "source": source, "sink": -1})
+
+            threads = [threading.Thread(target=call, args=(i, i))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        for code, payload in results:
+            assert code == 200
+            assert payload["batched_k"] == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI: `repro serve` subprocess + `repro client`
+
+
+class TestServeCLI:
+    def test_serve_and_client_end_to_end(self, tmp_path):
+        from repro.cli import main
+
+        root = Path(__file__).resolve().parents[1]
+        graph_path = tmp_path / "g.npz"
+        assert main(["gen", "grid", str(graph_path), "--size", "5"]) == 0
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src") + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(graph_path),
+             "--port", "0", "--window-ms", "10"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env, cwd=root)
+        try:
+            banner = {}
+
+            def read_banner():
+                banner["line"] = proc.stdout.readline()
+
+            reader = threading.Thread(target=read_banner, daemon=True)
+            reader.start()
+            reader.join(timeout=90)
+            line = banner.get("line", "")
+            assert line.startswith("serving http://"), \
+                f"no banner; stderr: {proc.stderr.read() if proc.poll() is not None else '(still running)'}"
+            url = line.split()[1]
+            key = line.split("key=")[1].split()[0]
+
+            assert main(["client", url, "--stats"]) == 0
+            out = tmp_path / "x.npy"
+            assert main(["client", url, "--key", key, "--source", "0",
+                         "--sink", "-1", "--output", str(out)]) == 0
+            x = np.load(out)
+            assert x.shape == (25,) and np.isfinite(x).all()
+            # Unknown key surfaces the server's 404 as exit code 1.
+            assert main(["client", url, "--key", "bogus"]) == 1
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=10)
