@@ -20,6 +20,7 @@ suite drives it.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -77,6 +78,11 @@ def _cmd_solve(args) -> int:
     else:
         b = np.zeros(g.n)
         b[args.source], b[args.sink] = 1.0, -1.0
+    if getattr(args, "transport", None) is not None:
+        from repro.config import reset_env_caches
+
+        os.environ["REPRO_TRANSPORT"] = args.transport
+        reset_env_caches()
     t0 = time.time()
     options = default_options()
     if args.workers is not None:
@@ -148,7 +154,8 @@ def _cmd_serve(args) -> int:
     service = SolverService(options=options,
                             window_ms=args.window_ms,
                             max_batch=args.max_batch,
-                            cache_bytes=args.cache_bytes)
+                            cache_bytes=args.cache_bytes,
+                            max_pending=args.max_pending)
     service.start()
     # SIGTERM should tear down like Ctrl-C: unlink shm segments and
     # close the cache instead of dying mid-batch.
@@ -293,6 +300,12 @@ def main(argv: list[str] | None = None) -> int:
                         "(default: REPRO_COALESCE env var / off); same "
                         "Laplacians and smaller levels — results are "
                         "deterministic per (seed, coalesce) pair")
+    p.add_argument("--transport", choices=["shm", "tcp"], default=None,
+                   help="distributed-backend payload mode (default: "
+                        "REPRO_TRANSPORT env var / shm); shm publishes "
+                        "arrays via /dev/shm, tcp ships them in-band as "
+                        "chunked frames — results are bit-identical "
+                        "either way")
     p.add_argument("--output", help="save x as .npy")
     p.set_defaults(fn=_cmd_solve)
 
@@ -320,6 +333,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-bytes", type=int, default=None,
                    help="resident chain byte budget (default: "
                         "REPRO_SERVE_CACHE_BYTES env var / 256 MiB)")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="admission budget: pending solve requests "
+                        "beyond this are shed with 503 + Retry-After "
+                        "(default: REPRO_SERVE_MAX_PENDING env var / "
+                        "256; 0 disables shedding)")
     p.add_argument("--sampler", choices=["alias", "bisect"],
                    default=None)
     p.add_argument("--backend",

@@ -68,6 +68,34 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceOverloadedError(ServiceError):
+    """The service shed this request under admission control.
+
+    Raised when the pending-request count is at the
+    ``REPRO_SERVE_MAX_PENDING`` budget or the circuit breaker is open
+    (DESIGN.md §13).  **Retriable**: nothing about the request was
+    wrong — resubmit after ``retry_after`` seconds.  The HTTP front
+    end maps it to ``503`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class TransportError(ReproError):
+    """The distributed transport lost a peer or exhausted recovery.
+
+    Raised by :mod:`repro.pram.transport` for handshake refusals,
+    peers that vanish mid-message (EOF/reset), frames that stay
+    corrupt past the bounded retransmit budget, and unacknowledged
+    messages.  Classified as *transient* by the execution layer: a
+    chunk lost to a transport failure is re-dispatched (to a
+    replacement worker) under the ambient
+    :class:`repro.pram.executor.RetryPolicy`.
+    """
+
+
 class ExecutionError(ReproError):
     """A dispatched chunk failed after exhausting its retry budget.
 

@@ -16,19 +16,25 @@ provides:
   for the embarrassingly parallel phases: serial, thread-pool (numpy
   releases the GIL inside chunk kernels), process-pool over
   shared-memory array payloads for the Python-bound phases the GIL
-  would otherwise serialise, or a distributed stub (loopback-socket
-  work queue over the same shared-memory payloads).  Blocked solves
-  can additionally ship their column chunks as self-contained tasks
-  against a once-published chain payload
-  (:class:`SolveShipment`, DESIGN.md §10).  Results are bit-identical
-  across backends and worker counts for a fixed seed
+  would otherwise serialise, or the distributed backend over the
+  hardened transport.  Blocked solves can additionally ship their
+  column chunks as self-contained tasks against a once-published
+  chain payload (:class:`SolveShipment`, DESIGN.md §10).  Results are
+  bit-identical across backends and worker counts for a fixed seed
   (DESIGN.md §6–§7).
+* :mod:`repro.pram.transport` — the distributed backend's wire layer
+  (DESIGN.md §13): length-prefixed CRC32-checksummed frames with
+  bounded retransmission, a mutual HMAC-SHA256 session handshake,
+  heartbeat liveness, lease-based scheduling with in-place worker
+  replacement, and payload shipping over shared memory or in-band
+  frames (``REPRO_TRANSPORT=shm|tcp``).
 * :mod:`repro.pram.faults` — deterministic fault injection
   (``REPRO_FAULTS`` / :func:`use_faults`) and the structured
   :class:`FaultLog` of recovery actions, backing the fault-tolerant
   dispatch layer (DESIGN.md §9): per-chunk retries with exponential
-  backoff, stall timeouts with pool rebuilds, and policy-gated
-  backend degradation.
+  backoff, stall timeouts, worker replacement, and policy-gated
+  backend degradation — extended to the wire with ``stage=transport``
+  directives (drop/corrupt/disconnect/delay).
 """
 
 from repro.pram.ledger import (
@@ -60,10 +66,21 @@ from repro.pram.executor import (
     default_ship_solves,
     get_backend,
     live_segment_names,
+    shutdown_distributed_pools,
+    live_distributed_workers,
     BACKENDS,
     SharedPayload,
     PersistentPayload,
     SolveShipment,
+)
+from repro.pram.transport import (
+    Channel,
+    TransportPool,
+    payload_fingerprint,
+    default_transport,
+    default_transport_key,
+    default_heartbeat_s,
+    default_ack_timeout,
 )
 from repro.pram.faults import (
     FaultDirective,
@@ -105,10 +122,19 @@ __all__ = [
     "default_ship_solves",
     "get_backend",
     "live_segment_names",
+    "shutdown_distributed_pools",
+    "live_distributed_workers",
     "BACKENDS",
     "SharedPayload",
     "PersistentPayload",
     "SolveShipment",
+    "Channel",
+    "TransportPool",
+    "payload_fingerprint",
+    "default_transport",
+    "default_transport_key",
+    "default_heartbeat_s",
+    "default_ack_timeout",
     "FaultDirective",
     "FaultEvent",
     "FaultLog",

@@ -74,7 +74,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TransportError
 
 __all__ = ["ExecutionContext", "ExecutionBackend", "SerialBackend",
            "ThreadPoolBackend", "ProcessPoolBackend",
@@ -86,6 +86,7 @@ __all__ = ["ExecutionContext", "ExecutionBackend", "SerialBackend",
            "default_chunk_timeout", "default_degrade",
            "default_ship_solves",
            "get_backend", "live_segment_names",
+           "shutdown_distributed_pools", "live_distributed_workers",
            "BACKENDS", "DEFAULT_CHUNK_ITEMS", "DEFAULT_CHUNK_COLUMNS",
            "MAX_CHUNKS", "DEFAULT_RETRIES"]
 
@@ -104,10 +105,12 @@ DEFAULT_CHUNK_COLUMNS = 16
 MAX_CHUNKS = 256
 
 #: Recognised execution backends, in increasing isolation order.  The
-#: ``distributed`` entry is the loopback-socket stub (DESIGN.md §10):
-#: worker processes fed over ``multiprocessing.connection`` instead of
-#: a ``ProcessPoolExecutor`` — same determinism contract, and the
-#: stepping stone from "process pool" to "fleet".
+#: ``distributed`` entry runs worker processes behind the hardened
+#: transport (DESIGN.md §13): framed + checksummed + authenticated
+#: connections, heartbeat liveness, lease-based scheduling with
+#: in-place worker replacement, and payloads over shared memory or
+#: in-band frames (``REPRO_TRANSPORT``) — same determinism contract
+#: as every other backend.
 BACKENDS = ("serial", "thread", "process", "distributed")
 
 # The ``default_*`` getters cache their (env string → value) lookup so
@@ -384,7 +387,8 @@ def _is_transient(exc: BaseException) -> bool:
 
         from repro.pram.faults import InjectedFault
 
-        _retryable_types = (InjectedFault, TimeoutError, BrokenProcessPool)
+        _retryable_types = (InjectedFault, TimeoutError, BrokenProcessPool,
+                            TransportError)
     return isinstance(exc, _retryable_types)
 
 
@@ -592,6 +596,7 @@ class PersistentPayload:
     def __init__(self, arrays: dict[str, np.ndarray]) -> None:
         self.arrays = dict(arrays)
         self._payload: SharedPayload | None = None
+        self._fingerprint: str | None = None
 
     def ensure(self) -> SharedPayload:
         """The live segment, publishing (or re-publishing) on demand."""
@@ -599,6 +604,15 @@ class PersistentPayload:
                 or self._payload.spec[0] not in _live_segments:
             self._payload = SharedPayload(self.arrays)
         return self._payload
+
+    def fingerprint(self) -> str:
+        """Content hash of the payload arrays (cached; the in-band
+        transport's attach-once cache key — DESIGN.md §13)."""
+        if self._fingerprint is None:
+            from repro.pram.transport import payload_fingerprint
+
+            self._fingerprint = payload_fingerprint(self.arrays)
+        return self._fingerprint
 
     @property
     def nbytes(self) -> int:
@@ -682,29 +696,29 @@ def _attach_payload(spec: tuple) -> dict[str, np.ndarray]:
 # -- worker-process entry -----------------------------------------------------
 
 
-def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
-                    want_ledger, fault_directives=(), chunk=0, attempt=0,
-                    shared_spec=None):
-    """Run one shipped chunk inside a worker process.
+def _execute_shipped_chunk(arrays_or_fn, task, meta, lo, hi, seed_seq,
+                           bitgen_cls, want_ledger, fault_directives=(),
+                           chunk=0, attempt=0):
+    """Transport-agnostic core of one shipped chunk.
 
-    Reconstructs the array views from shared memory, rebuilds the
-    chunk's RNG stream from its spawned seed sequence (identical to the
-    in-process child stream), and hands the task an explicit fresh
-    sub-ledger — the task installs it only around the work that the
-    in-process path would have charged, so ledger totals stay
-    backend-invariant.  Exceptions are returned, not raised, so every
-    chunk runs and the parent re-raises deterministically.
+    Rebuilds the chunk's RNG stream from its spawned seed sequence
+    (identical to the in-process child stream) and hands the task an
+    explicit fresh sub-ledger — the task installs it only around the
+    work that the in-process path would have charged, so ledger totals
+    stay backend-invariant.  Exceptions are returned, not raised, so
+    every chunk runs and the parent re-raises deterministically.
+
+    ``arrays_or_fn`` is either the resolved array dict or a zero-arg
+    callable producing it — the callable runs *inside* the try, so
+    payload-resolution failures (a vanished shm segment, a poisoned
+    in-band payload) settle as ordinary failure triples the retry
+    machinery can re-dispatch.
 
     ``fault_directives`` (pre-filtered kill/hang directives from an
     active :class:`repro.pram.faults.FaultPlan`) are applied before the
-    task runs: a matching ``kill`` exits this process hard, a ``hang``
-    stalls it — both of which the parent's retry machinery must
-    survive.
-
-    ``shared_spec`` is the spec of a :class:`PersistentPayload` (the
-    solver's chain payload): attached **first** so the LRU keeps it
-    hot across dispatches, its arrays merged under the dispatch
-    payload's (dispatch keys win on collision).
+    payload resolves: a matching ``kill`` exits this process hard, a
+    ``hang`` stalls it — both of which the parent's retry machinery
+    must survive.
     """
     from repro.pram.ledger import WorkDepthLedger, detach_ledger
 
@@ -722,14 +736,36 @@ def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
 
             apply_worker_faults(fault_directives, chunk=chunk,
                                 attempt=attempt)
+        arrays = arrays_or_fn() if callable(arrays_or_fn) \
+            else arrays_or_fn
+        return True, task(arrays, meta, lo, hi, stream, ledger), ledger
+    except Exception as exc:
+        return False, exc, ledger
+
+
+def _shipped_worker(spec, task, meta, lo, hi, seed_seq, bitgen_cls,
+                    want_ledger, fault_directives=(), chunk=0, attempt=0,
+                    shared_spec=None):
+    """Run one shipped chunk inside a shared-memory worker process.
+
+    The process backend's entry point: reconstructs the array views
+    from shared memory and delegates to :func:`_execute_shipped_chunk`.
+    ``shared_spec`` is the spec of a :class:`PersistentPayload` (the
+    solver's chain payload): attached **first** so the LRU keeps it
+    hot across dispatches, its arrays merged under the dispatch
+    payload's (dispatch keys win on collision).
+    """
+    def arrays_fn():
         shared_arrays = {} if shared_spec is None \
             else _attach_payload(shared_spec)
         arrays = _attach_payload(spec)
         if shared_arrays:
             arrays = {**shared_arrays, **arrays}
-        return True, task(arrays, meta, lo, hi, stream, ledger), ledger
-    except Exception as exc:
-        return False, exc, ledger
+        return arrays
+
+    return _execute_shipped_chunk(arrays_fn, task, meta, lo, hi,
+                                  seed_seq, bitgen_cls, want_ledger,
+                                  fault_directives, chunk, attempt)
 
 
 def _run_shipped_inprocess(task, arrays, meta, pieces, seed_seqs,
@@ -1105,133 +1141,93 @@ class ProcessPoolBackend(ExecutionBackend):
             payload.close()
 
 
-# -- distributed stub (loopback-socket work queue) ----------------------------
+# -- distributed backend (hardened transport, DESIGN.md §13) ------------------
+
+_dist_pools: dict[int, "TransportPool"] = {}
 
 
-def _distributed_worker_main(address, authkey):
-    """Entry point of one distributed-stub worker process.
+def _dist_pool(workers: int) -> "TransportPool":
+    """A persistent transport pool per worker count, verified at checkout.
 
-    Connects back to the parent's loopback listener and serves jobs
-    until told to stop: ``("job", i, args)`` runs
-    :func:`_shipped_worker` (the exact same chunk protocol the process
-    pool uses) and replies ``("result", i, triple)``.  A ``kill``
-    fault directive ``os._exit``\\ s mid-job, which the parent observes
-    as EOF on this connection — the "machine fell over" case the
-    retry machinery must survive.
+    Two liveness/coherence checks fix the capacity-rot failure mode of
+    the PR-7 stub (a cached pool reused after workers died ran later
+    dispatches under-provisioned):
+
+    * a pool whose transport config (heartbeat interval, ACK timeout,
+      session key) no longer matches the environment is torn down and
+      rebuilt, so tests and operators changing ``REPRO_HEARTBEAT_S`` /
+      ``REPRO_TRANSPORT_KEY`` get a coherent fleet without a restart;
+    * otherwise :meth:`TransportPool.ensure_capacity` retires dead
+      workers and tops the pool back up to its size.
     """
-    from multiprocessing.connection import Client
+    from repro.pram import transport as _transport
 
-    conn = Client(address, authkey=authkey)
-    try:
-        while True:
-            msg = conn.recv()
-            if msg[0] == "stop":
-                break
-            _, i, args = msg
-            triple = _shipped_worker(*args)
-            conn.send(("result", i, triple))
-    except (EOFError, OSError):  # pragma: no cover - parent went away
-        pass
-    finally:
-        try:
-            conn.close()
-        except Exception:  # pragma: no cover
-            pass
-
-
-class _DistributedPool:
-    """A fixed set of worker processes behind a loopback socket.
-
-    The transport is ``multiprocessing.connection`` over
-    ``127.0.0.1`` — deliberately *not* a ``ProcessPoolExecutor`` —
-    so every byte a job needs travels through a picklable message or
-    a named shared-memory segment, exactly the constraint a multi-node
-    deployment would impose.  One connection per worker doubles as the
-    liveness signal: EOF means the worker (or its "machine") is gone.
-    """
-
-    def __init__(self, workers: int) -> None:
-        import multiprocessing
-        from multiprocessing.connection import Listener
-
-        method = "fork" \
-            if "fork" in multiprocessing.get_all_start_methods() \
-            else "spawn"
-        ctx = multiprocessing.get_context(method)
-        authkey = os.urandom(16)
-        self._listener = Listener(("127.0.0.1", 0), authkey=authkey)
-        self._procs: list = []
-        self.conns: list = []
-        for _ in range(max(1, workers)):
-            proc = ctx.Process(
-                target=_distributed_worker_main,
-                args=(self._listener.address, authkey),
-                daemon=True)
-            proc.start()
-            self._procs.append(proc)
-            self.conns.append(self._listener.accept())
-
-    def shutdown(self, terminate: bool = False) -> None:
-        """Stop every worker (``terminate`` kills wedged ones first)."""
-        for conn in self.conns:
-            try:
-                conn.send(("stop",))
-            except Exception:
-                pass
-            try:
-                conn.close()
-            except Exception:  # pragma: no cover
-                pass
-        for proc in self._procs:
-            try:
-                if terminate:
-                    proc.terminate()
-                proc.join(timeout=1.0)
-                if proc.is_alive():  # pragma: no cover - slow exit
-                    proc.terminate()
-            except Exception:  # pragma: no cover
-                pass
-        try:
-            self._listener.close()
-        except Exception:  # pragma: no cover
-            pass
-        self.conns.clear()
-        self._procs.clear()
-
-
-_dist_pools: dict[int, _DistributedPool] = {}
-
-
-def _dist_pool(workers: int) -> _DistributedPool:
-    """A persistent distributed-stub pool per worker count."""
     pool = _dist_pools.get(workers)
+    if pool is not None:
+        env_key = _transport.default_transport_key()
+        want = (_transport.default_heartbeat_s(),
+                _transport.default_ack_timeout(),
+                env_key if env_key is not None else pool.config[2])
+        if pool.config != want:
+            _dist_pools.pop(workers, None)
+            pool.shutdown(terminate=True)
+            pool = None
+        else:
+            pool.ensure_capacity()
     if pool is None:
-        pool = _DistributedPool(workers)
+        pool = _transport.TransportPool(workers)
         _dist_pools[workers] = pool
     return pool
 
 
+def shutdown_distributed_pools(terminate: bool = False) -> None:
+    """Drain and discard every cached distributed pool.
+
+    ``terminate=False`` is the graceful path: workers receive a stop
+    message and are joined; stragglers are terminated.  Benchmarks and
+    tests call this to prove teardown reaps every worker process.
+    """
+    pools = list(_dist_pools.values())
+    _dist_pools.clear()
+    for pool in pools:
+        try:
+            pool.shutdown(terminate=terminate)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def live_distributed_workers() -> tuple[int, ...]:
+    """PIDs of all live workers across the cached distributed pools
+    (empty after :func:`shutdown_distributed_pools` — the teardown
+    gate benchmarks assert)."""
+    pids: list[int] = []
+    for pool in _dist_pools.values():
+        pids.extend(pool.alive_pids())
+    return tuple(pids)
+
+
 @atexit.register
 def _shutdown_dist_pools() -> None:  # pragma: no cover - interpreter exit
-    for pool in _dist_pools.values():
-        try:
-            pool.shutdown(terminate=True)
-        except Exception:
-            pass
-    _dist_pools.clear()
+    shutdown_distributed_pools(terminate=True)
 
 
 class DistributedBackend(ExecutionBackend):
-    """Multi-node-shaped scheduling stub over a loopback work queue.
+    """Multi-node execution over the hardened transport.
 
     Same contract as :class:`ProcessPoolBackend` — chunk layout a
     function of problem size only, per-chunk seed keys, fork/join
-    ledgers, bounded retries with stall timeouts — but the transport
-    is a socket work queue instead of an executor, which is the shape
-    a real fleet deployment has (DESIGN.md §10).  Jobs are handed to
-    idle workers one at a time; a worker death (EOF) loses only the
-    jobs it held, and a stalled round tears the whole pool down
-    exactly like the process backend's rebuild.
+    ledgers, bounded retries with stall timeouts — but jobs travel
+    over authenticated, checksummed, heartbeat-monitored connections
+    (:mod:`repro.pram.transport`, DESIGN.md §13) and scheduling is
+    lease-based: a worker death loses only its leased chunk, which is
+    re-queued while a **replacement worker** is spawned in place — the
+    pool is never torn down mid-round.
+
+    Payloads ship per ``REPRO_TRANSPORT``: ``shm`` publishes one
+    shared-memory segment per dispatch (same-host fast path), ``tcp``
+    ships the arrays in-band as chunked frames against a worker-side
+    attach-once cache keyed on content fingerprints — no ``/dev/shm``
+    assumption, and bit-identical results either way.
     """
 
     name = "distributed"
@@ -1244,139 +1240,53 @@ class DistributedBackend(ExecutionBackend):
     def run_shipped(self, task, arrays, meta, pieces, seed_seqs,
                     bitgen_cls, want_ledger, workers, policy=None,
                     scope=None, log=None, shared=None):
-        """Queue the chunks over the loopback connections, surviving
-        worker deaths and stalls via deterministic re-dispatch (round
-        semantics identical to :meth:`ProcessPoolBackend.run_shipped`).
-        """
-        from concurrent.futures.process import BrokenProcessPool
-        from multiprocessing import connection as mpc
-
+        """Dispatch the chunks under worker leases, surviving deaths,
+        stalls, and wire faults via deterministic re-dispatch."""
         from repro.pram import faults as _faults
+        from repro.pram import transport as _transport
 
         nworkers = max(1, workers)
-        max_attempts = policy.max_attempts if policy is not None else 1
-        timeout = policy.timeout if policy is not None else None
         plan = _faults.active_plan()
-        directives = () if plan is None else \
+        job_directives = () if plan is None else (
             plan.chunk_directives(backend=self.name, phase=scope)
+            + plan.transport_directives())
+        frame_directives = () if plan is None else \
+            plan.frame_directives()
 
-        results: list = [None] * len(pieces)
-        pending = list(range(len(pieces)))
-        attempt = 0
-        payload = SharedPayload(arrays)
+        mode = _transport.default_transport()
+        payload: SharedPayload | None = None
+        payloads: dict[str, dict] = {}
         try:
-            while True:
-                if payload.spec[0] not in _live_segments:
-                    payload = SharedPayload(arrays)
-                shared_spec = None if shared is None \
-                    else shared.ensure().spec
-                pool = _dist_pool(nworkers)
+            if mode == "tcp":
+                dispatch_fp = _transport.payload_fingerprint(arrays)
+                payloads[dispatch_fp] = dict(arrays)
+                dispatch_ref = ("tcp", dispatch_fp)
+                if shared is not None:
+                    payloads[shared.fingerprint()] = shared.arrays
+                    shared_ref = ("tcp", shared.fingerprint())
+                else:
+                    shared_ref = None
+            else:
+                payload = SharedPayload(arrays)
+                dispatch_ref = ("shm", payload.spec)
+                shared_ref = None if shared is None \
+                    else ("shm", shared.ensure().spec)
+            refs = (dispatch_ref, shared_ref)
 
-                def job(i: int) -> tuple:
-                    lo, hi = pieces[i]
-                    return ("job", i, (payload.spec, task, meta, lo, hi,
-                                       seed_seqs[i], bitgen_cls,
-                                       want_ledger, directives, i,
-                                       attempt, shared_spec))
+            def make_args(i: int, attempt: int) -> tuple:
+                lo, hi = pieces[i]
+                return (dispatch_ref, shared_ref, task, meta, lo, hi,
+                        seed_seqs[i], bitgen_cls, want_ledger,
+                        job_directives, i, attempt)
 
-                queue = list(pending)
-                inflight: dict = {}
-                still_pending: list[int] = []
-                causes: dict[int, BaseException] = {}
-                broken = False
-                stalled = False
-
-                def feed(conn) -> None:
-                    # Hand the next queued chunk to ``conn``; a failed
-                    # send loses only that chunk (re-dispatched next
-                    # round) and retires the connection.
-                    nonlocal broken
-                    if not queue:
-                        return
-                    i = queue.pop(0)
-                    try:
-                        conn.send(job(i))
-                        inflight[conn] = i
-                    except (OSError, ValueError):
-                        broken = True
-                        still_pending.append(i)
-                        causes[i] = BrokenProcessPool(
-                            f"chunk {i} lost to a dead worker")
-
-                for conn in pool.conns:
-                    feed(conn)
-                while inflight:
-                    ready = mpc.wait(list(inflight), timeout=timeout)
-                    if not ready:
-                        stalled = True
-                        break
-                    for conn in ready:
-                        i = inflight.pop(conn)
-                        try:
-                            _, j, triple = conn.recv()
-                        except (EOFError, OSError):
-                            broken = True
-                            still_pending.append(i)
-                            causes[i] = BrokenProcessPool(
-                                f"chunk {i} lost to a dead worker")
-                            continue
-                        ok, val, _ = triple
-                        if ok or not _is_transient(val):
-                            results[j] = triple
-                        else:
-                            still_pending.append(j)
-                            causes[j] = val
-                        feed(conn)
-                if stalled:
-                    for conn, i in inflight.items():
-                        still_pending.append(i)
-                        causes[i] = TimeoutError(
-                            f"chunk {i} did not complete within "
-                            f"{timeout}s (stalled dispatch)")
-                still_pending.extend(queue)
-                for i in queue:
-                    causes.setdefault(i, BrokenProcessPool(
-                        f"chunk {i} was never scheduled"))
-
-                if broken or stalled:
-                    # A dead worker poisons its connection and a
-                    # stalled one is wedged: rebuild the whole pool
-                    # next round, mirroring the process backend.
-                    _dist_pools.pop(nworkers, None)
-                    pool.shutdown(terminate=True)
-                    if log is not None:
-                        log.record(
-                            "timeout" if stalled else "pool_rebuild",
-                            backend=self.name, attempt=attempt,
-                            detail=f"chunks {sorted(still_pending)} "
-                                   f"unfinished")
-
-                if not still_pending:
-                    return results
-                attempt += 1
-                if attempt >= max_attempts:
-                    for i in sorted(still_pending):
-                        if log is not None:
-                            log.record("exhausted", chunk=i,
-                                       attempt=max_attempts,
-                                       backend=self.name,
-                                       detail=repr(causes.get(i)))
-                        results[i] = (False, ExecutionError(
-                            f"chunk {i} failed after {max_attempts} "
-                            f"attempt(s) on the distributed backend",
-                            chunk=i, attempts=max_attempts,
-                            cause=causes.get(i)), None)
-                    return results
-                if log is not None:
-                    for i in sorted(still_pending):
-                        log.record("retry", chunk=i, attempt=attempt,
-                                   backend=self.name,
-                                   detail=repr(causes.get(i)))
-                if policy is not None:
-                    time.sleep(policy.delay(attempt))
-                pending = sorted(still_pending)
+            pool = _dist_pool(nworkers)
+            return pool.run_tasks(len(pieces), make_args, refs,
+                                  payloads, policy=policy, log=log,
+                                  frame_directives=frame_directives,
+                                  backend_name=self.name)
         finally:
-            payload.close()
+            if payload is not None:
+                payload.close()
 
 
 _BACKENDS: dict[str, ExecutionBackend] = {

@@ -16,6 +16,10 @@ A plan is a comma-separated list of directives, each
     hang:chunk=0:seconds=30      # chunk 0 stalls (process: real sleep,
                                  # killed by the parent's chunk timeout)
     nan:col=3:stage=richardson   # column 3's iterate goes NaN at iter 0
+    drop:frame=0                 # first payload frame per connection lost
+    corrupt:frame=2              # frame 2's bytes flip (CRC catches it)
+    disconnect:worker=1          # worker 1 severs its connection mid-job
+    delay:seconds=0.01           # every outbound frame is slowed
 
 Selectors
 ---------
@@ -23,13 +27,28 @@ Selectors
 ``*`` = every attempt — how the exhaustion/degradation paths are
 exercised), ``backend=serial|thread|process|distributed`` (only fire
 under that backend), ``phase=walk|columns|solve|serve`` (only fire in
-that dispatch scope), ``seconds=F`` (hang duration, default 30),
+that dispatch scope), ``seconds=F`` (hang/delay duration, default 30),
 ``col=N`` (required for nan), ``iter=N`` (default 0),
-``stage=richardson|cg|chebyshev|solve|serve``.  For kill/hang
-directives ``stage=`` is an alias for ``phase=`` (``stage=solve`` pins
-a kill to the shipped-solve dispatches); for nan directives
-``stage=solve`` matches every blocked solve kernel, where a specific
-stage name matches only that kernel.
+``stage=richardson|cg|chebyshev|solve|serve|transport``.  For
+kill/hang directives ``stage=`` is an alias for ``phase=``
+(``stage=solve`` pins a kill to the shipped-solve dispatches); for nan
+directives ``stage=solve`` matches every blocked solve kernel, where a
+specific stage name matches only that kernel.
+
+The ``transport`` scope (DESIGN.md §13) targets the distributed wire.
+``drop``/``corrupt``/``delay`` fire on the coordinator's outbound
+payload frames: ``frame=N`` (required for drop/corrupt, optional for
+delay) matches the ``N``-th *first-transmission* data frame on a
+connection, ``worker=N`` optionally pins to one worker's connection,
+and the ``attempt=`` coordinate counts retransmissions — so default
+(``attempt=0``) directives never refire on the recovery path.
+``disconnect:worker=N`` (``worker=`` required; ``chunk=``/``attempt=``
+optional extra filters) ships with the job and severs the connection
+worker-side; ``kill``/``hang`` pinned ``stage=transport`` also ship
+with the job, with ``hang`` suspending the worker's heartbeats first —
+the frozen-machine case only heartbeat monitoring can detect.  Worker
+ids are monotone (replacements get fresh ids), so ``worker=N``
+directives cannot refire on a replacement.
 
 The ``serve`` scope targets the micro-batch dispatch point of
 :class:`repro.serve.SolverService`: a serve-pinned kill/hang uses the
@@ -77,7 +96,8 @@ __all__ = ["FAULT_KINDS", "FaultDirective", "FaultPlan", "FaultEvent",
            "apply_serve_faults"]
 
 #: Recognised fault kinds.
-FAULT_KINDS = ("kill", "hang", "nan")
+FAULT_KINDS = ("kill", "hang", "nan", "drop", "corrupt", "disconnect",
+               "delay")
 
 #: In-process hangs cannot be interrupted from outside (no process to
 #: kill), so they degenerate to a bounded stall before failing.
@@ -113,6 +133,8 @@ class FaultDirective:
     phase: str | None = None
     backend: str | None = None
     seconds: float = 30.0
+    frame: int | None = None
+    worker: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -123,6 +145,10 @@ class FaultDirective:
             raise ValueError(f"{self.kind} directives require chunk=N")
         if self.kind == "nan" and self.col is None:
             raise ValueError("nan directives require col=N")
+        if self.kind in ("drop", "corrupt") and self.frame is None:
+            raise ValueError(f"{self.kind} directives require frame=N")
+        if self.kind == "disconnect" and self.worker is None:
+            raise ValueError("disconnect directives require worker=N")
         if self.seconds <= 0:
             raise ValueError("seconds must be positive")
 
@@ -153,17 +179,40 @@ class FaultDirective:
             return False
         return True
 
+    def matches_frame(self, *, frame: int, attempt: int,
+                      worker: int | None = None) -> bool:
+        """Does this drop/corrupt/delay directive fire on this frame?
+
+        ``frame`` is the per-connection first-transmission ordinal of
+        the outbound data frame; ``attempt`` counts retransmissions
+        (``0`` = the original send), so default directives never
+        refire on the recovery path.  ``frame=None`` on the directive
+        (the ``delay`` case) matches every frame; a ``worker=``
+        selector pins to one connection.
+        """
+        if self.kind not in ("drop", "corrupt", "delay"):
+            return False
+        if self.frame is not None and self.frame != frame:
+            return False
+        if self.attempt is not None and self.attempt != attempt:
+            return False
+        if self.worker is not None and worker is not None \
+                and self.worker != worker:
+            return False
+        return True
+
     def spec(self) -> str:
         """The directive back in ``kind:sel=value`` form."""
         parts = [self.kind]
         defaults = FaultDirective("kill", chunk=0) if self.kind != "nan" \
             else FaultDirective("nan", col=0)
         for name, key in (("chunk", "chunk"), ("attempt", "attempt"),
-                          ("col", "col"), ("iteration", "iter"),
+                          ("col", "col"), ("frame", "frame"),
+                          ("worker", "worker"), ("iteration", "iter"),
                           ("stage", "stage"), ("phase", "phase"),
                           ("backend", "backend"), ("seconds", "seconds")):
             value = getattr(self, name)
-            if name in ("chunk", "col"):
+            if name in ("chunk", "col", "frame", "worker"):
                 if value is not None:
                     parts.append(f"{key}={value}")
                 continue
@@ -196,7 +245,8 @@ def _parse_directive(token: str) -> FaultDirective:
         raw = raw.strip()
         if key == "iter":
             key = "iteration"
-        if key in ("chunk", "attempt", "col", "iteration"):
+        if key in ("chunk", "attempt", "col", "iteration", "frame",
+                   "worker"):
             if key == "attempt" and raw == "*":
                 kwargs[key] = None
                 continue
@@ -245,6 +295,10 @@ class FaultPlan:
         for d in self.directives:
             if d.kind not in ("kill", "hang"):
                 continue
+            # Transport-scope kill/hang ship with the job over the
+            # wire (see transport_directives), never to pool workers.
+            if "transport" in (d.stage, d.phase) and phase != "transport":
+                continue
             if d.backend is not None and backend is not None \
                     and d.backend != backend:
                 continue
@@ -255,6 +309,25 @@ class FaultPlan:
                     and d.stage != phase:
                 continue
             out.append(d)
+        return tuple(out)
+
+    def frame_directives(self) -> tuple[FaultDirective, ...]:
+        """The drop/corrupt/delay directives — applied by the
+        coordinator to its outbound transport frames (DESIGN.md §13)."""
+        return tuple(d for d in self.directives
+                     if d.kind in ("drop", "corrupt", "delay"))
+
+    def transport_directives(self) -> tuple[FaultDirective, ...]:
+        """The directives that ship *with* distributed jobs and fire
+        worker-side on the wire: ``disconnect`` plus kill/hang pinned
+        to the ``transport`` scope."""
+        out = []
+        for d in self.directives:
+            if d.kind == "disconnect":
+                out.append(d)
+            elif d.kind in ("kill", "hang") \
+                    and "transport" in (d.stage, d.phase):
+                out.append(d)
         return tuple(out)
 
     def __bool__(self) -> bool:
@@ -330,6 +403,13 @@ class FaultEvent:
     ``degrade`` (failed chunks fell back to a weaker backend),
     ``quarantine`` (broken columns were frozen out of an iteration),
     ``escalate`` (quarantined columns moved to a stronger solver).
+    The transport layer adds ``retransmit`` (a message went unACKed
+    and was resent), ``nak`` (a corrupt frame was rejected),
+    ``worker_dead`` / ``worker_replace`` (a lease-holding worker died
+    and was replaced in place), ``auth_refused`` (a connection failed
+    the handshake); the serving layer adds ``shed`` (a request was
+    refused under admission control) and ``breaker_open`` /
+    ``breaker_close`` (circuit-breaker transitions).
     """
 
     action: str

@@ -13,10 +13,20 @@ Front ends: in-process (``SolverService.submit``/``solve``), HTTP
 (``SolverService.serve_http`` — stdlib asyncio, JSON), and the CLI
 (``repro serve`` / ``repro client``).
 
+Overload behaviour (DESIGN.md §13): a bounded pending-request budget
+(``REPRO_SERVE_MAX_PENDING``) sheds excess load with a retriable
+:class:`repro.errors.ServiceOverloadedError` (HTTP 503 +
+``Retry-After``), and a circuit breaker opens after
+``REPRO_SERVE_BREAKER_FAILS`` consecutive batch failures — failing
+fast until a half-open probe succeeds after
+``REPRO_SERVE_BREAKER_COOLDOWN_S``.
+
 Knobs (env-cached like every ``REPRO_*`` setting, reset on service
 start via :func:`repro.config.reset_env_caches`):
 ``REPRO_SERVE_WINDOW_MS``, ``REPRO_SERVE_MAX_BATCH``,
-``REPRO_SERVE_CACHE_BYTES``; the batch retry budget shares
+``REPRO_SERVE_CACHE_BYTES``, ``REPRO_SERVE_MAX_PENDING``,
+``REPRO_SERVE_BREAKER_FAILS``, ``REPRO_SERVE_BREAKER_COOLDOWN_S``,
+``REPRO_SERVE_READ_TIMEOUT_S``; the batch retry budget shares
 ``REPRO_RETRIES``.
 """
 
@@ -33,7 +43,13 @@ from repro.serve.keys import (
     options_token,
     solver_cache_key,
 )
-from repro.serve.service import GraphSpec, SolverService
+from repro.serve.service import (
+    GraphSpec,
+    SolverService,
+    default_serve_max_pending,
+    default_serve_breaker_fails,
+    default_serve_breaker_cooldown_s,
+)
 
 __all__ = [
     "SolverService",
@@ -48,4 +64,7 @@ __all__ = [
     "default_serve_window_ms",
     "default_serve_max_batch",
     "default_serve_cache_bytes",
+    "default_serve_max_pending",
+    "default_serve_breaker_fails",
+    "default_serve_breaker_cooldown_s",
 ]

@@ -20,7 +20,9 @@ Endpoints
   "batched_k", "batch_seq"}``.
 
 Errors come back as ``{"error": msg}`` with 400 (bad request), 404
-(unknown route/key), or 500 (unexpected).
+(unknown route/key), 408 (read timeout), 413 (oversized body), 503
+(overloaded — with a ``Retry-After`` header and a ``retry_after``
+field in the body), or 500 (unexpected).
 """
 
 from __future__ import annotations
@@ -31,11 +33,41 @@ import json
 
 import numpy as np
 
-from repro.errors import ReproError, ServiceError
+from repro.errors import ReproError, ServiceError, ServiceOverloadedError
+from repro.pram.executor import _env_cached
 
-__all__ = ["start_http", "http_request"]
+__all__ = ["start_http", "http_request",
+           "default_serve_read_timeout_s"]
 
 _MAX_BODY = 256 * 1024 * 1024
+
+#: Default per-connection read timeout (seconds).
+DEFAULT_READ_TIMEOUT_S = 30.0
+
+
+def default_serve_read_timeout_s() -> float:
+    """Per-connection read timeout from ``REPRO_SERVE_READ_TIMEOUT_S``.
+
+    Bounds how long a connection may take to deliver its request line,
+    headers, and body — so an idle or trickling client cannot pin a
+    handler task forever.  Response writing and the solve itself are
+    not under this timeout.
+    """
+
+    def parse(env: str | None) -> float:
+        if not env or not env.strip():
+            return DEFAULT_READ_TIMEOUT_S
+        try:
+            value = float(env)
+        except ValueError:
+            value = 0.0
+        if value <= 0 or not np.isfinite(value):
+            raise ValueError(
+                f"REPRO_SERVE_READ_TIMEOUT_S must be a positive number "
+                f"of seconds, got {env!r}")
+        return value
+
+    return _env_cached("REPRO_SERVE_READ_TIMEOUT_S", parse)
 
 
 async def start_http(service, host: str, port: int):
@@ -44,36 +76,55 @@ async def start_http(service, host: str, port: int):
         functools.partial(_handle, service), host, port)
 
 
+async def _read_request(reader: asyncio.StreamReader):
+    """Read one request (line, headers, body); ``None`` on empty close."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, path, _ = request_line.decode("latin1").split(" ", 2)
+    except ValueError:
+        raise _HttpError(400, "malformed request line")
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or 0)
+    except ValueError:
+        raise _HttpError(400, "bad Content-Length")
+    if length > _MAX_BODY:
+        raise _HttpError(413, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
 async def _handle(service, reader: asyncio.StreamReader,
                   writer: asyncio.StreamWriter) -> None:
     status, payload = 500, {"error": "internal error"}
+    retry_after: float | None = None
     try:
-        request_line = await reader.readline()
-        if not request_line:
+        try:
+            request = await asyncio.wait_for(
+                _read_request(reader),
+                timeout=default_serve_read_timeout_s())
+        except asyncio.TimeoutError:
+            raise _HttpError(
+                408, "request not received within the read timeout")
+        if request is None:
             writer.close()
             return
-        try:
-            method, path, _ = request_line.decode("latin1").split(" ", 2)
-        except ValueError:
-            raise _HttpError(400, "malformed request line")
-        headers = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0") or 0)
-        except ValueError:
-            raise _HttpError(400, "bad Content-Length")
-        if length > _MAX_BODY:
-            raise _HttpError(400, "request body too large")
-        body = await reader.readexactly(length) if length else b""
+        method, path, body = request
         status, payload = await _dispatch(service, method.upper(),
                                           path.strip(), body)
     except _HttpError as exc:
         status, payload = exc.status, {"error": exc.message}
+        retry_after = exc.retry_after
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
     except (asyncio.IncompleteReadError, ConnectionError):
         writer.close()
         return
@@ -81,13 +132,17 @@ async def _handle(service, reader: asyncio.StreamReader,
         status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
     data = json.dumps(payload).encode()
     reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-              500: "Internal Server Error"}.get(status, "Error")
+              408: "Request Timeout", 413: "Payload Too Large",
+              500: "Internal Server Error",
+              503: "Service Unavailable"}.get(status, "Error")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: close\r\n\r\n").encode("latin1")
+            f"Content-Length: {len(data)}\r\n")
+    if retry_after is not None:
+        head += f"Retry-After: {max(1, round(retry_after))}\r\n"
+    head += "Connection: close\r\n\r\n"
     try:
-        writer.write(head + data)
+        writer.write(head.encode("latin1") + data)
         await writer.drain()
     except ConnectionError:  # pragma: no cover - client went away
         pass
@@ -96,10 +151,12 @@ async def _handle(service, reader: asyncio.StreamReader,
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 def _json_body(body: bytes) -> dict:
@@ -184,6 +241,10 @@ async def _post_solve(service, obj: dict) -> tuple[int, dict]:
         raise _HttpError(400, f"unknown method {method!r}")
     try:
         result = await service._submit(key, b, eps, method, plan=None)
+    except ServiceOverloadedError as exc:
+        # Shed load with an explicit retry hint — the one ServiceError
+        # subclass that means "nothing wrong with the request".
+        raise _HttpError(503, str(exc), retry_after=exc.retry_after)
     except ServiceError as exc:
         raise _HttpError(404, str(exc))
     except ReproError as exc:

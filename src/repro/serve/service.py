@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -34,9 +35,13 @@ import numpy as np
 
 from repro.config import SolverOptions, default_options, reset_env_caches
 from repro.core.solver import LaplacianSolver
-from repro.errors import DimensionMismatchError, ServiceError
+from repro.errors import (
+    DimensionMismatchError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.graphs.multigraph import MultiGraph
-from repro.pram.executor import RetryPolicy
+from repro.pram.executor import RetryPolicy, _env_cached
 from repro.pram.faults import (
     FaultLog,
     InjectedFault,
@@ -54,7 +59,171 @@ from repro.serve.batcher import (
 from repro.serve.cache import ChainCache
 from repro.serve.keys import solver_cache_key
 
-__all__ = ["SolverService", "GraphSpec"]
+__all__ = ["SolverService", "GraphSpec", "default_serve_max_pending",
+           "default_serve_breaker_fails",
+           "default_serve_breaker_cooldown_s"]
+
+_log = logging.getLogger("repro.serve")
+
+#: Default pending-request budget (admission control).
+DEFAULT_MAX_PENDING = 256
+#: Default consecutive-batch-failure threshold that opens the breaker.
+DEFAULT_BREAKER_FAILS = 5
+#: Default open-state cooldown before a half-open probe (seconds).
+DEFAULT_BREAKER_COOLDOWN_S = 5.0
+
+
+def default_serve_max_pending() -> int:
+    """Pending-request budget from ``REPRO_SERVE_MAX_PENDING`` (≥ 0).
+
+    Requests beyond this many in flight are **shed** with a retriable
+    :class:`~repro.errors.ServiceOverloadedError` (HTTP 503 +
+    ``Retry-After``) instead of queueing unboundedly.  ``0`` disables
+    admission control.
+    """
+
+    def parse(env: str | None) -> int:
+        if not env or not env.strip():
+            return DEFAULT_MAX_PENDING
+        try:
+            value = int(env)
+        except ValueError:
+            value = -1
+        if value < 0:
+            raise ValueError(
+                f"REPRO_SERVE_MAX_PENDING must be a non-negative "
+                f"integer, got {env!r}")
+        return value
+
+    return _env_cached("REPRO_SERVE_MAX_PENDING", parse)
+
+
+def default_serve_breaker_fails() -> int:
+    """Consecutive batch failures that open the circuit breaker
+    (``REPRO_SERVE_BREAKER_FAILS``, ≥ 1)."""
+
+    def parse(env: str | None) -> int:
+        if not env or not env.strip():
+            return DEFAULT_BREAKER_FAILS
+        try:
+            value = int(env)
+        except ValueError:
+            value = 0
+        if value < 1:
+            raise ValueError(
+                f"REPRO_SERVE_BREAKER_FAILS must be a positive "
+                f"integer, got {env!r}")
+        return value
+
+    return _env_cached("REPRO_SERVE_BREAKER_FAILS", parse)
+
+
+def default_serve_breaker_cooldown_s() -> float:
+    """Open-state cooldown before the half-open probe
+    (``REPRO_SERVE_BREAKER_COOLDOWN_S``, seconds > 0)."""
+
+    def parse(env: str | None) -> float:
+        if not env or not env.strip():
+            return DEFAULT_BREAKER_COOLDOWN_S
+        try:
+            value = float(env)
+        except ValueError:
+            value = 0.0
+        if value <= 0 or not np.isfinite(value):
+            raise ValueError(
+                f"REPRO_SERVE_BREAKER_COOLDOWN_S must be a positive "
+                f"number of seconds, got {env!r}")
+        return value
+
+    return _env_cached("REPRO_SERVE_BREAKER_COOLDOWN_S", parse)
+
+
+class _Breaker:
+    """Circuit breaker over the batched-solve path (DESIGN.md §13).
+
+    ``closed`` → normal admission.  After K *consecutive* batch
+    failures the breaker **opens**: requests fail fast with
+    :class:`~repro.errors.ServiceOverloadedError` instead of queueing
+    behind a path that keeps dying.  After the cooldown one **probe**
+    request is admitted (``half-open``); its success re-closes the
+    breaker, its failure re-opens it for another cooldown.
+
+    Admission runs on the event-loop thread, outcomes land from the
+    solve-executor thread — hence the lock.
+    """
+
+    def __init__(self, fails: int | None = None,
+                 cooldown_s: float | None = None) -> None:
+        self._fails = fails
+        self._cooldown = cooldown_s
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opens = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    def threshold(self) -> int:
+        return self._fails if self._fails is not None \
+            else default_serve_breaker_fails()
+
+    def cooldown_s(self) -> float:
+        return self._cooldown if self._cooldown is not None \
+            else default_serve_breaker_cooldown_s()
+
+    def allow(self) -> bool:
+        """May a request pass right now? (may transition open→half-open)"""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open":
+                if time.monotonic() - self._opened_at < self.cooldown_s():
+                    return False
+                self.state = "half-open"
+                self._probing = False
+            # half-open: admit exactly one probe at a time.
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def retry_after(self) -> float:
+        with self._lock:
+            remaining = self.cooldown_s() - (time.monotonic()
+                                             - self._opened_at)
+        return max(0.1, remaining)
+
+    def record_success(self, log: FaultLog | None = None) -> None:
+        with self._lock:
+            reopened = self.state != "closed"
+            self.state = "closed"
+            self.consecutive_failures = 0
+            self._probing = False
+        if reopened:
+            _log.info("circuit breaker closed (probe succeeded)")
+            if log is not None:
+                log.record("breaker_close", backend="serve",
+                           detail="half-open probe succeeded")
+
+    def record_failure(self, log: FaultLog | None = None) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            was_open = self.state == "open"
+            tripped = (self.state == "half-open"
+                       or self.consecutive_failures >= self.threshold())
+            if tripped:
+                self.state = "open"
+                self._opened_at = time.monotonic()
+                self._probing = False
+                if not was_open:
+                    self.opens += 1
+            count = self.consecutive_failures
+        if tripped and not was_open:
+            _log.warning("circuit breaker opened after %d consecutive "
+                         "batch failures", count)
+            if log is not None:
+                log.record("breaker_open", backend="serve",
+                           detail=f"{count} consecutive batch failures")
 
 
 @dataclass(frozen=True)
@@ -76,16 +245,23 @@ class SolverService:
         overrides via :meth:`register`).  ``keep_graphs`` is forced off
         for cache builds — the service holds solve payloads, not
         diagnostics graphs.
-    window_ms / max_batch / cache_bytes:
+    window_ms / max_batch / cache_bytes / max_pending:
         Explicit knob overrides; ``None`` resolves
         ``REPRO_SERVE_WINDOW_MS`` / ``REPRO_SERVE_MAX_BATCH`` /
-        ``REPRO_SERVE_CACHE_BYTES`` lazily.
+        ``REPRO_SERVE_CACHE_BYTES`` / ``REPRO_SERVE_MAX_PENDING``
+        lazily.
+    breaker_fails / breaker_cooldown_s:
+        Circuit-breaker overrides for ``REPRO_SERVE_BREAKER_FAILS`` /
+        ``REPRO_SERVE_BREAKER_COOLDOWN_S``.
     """
 
     def __init__(self, *, options: SolverOptions | None = None,
                  window_ms: float | None = None,
                  max_batch: int | None = None,
-                 cache_bytes: int | None = None) -> None:
+                 cache_bytes: int | None = None,
+                 max_pending: int | None = None,
+                 breaker_fails: int | None = None,
+                 breaker_cooldown_s: float | None = None) -> None:
         self.options = options or default_options()
         self.cache = ChainCache(max_bytes=cache_bytes)
         #: Serve-level fault log: ``stage=serve`` injections, batch
@@ -93,6 +269,14 @@ class SolverService:
         self.fault_log = FaultLog()
         self._window_ms = window_ms
         self._max_batch = max_batch
+        self._max_pending = max_pending
+        #: Requests admitted but not yet resolved (event-loop thread
+        #: only — incremented strictly after the admission check, so
+        #: the ``REPRO_SERVE_MAX_PENDING`` budget is a hard bound).
+        self._pending = 0
+        #: Requests refused under admission control.
+        self.shed = 0
+        self.breaker = _Breaker(breaker_fails, breaker_cooldown_s)
         self._specs: dict[str, GraphSpec] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -133,7 +317,13 @@ class SolverService:
         self.close()
 
     def close(self) -> None:
-        """Drain, stop the loop, and release every resident chain."""
+        """Drain, stop the loop, and release every resident chain.
+
+        The loop is closed **unconditionally** once its thread is
+        joined — the earlier ``if not is_running()`` guard leaked the
+        loop (and its selector fd) whenever the thread was slow to
+        stop — and drain problems are logged, never swallowed.
+        """
         if not self._started or self._closed:
             self._closed = True
             self.cache.close()
@@ -143,11 +333,15 @@ class SolverService:
             fut = asyncio.run_coroutine_threadsafe(
                 self._shutdown_async(), self._loop)
             fut.result(timeout=30)
-        except Exception:  # pragma: no cover - best-effort teardown
-            pass
+        except Exception as exc:  # best-effort drain, but say so
+            _log.warning("service drain did not complete cleanly: %r",
+                         exc)
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=10)
-        if not self._loop.is_running():
+        if self._thread.is_alive():  # pragma: no cover - wedged loop
+            _log.warning("event-loop thread still alive after join "
+                         "timeout; closing the loop anyway")
+        with contextlib.suppress(Exception):
             self._loop.close()
         self._solve_pool.shutdown(wait=True)
         self.cache.close()
@@ -227,22 +421,60 @@ class SolverService:
         return self.submit(key, b, eps=eps, method=method).result(
             timeout=timeout)
 
+    def max_pending(self) -> int:
+        """Admission budget (constructor override or env; 0 = off)."""
+        if self._max_pending is not None:
+            return self._max_pending
+        return default_serve_max_pending()
+
+    def _admit(self) -> None:
+        """Admission control — event-loop thread, before any queueing.
+
+        Raises the retriable :class:`ServiceOverloadedError` when the
+        pending-request budget is exhausted or the circuit breaker is
+        open; both paths record a ``shed`` event so overload behaviour
+        is observable.
+        """
+        limit = self.max_pending()
+        if limit and self._pending >= limit:
+            self.shed += 1
+            self.fault_log.record(
+                "shed", backend="serve",
+                detail=f"pending={self._pending} at max_pending={limit}")
+            raise ServiceOverloadedError(
+                f"service overloaded: {self._pending} requests pending "
+                f"(budget {limit}); retry shortly", retry_after=0.1)
+        if not self.breaker.allow():
+            self.shed += 1
+            self.fault_log.record(
+                "shed", backend="serve",
+                detail="circuit breaker open (failing batch path)")
+            raise ServiceOverloadedError(
+                "service unavailable: circuit breaker open after "
+                "repeated batch failures",
+                retry_after=self.breaker.retry_after())
+
     async def _submit(self, key: str, b: np.ndarray, eps: float,
                       method: str, plan) -> ServeResult:
         loop = asyncio.get_running_loop()
-        solver = self.cache.get(key)
-        if solver is None:
-            # Build (or wait on the single-flight build) off-loop, in
-            # the solve executor: a cold chain must not stall the
-            # event loop's request plumbing.
-            solver = await loop.run_in_executor(
-                self._solve_pool, self._resolve_solver, key)
-        if b.shape != (solver.n,):
-            raise DimensionMismatchError(
-                f"b must have shape ({solver.n},) for this graph, "
-                f"got {b.shape}")
-        return await self.batcher.submit(key, solver, b, eps, method,
-                                         plan=plan)
+        self._admit()
+        self._pending += 1
+        try:
+            solver = self.cache.get(key)
+            if solver is None:
+                # Build (or wait on the single-flight build) off-loop,
+                # in the solve executor: a cold chain must not stall
+                # the event loop's request plumbing.
+                solver = await loop.run_in_executor(
+                    self._solve_pool, self._resolve_solver, key)
+            if b.shape != (solver.n,):
+                raise DimensionMismatchError(
+                    f"b must have shape ({solver.n},) for this graph, "
+                    f"got {b.shape}")
+            return await self.batcher.submit(key, solver, b, eps,
+                                             method, plan=plan)
+        finally:
+            self._pending -= 1
 
     def _run_batch(self, solver: LaplacianSolver, B: np.ndarray,
                    eps_col: np.ndarray, method: str, plan,
@@ -273,6 +505,10 @@ class SolverService:
                                                       method=method)
                 if report.fault_log is not None:
                     self.fault_log.events.extend(report.fault_log.events)
+                # Only the batch's final outcome feeds the breaker —
+                # retried transients that eventually succeed are the
+                # system working, not a failing dependency.
+                self.breaker.record_success(self.fault_log)
                 return report
             except InjectedFault as exc:
                 attempt += 1
@@ -281,11 +517,15 @@ class SolverService:
                         "exhausted", kind="serve", chunk=batch_seq,
                         attempt=attempt, backend="serve",
                         detail=str(exc))
+                    self.breaker.record_failure(self.fault_log)
                     raise
                 self.fault_log.record(
                     "retry", chunk=batch_seq, attempt=attempt,
                     backend="serve", detail="re-dispatching batch")
                 time.sleep(policy.base_delay * (2 ** (attempt - 1)))
+            except BaseException:
+                self.breaker.record_failure(self.fault_log)
+                raise
 
     # -- HTTP front end ------------------------------------------------------
 
@@ -321,7 +561,17 @@ class SolverService:
             if self.batcher is not None else {},
             "faults": self.fault_log.summary(),
             "graphs": len(self._specs),
+            "admission": {"pending": int(self._pending),
+                          "shed": int(self.shed)},
+            "breaker": {"state": self.breaker.state,
+                        "opens": int(self.breaker.opens),
+                        "consecutive_failures":
+                            int(self.breaker.consecutive_failures)},
             "knobs": {"window_ms": float(window_ms),
                       "max_batch": int(max_batch),
-                      "cache_bytes": int(self.cache.max_bytes)},
+                      "cache_bytes": int(self.cache.max_bytes),
+                      "max_pending": int(self.max_pending()),
+                      "breaker_fails": int(self.breaker.threshold()),
+                      "breaker_cooldown_s":
+                          float(self.breaker.cooldown_s())},
         }

@@ -22,11 +22,15 @@ Re-proves the library's contracts at the service boundary
 
 from __future__ import annotations
 
+import json
 import os
+import socket
 import subprocess
 import sys
 import threading
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
 
 import numpy as np
@@ -34,7 +38,8 @@ import pytest
 
 from repro.config import default_options, practical_options, reset_env_caches
 from repro.core.solver import LaplacianSolver
-from repro.errors import DimensionMismatchError, ServiceError
+from repro.errors import DimensionMismatchError, ServiceError, \
+    ServiceOverloadedError
 from repro.graphs import generators as G
 from repro.graphs.multigraph import MultiGraph
 from repro.pram.executor import _env_caches, default_workers, \
@@ -44,12 +49,16 @@ from repro.pram.faults import FaultPlan, InjectedFault, split_serve_plan, \
 from repro.serve import (
     ChainCache,
     SolverService,
+    default_serve_breaker_cooldown_s,
+    default_serve_breaker_fails,
     default_serve_cache_bytes,
     default_serve_max_batch,
+    default_serve_max_pending,
     default_serve_window_ms,
     graph_fingerprint,
     solver_cache_key,
 )
+from repro.serve.http import default_serve_read_timeout_s
 
 #: Generous gathering window for tests that must co-batch their
 #: submissions regardless of scheduler jitter.
@@ -710,3 +719,220 @@ class TestServeCLI:
             except subprocess.TimeoutExpired:  # pragma: no cover
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# admission control + circuit breaker (ISSUE 10)
+
+
+class TestAdmissionControl:
+    def _occupy_budget(self, svc, key, b):
+        """Submit one request and wait until it holds the budget."""
+        future = svc.submit(key, b)
+        deadline = time.monotonic() + 10.0
+        while svc.stats()["admission"]["pending"] < 1 \
+                and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert svc.stats()["admission"]["pending"] >= 1
+        return future
+
+    def test_burst_beyond_budget_is_shed(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=500.0, max_pending=1) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(20).normal(size=g.n)
+            first = self._occupy_budget(svc, key, b)
+            shed = svc.submit(key, b)
+            with pytest.raises(ServiceOverloadedError) as err:
+                shed.result(timeout=30)
+            assert err.value.retry_after > 0
+            # The in-budget request is untouched by the shedding.
+            result = first.result(timeout=120)
+            assert np.isfinite(result.x).all()
+            assert svc.shed == 1
+            assert svc.fault_log.count("shed") == 1
+            stats = svc.stats()
+            assert stats["admission"]["shed"] == 1
+            assert stats["knobs"]["max_pending"] == 1
+
+    def test_zero_budget_disables_shedding(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=50.0, max_pending=0) as svc:
+            key = svc.register(g, seed=0)
+            B = np.random.default_rng(21).normal(size=(g.n, 4))
+            futures = [svc.submit(key, B[:, i]) for i in range(4)]
+            for f in futures:
+                assert np.isfinite(f.result(timeout=120).x).all()
+            assert svc.shed == 0
+
+    def test_admission_knobs_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_MAX_PENDING", raising=False)
+        assert default_serve_max_pending() == 256
+        monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "7")
+        assert default_serve_max_pending() == 7
+        monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "0")
+        assert default_serve_max_pending() == 0  # shedding off
+        monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "-1")
+        with pytest.raises(ValueError):
+            default_serve_max_pending()
+
+        monkeypatch.delenv("REPRO_SERVE_BREAKER_FAILS", raising=False)
+        assert default_serve_breaker_fails() == 5
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_FAILS", "3")
+        assert default_serve_breaker_fails() == 3
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_FAILS", "0")
+        with pytest.raises(ValueError):
+            default_serve_breaker_fails()
+
+        monkeypatch.delenv("REPRO_SERVE_BREAKER_COOLDOWN_S",
+                           raising=False)
+        assert default_serve_breaker_cooldown_s() == 5.0
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_COOLDOWN_S", "1.5")
+        assert default_serve_breaker_cooldown_s() == 1.5
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_COOLDOWN_S", "0")
+        with pytest.raises(ValueError):
+            default_serve_breaker_cooldown_s()
+
+        monkeypatch.delenv("REPRO_SERVE_READ_TIMEOUT_S", raising=False)
+        assert default_serve_read_timeout_s() == 30.0
+        monkeypatch.setenv("REPRO_SERVE_READ_TIMEOUT_S", "2.5")
+        assert default_serve_read_timeout_s() == 2.5
+        monkeypatch.setenv("REPRO_SERVE_READ_TIMEOUT_S", "0")
+        with pytest.raises(ValueError):
+            default_serve_read_timeout_s()
+
+
+class TestCircuitBreaker:
+    def test_opens_fails_fast_and_recloses(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=10.0, breaker_fails=2,
+                           breaker_cooldown_s=0.4) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(22).normal(size=g.n)
+            # Batches 0 and 1 exhaust their retries: two consecutive
+            # batch failures trip the breaker.
+            with use_faults("kill:chunk=0:attempt=*:stage=serve,"
+                            "kill:chunk=1:attempt=*:stage=serve"):
+                for _ in range(2):
+                    with pytest.raises(InjectedFault):
+                        svc.solve(key, b)
+            assert svc.breaker.state == "open"
+            assert svc.fault_log.count("breaker_open") == 1
+            # Open breaker: fail fast, no batch is even attempted.
+            t0 = time.monotonic()
+            with pytest.raises(ServiceOverloadedError) as err:
+                svc.solve(key, b)
+            assert time.monotonic() - t0 < 0.2
+            assert err.value.retry_after > 0
+            assert svc.fault_log.count("shed") == 1
+            # After the cooldown the half-open probe (batch 2, no
+            # directive pins it) succeeds and re-closes the breaker.
+            time.sleep(0.45)
+            result = svc.solve(key, b)
+            assert np.isfinite(result.x).all()
+            stats = svc.stats()
+            assert stats["breaker"]["state"] == "closed"
+            assert stats["breaker"]["opens"] == 1
+            assert stats["breaker"]["consecutive_failures"] == 0
+            assert svc.fault_log.count("breaker_close") == 1
+
+    def test_failed_probe_reopens(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=10.0, breaker_fails=1,
+                           breaker_cooldown_s=0.3) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(23).normal(size=g.n)
+            with use_faults("kill:chunk=0:attempt=*:stage=serve,"
+                            "kill:chunk=1:attempt=*:stage=serve"):
+                with pytest.raises(InjectedFault):
+                    svc.solve(key, b)  # batch 0: trips (threshold 1)
+                assert svc.breaker.state == "open"
+                time.sleep(0.35)
+                # The half-open probe (batch 1) also dies: re-open.
+                with pytest.raises(InjectedFault):
+                    svc.solve(key, b)
+            assert svc.breaker.state == "open"
+            assert svc.breaker.opens == 2
+            assert svc.fault_log.count("breaker_open") == 2
+            time.sleep(0.35)
+            result = svc.solve(key, b)  # clean probe: batch 2
+            assert np.isfinite(result.x).all()
+            assert svc.breaker.state == "closed"
+
+
+# ---------------------------------------------------------------------------
+# service lifecycle (close() regression) + HTTP hardening
+
+
+class TestCloseLifecycle:
+    def test_close_closes_loop_and_joins_thread(self):
+        svc = SolverService(window_ms=10.0)
+        svc.start()
+        loop, thread = svc._loop, svc._thread
+        svc.close()
+        assert loop.is_closed()
+        assert not thread.is_alive()
+        svc.close()  # idempotent
+
+    def test_close_before_start_is_a_noop(self):
+        SolverService(window_ms=10.0).close()
+
+    def test_close_closes_loop_with_inflight_request(self):
+        # The regression: a drain that cannot finish cleanly must not
+        # leak the loop.
+        g = G.grid2d(6, 6)
+        svc = SolverService(window_ms=5_000.0)  # window outlives close
+        svc.start()
+        key = svc.register(g, seed=0)
+        b = np.random.default_rng(24).normal(size=g.n)
+        svc.submit(key, b)  # parked in the gather window
+        loop = svc._loop
+        svc.close()
+        assert loop.is_closed()
+
+
+class TestHTTPHardening:
+    def test_oversized_body_is_413_before_reading(self):
+        with SolverService(window_ms=10.0) as svc:
+            host, port = svc.serve_http("127.0.0.1", 0)
+            with socket.create_connection((host, port)) as s:
+                s.sendall(b"POST /solve HTTP/1.1\r\n"
+                          b"Content-Length: 999999999999\r\n\r\n")
+                s.settimeout(30)
+                response = s.recv(65536)
+        assert response.startswith(b"HTTP/1.1 413")
+
+    def test_trickling_client_times_out_408(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_READ_TIMEOUT_S", "0.3")
+        with SolverService(window_ms=10.0) as svc:
+            host, port = svc.serve_http("127.0.0.1", 0)
+            with socket.create_connection((host, port)) as s:
+                s.sendall(b"POST /solve HT")  # never finishes the line
+                s.settimeout(30)
+                t0 = time.monotonic()
+                response = s.recv(65536)
+                elapsed = time.monotonic() - t0
+        assert response.startswith(b"HTTP/1.1 408")
+        assert 0.2 <= elapsed < 10.0
+
+    def test_overload_maps_to_503_with_retry_after(self):
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=500.0, max_pending=1) as svc:
+            key = svc.register(g, seed=0)
+            host, port = svc.serve_http("127.0.0.1", 0)
+            b = np.random.default_rng(25).normal(size=g.n)
+            first = TestAdmissionControl()._occupy_budget(svc, key, b)
+            request = urllib.request.Request(
+                f"http://{host}:{port}/solve", method="POST",
+                data=json.dumps({"key": key, "source": 0,
+                                 "sink": -1}).encode(),
+                headers={"Content-Type": "application/json"})
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=30)
+            assert err.value.code == 503
+            assert int(err.value.headers["Retry-After"]) >= 1
+            body = json.loads(err.value.read().decode())
+            assert body["retry_after"] > 0
+            assert "overloaded" in body["error"]
+            # The in-budget request still completes.
+            assert np.isfinite(first.result(timeout=120).x).all()
