@@ -19,9 +19,12 @@ with the failure envelope a real fleet imposes:
 * **Authenticated sessions** — an HMAC-SHA256 challenge/response
   handshake (mutual: each side proves knowledge of the shared key from
   ``REPRO_TRANSPORT_KEY``, or a per-pool random key when unset) plus a
-  protocol version check.  Bad auth or a version mismatch ⇒ the
-  connection is refused and logged; no job bytes ever reach an
-  unauthenticated peer.
+  protocol version check.  Handshake payloads are **fixed-format raw
+  bytes** (nonces, proofs, UTF-8 refusal reasons) — nothing from the
+  wire is unpickled until the peer has proven it holds the key, so an
+  unauthenticated connector can never reach ``pickle.loads``.  Bad
+  auth or a version mismatch ⇒ the connection is refused and logged;
+  no job bytes ever reach an unauthenticated peer.
 * **Heartbeats** — each worker pushes a heartbeat frame every
   ``REPRO_HEARTBEAT_S`` seconds from a background thread.  The
   coordinator tracks ``last_heard`` per connection and declares a
@@ -118,6 +121,12 @@ HEARTBEAT_MISS_FACTOR = 3
 _HANDSHAKE_TIMEOUT = 10.0
 _SPAWN_TIMEOUT = 15.0
 _SEND_TIMEOUT = 60.0
+
+#: Fixed handshake field widths: 16-byte nonces, 32-byte HMAC-SHA256
+#: proofs.  Handshake payloads are raw concatenations of these — never
+#: pickle — so nothing attacker-controlled is deserialized pre-auth.
+_NONCE_LEN = 16
+_PROOF_LEN = 32
 
 #: Worker-side payload cache width — same rationale as the shm
 #: attachment cache (executor ``_ATTACH_CACHE``): one slot for the
@@ -274,9 +283,10 @@ def _plain_recv_exact(sock, n: int) -> bytes:
     return bytes(buf)
 
 
-def _plain_send(sock, ftype: int, payload: bytes) -> None:
+def _plain_send(sock, ftype: int, payload: bytes,
+                version: int = PROTOCOL_VERSION) -> None:
     crc = zlib.crc32(payload) & 0xFFFFFFFF
-    header = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, ftype, 0, 0, 1,
+    header = _HEADER.pack(_MAGIC, version, ftype, 0, 0, 1,
                           len(payload), crc)
     sock.sendall(header + payload)
 
@@ -300,19 +310,23 @@ def server_handshake(sock, key: bytes, welcome: dict,
                      log=None) -> bool:
     """Authenticate an inbound connection (coordinator side).
 
-    Protocol: peer sends HELLO ``{version, nonce}``; we verify the
-    version, answer CHALLENGE ``{nonce, proof}`` (proving *we* hold the
-    key — mutual auth); peer answers AUTH ``{proof}`` over our nonce;
-    on success we send WELCOME ``welcome``.  Any failure sends REFUSE,
-    closes the socket, logs the refusal, and returns ``False`` — no
-    job traffic ever flows on an unauthenticated connection.
+    Protocol (all payloads fixed-format raw bytes — **no pickle is
+    ever applied to pre-auth wire data**): peer sends HELLO (16-byte
+    nonce; the protocol version rides in the frame header); we answer
+    CHALLENGE (our 16-byte nonce ‖ 32-byte proof over the peer's nonce,
+    proving *we* hold the key — mutual auth); peer answers AUTH (32-byte
+    proof over our nonce); on success we send WELCOME, a pickled dict
+    tagged with an HMAC bound to the session nonce (the one post-auth
+    payload).  Any failure sends REFUSE (UTF-8 reason), closes the
+    socket, logs the refusal, and returns ``False`` — no job traffic
+    ever flows on an unauthenticated connection.
     """
     def refuse(reason: str) -> bool:
         _log.warning("transport handshake refused: %s", reason)
         if log is not None:
             log.record("auth_refused", backend="transport", detail=reason)
         try:
-            _plain_send(sock, _REFUSE, pickle.dumps({"error": reason}))
+            _plain_send(sock, _REFUSE, reason.encode("utf-8"))
         except OSError:
             pass
         sock.close()
@@ -323,25 +337,29 @@ def server_handshake(sock, key: bytes, welcome: dict,
         ver, ftype, payload = _plain_recv(sock)
         if ftype != _HELLO:
             return refuse(f"expected HELLO, got frame type {ftype}")
-        hello = pickle.loads(payload)
-        peer_version = hello.get("version", ver)
-        if peer_version != PROTOCOL_VERSION:
+        if ver != PROTOCOL_VERSION:
             return refuse(f"protocol version mismatch: peer "
-                          f"{peer_version}, ours {PROTOCOL_VERSION}")
-        nonce_c = hello["nonce"]
-        nonce_s = os.urandom(16)
-        _plain_send(sock, _CHALLENGE, pickle.dumps(
-            {"nonce": nonce_s, "proof": _proof(key, b"server", nonce_c)}))
+                          f"{ver}, ours {PROTOCOL_VERSION}")
+        if len(payload) != _NONCE_LEN:
+            return refuse(f"malformed HELLO nonce "
+                          f"({len(payload)} bytes, want {_NONCE_LEN})")
+        nonce_c = payload
+        nonce_s = os.urandom(_NONCE_LEN)
+        _plain_send(sock, _CHALLENGE,
+                    nonce_s + _proof(key, b"server", nonce_c))
         ver, ftype, payload = _plain_recv(sock)
         if ftype != _AUTH:
             return refuse(f"expected AUTH, got frame type {ftype}")
-        auth = pickle.loads(payload)
-        if not hmac.compare_digest(auth.get("proof", b""),
+        if len(payload) != _PROOF_LEN:
+            return refuse(f"malformed AUTH proof "
+                          f"({len(payload)} bytes, want {_PROOF_LEN})")
+        if not hmac.compare_digest(payload,
                                    _proof(key, b"client", nonce_s)):
             return refuse("authentication failed (bad HMAC proof)")
-        _plain_send(sock, _WELCOME, pickle.dumps(welcome))
-    except (TransportError, OSError, pickle.UnpicklingError, KeyError,
-            EOFError) as exc:
+        blob = pickle.dumps(welcome)
+        _plain_send(sock, _WELCOME,
+                    blob + _proof(key, b"welcome", nonce_c + blob))
+    except (TransportError, OSError) as exc:
         return refuse(f"handshake error: {exc}")
     sock.settimeout(None)
     return True
@@ -352,33 +370,43 @@ def client_handshake(sock, key: bytes) -> dict:
 
     Mirror image of :func:`server_handshake`; verifies the server's
     proof before answering (so a worker never talks jobs with an
-    impostor coordinator either).  Returns the WELCOME dict; raises
+    impostor coordinator either), and only unpickles the WELCOME dict
+    after checking its HMAC tag — the wire never reaches
+    ``pickle.loads`` unauthenticated.  Returns the WELCOME dict; raises
     :class:`TransportError` on refusal or mismatch.
     """
+    def refusal(payload: bytes) -> str:
+        return payload.decode("utf-8", "replace") or "refused"
+
     sock.settimeout(_HANDSHAKE_TIMEOUT)
-    nonce_c = os.urandom(16)
-    _plain_send(sock, _HELLO, pickle.dumps(
-        {"version": PROTOCOL_VERSION, "nonce": nonce_c}))
+    nonce_c = os.urandom(_NONCE_LEN)
+    _plain_send(sock, _HELLO, nonce_c)
     ver, ftype, payload = _plain_recv(sock)
     if ftype == _REFUSE:
-        reason = pickle.loads(payload).get("error", "refused")
-        raise TransportError(f"connection refused: {reason}")
+        raise TransportError(f"connection refused: {refusal(payload)}")
     if ftype != _CHALLENGE:
         raise TransportError(f"expected CHALLENGE, got type {ftype}")
-    challenge = pickle.loads(payload)
-    if not hmac.compare_digest(challenge.get("proof", b""),
+    if ver != PROTOCOL_VERSION:
+        raise TransportError(f"protocol version mismatch: coordinator "
+                             f"{ver}, ours {PROTOCOL_VERSION}")
+    if len(payload) != _NONCE_LEN + _PROOF_LEN:
+        raise TransportError("malformed CHALLENGE frame")
+    nonce_s = payload[:_NONCE_LEN]
+    if not hmac.compare_digest(payload[_NONCE_LEN:],
                                _proof(key, b"server", nonce_c)):
         raise TransportError("coordinator failed authentication")
-    _plain_send(sock, _AUTH, pickle.dumps(
-        {"proof": _proof(key, b"client", challenge["nonce"])}))
+    _plain_send(sock, _AUTH, _proof(key, b"client", nonce_s))
     ver, ftype, payload = _plain_recv(sock)
     if ftype == _REFUSE:
-        reason = pickle.loads(payload).get("error", "refused")
-        raise TransportError(f"connection refused: {reason}")
+        raise TransportError(f"connection refused: {refusal(payload)}")
     if ftype != _WELCOME:
         raise TransportError(f"expected WELCOME, got type {ftype}")
+    blob, tag = payload[:-_PROOF_LEN], payload[-_PROOF_LEN:]
+    if not hmac.compare_digest(tag,
+                               _proof(key, b"welcome", nonce_c + blob)):
+        raise TransportError("WELCOME failed authentication")
     sock.settimeout(None)
-    return pickle.loads(payload)
+    return pickle.loads(blob)
 
 
 # -- the framed channel -------------------------------------------------------
@@ -397,7 +425,10 @@ class Channel:
     Threading: receives happen on one thread only.  Sends are
     serialized by an internal lock so a worker's heartbeat thread can
     interleave with its result sends.  The coordinator is
-    single-threaded per pool.
+    single-threaded per pool.  Both directions bound their waits with
+    ``select`` on a blocking socket — the shared per-socket timeout is
+    never touched after construction, so a heartbeat send can never
+    race a concurrent receive into inheriting the wrong timeout.
 
     ``directives`` (set per dispatch round by the scheduler) are
     coordinator-side ``stage=transport`` frame faults; ``peer`` is the
@@ -410,6 +441,7 @@ class Channel:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - non-TCP test sockets
             pass
+        sock.settimeout(None)  # waits are select-bounded from here on
         self.sock = sock
         self.peer = peer
         self.directives: tuple = ()
@@ -446,11 +478,26 @@ class Channel:
 
     def _raw_send(self, data: bytes) -> None:
         with self._send_lock:
-            try:
-                self.sock.settimeout(_SEND_TIMEOUT)
-                self.sock.sendall(data)
-            except (OSError, ValueError) as exc:
-                raise self._fail(f"send failed ({exc!r})") from None
+            view = memoryview(data)
+            deadline = time.monotonic() + _SEND_TIMEOUT
+            while view:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise self._fail(
+                        f"send timed out after {_SEND_TIMEOUT}s")
+                try:
+                    _, writable, _ = select.select([], [self.sock], [],
+                                                   remaining)
+                except (OSError, ValueError) as exc:
+                    raise self._fail(f"send failed ({exc!r})") from None
+                if not writable:
+                    raise self._fail(
+                        f"send timed out after {_SEND_TIMEOUT}s")
+                try:
+                    sent = self.sock.send(view)
+                except OSError as exc:
+                    raise self._fail(f"send failed ({exc!r})") from None
+                view = view[sent:]
 
     def _frame(self, ftype: int, msg_id: int, chunk: int, nchunks: int,
                payload: bytes) -> bytes:
@@ -459,19 +506,28 @@ class Channel:
                             chunk, nchunks, len(payload), crc) + payload
 
     def _fill(self, n: int, deadline: float | None) -> None:
-        """Buffer at least ``n`` inbound bytes or raise ``_PumpTimeout``."""
+        """Buffer at least ``n`` inbound bytes or raise ``_PumpTimeout``.
+
+        An already-expired deadline still sweeps whatever the kernel
+        has buffered (zero-timeout select) before giving up, so
+        :meth:`drain`/:meth:`pump` with a past deadline deliver
+        kernel-buffered frames — heartbeats included — without
+        blocking.
+        """
         while len(self._rbuf) < n:
             if deadline is None:
                 remaining = None
             else:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise _PumpTimeout
+                remaining = max(0.0, deadline - time.monotonic())
             try:
-                self.sock.settimeout(remaining)
+                readable, _, _ = select.select([self.sock], [], [],
+                                               remaining)
+            except (OSError, ValueError) as exc:
+                raise self._fail(f"receive failed ({exc!r})") from None
+            if not readable:
+                raise _PumpTimeout
+            try:
                 data = self.sock.recv(1 << 16)
-            except socket.timeout:
-                raise _PumpTimeout from None
             except OSError as exc:
                 raise self._fail(f"receive failed ({exc!r})") from None
             if not data:
@@ -789,10 +845,13 @@ def transport_worker_main(address, key: bytes) -> None:
             _, i, args = msg
             (dispatch_ref, shared_ref, task, meta, lo, hi, seed_seq,
              bitgen_cls, want_ledger, directives, chunk, attempt) = args
+            # Mirrors FaultPlan.transport_directives: kill/hang pinned
+            # to the transport scope via either stage= or phase= are
+            # wire faults (hang must suspend heartbeats first).
             wire = tuple(d for d in directives
                          if d.kind == "disconnect"
                          or (d.kind in ("kill", "hang")
-                             and d.stage == "transport"))
+                             and "transport" in (d.stage, d.phase)))
             rest = tuple(d for d in directives if d not in wire)
             _apply_wire_faults(wire, worker_id=worker_id, chunk=chunk,
                                attempt=attempt, chan=chan,
@@ -1111,9 +1170,23 @@ class TransportPool:
                         f"worker {worker.id} connection lost")
                 elif self.heartbeat_s > 0 and now - worker.chan.last_heard \
                         > HEARTBEAT_MISS_FACTOR * self.heartbeat_s:
-                    cause = TransportError(
-                        f"worker {worker.id} missed "
-                        f"{HEARTBEAT_MISS_FACTOR} heartbeats")
+                    # A long serial stretch (e.g. shipping big tcp
+                    # payloads to other workers) can leave this
+                    # worker's heartbeats unread in the kernel buffer.
+                    # Sweep the socket before declaring death; frames
+                    # pumped here land in the inbox and are delivered
+                    # by the drain step below.
+                    try:
+                        while worker.chan.pump(now):
+                            pass
+                    except TransportError as exc:
+                        cause = exc
+                    if cause is None and (time.monotonic()
+                                          - worker.chan.last_heard) \
+                            > HEARTBEAT_MISS_FACTOR * self.heartbeat_s:
+                        cause = TransportError(
+                            f"worker {worker.id} missed "
+                            f"{HEARTBEAT_MISS_FACTOR} heartbeats")
                 elif lease_timeout is not None and worker.lease is not None \
                         and now - worker.lease_started > lease_timeout:
                     cause = TimeoutError(
@@ -1148,12 +1221,12 @@ class TransportPool:
             if len(results) >= njobs:
                 break
 
-            # 3. deliver traffic already sitting in userspace buffers.
-            #    A send_msg ACK wait can pull a worker's result into
-            #    Channel._rbuf alongside the ACK; select() below only
-            #    watches the kernel socket, so such a message would
-            #    otherwise wait for the next heartbeat (or the worker's
-            #    ACK-timeout retransmit) to wake the loop.
+            # 3. deliver buffered traffic (userspace and kernel) from
+            #    every worker without blocking.  A send_msg ACK wait
+            #    can pull a worker's result into Channel._rbuf
+            #    alongside the ACK; the sweep also keeps last_heard
+            #    fresh for workers whose heartbeats arrived while the
+            #    loop was busy elsewhere.
             delivered = False
             for worker in list(self.workers):
                 if worker.chan.closed:

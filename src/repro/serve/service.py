@@ -148,6 +148,12 @@ class _Breaker:
     request is admitted (``half-open``); its success re-closes the
     breaker, its failure re-opens it for another cooldown.
 
+    A probe admission returns a token the admitting request must hand
+    back via :meth:`release_probe` if it dies before reaching the
+    batch path (unknown key, bad shape, …) — otherwise the probe slot
+    would stay claimed forever and the breaker could never recover.
+    The token guards against releasing a *later* request's probe slot.
+
     Admission runs on the event-loop thread, outcomes land from the
     solve-executor thread — hence the lock.
     """
@@ -162,6 +168,7 @@ class _Breaker:
         self.opens = 0
         self._opened_at = 0.0
         self._probing = False
+        self._probe_token = 0
 
     def threshold(self) -> int:
         return self._fails if self._fails is not None \
@@ -171,21 +178,40 @@ class _Breaker:
         return self._cooldown if self._cooldown is not None \
             else default_serve_breaker_cooldown_s()
 
-    def allow(self) -> bool:
-        """May a request pass right now? (may transition open→half-open)"""
+    def allow(self) -> tuple[bool, int | None]:
+        """``(admitted, probe_token)`` — may transition open→half-open.
+
+        ``probe_token`` is non-``None`` iff this admission *is* the
+        half-open probe; the caller owes :meth:`release_probe` for it
+        if the request fails before the batch path records an outcome.
+        """
         with self._lock:
             if self.state == "closed":
-                return True
+                return True, None
             if self.state == "open":
                 if time.monotonic() - self._opened_at < self.cooldown_s():
-                    return False
+                    return False, None
                 self.state = "half-open"
                 self._probing = False
             # half-open: admit exactly one probe at a time.
             if self._probing:
-                return False
+                return False, None
             self._probing = True
-            return True
+            self._probe_token += 1
+            return True, self._probe_token
+
+    def release_probe(self, token: int) -> None:
+        """Free the half-open probe slot if ``token`` still holds it.
+
+        No-op when the probe already reached :meth:`record_success` /
+        :meth:`record_failure` (state moved on) or when a later probe
+        owns the slot — so callers can release unconditionally from a
+        ``finally``.
+        """
+        with self._lock:
+            if self.state == "half-open" and self._probing \
+                    and token == self._probe_token:
+                self._probing = False
 
     def retry_after(self) -> float:
         with self._lock:
@@ -427,13 +453,18 @@ class SolverService:
             return self._max_pending
         return default_serve_max_pending()
 
-    def _admit(self) -> None:
+    def _admit(self) -> int | None:
         """Admission control — event-loop thread, before any queueing.
 
         Raises the retriable :class:`ServiceOverloadedError` when the
         pending-request budget is exhausted or the circuit breaker is
         open; both paths record a ``shed`` event so overload behaviour
-        is observable.
+        is observable.  Returns the breaker's probe token when this
+        request is the half-open probe (``None`` otherwise) — the
+        caller must hand it back via ``breaker.release_probe`` once
+        the request settles, lest a pre-batch failure (unknown key,
+        bad shape) strand the probe slot and wedge the breaker
+        half-open forever.
         """
         limit = self.max_pending()
         if limit and self._pending >= limit:
@@ -444,7 +475,8 @@ class SolverService:
             raise ServiceOverloadedError(
                 f"service overloaded: {self._pending} requests pending "
                 f"(budget {limit}); retry shortly", retry_after=0.1)
-        if not self.breaker.allow():
+        admitted, probe = self.breaker.allow()
+        if not admitted:
             self.shed += 1
             self.fault_log.record(
                 "shed", backend="serve",
@@ -453,11 +485,12 @@ class SolverService:
                 "service unavailable: circuit breaker open after "
                 "repeated batch failures",
                 retry_after=self.breaker.retry_after())
+        return probe
 
     async def _submit(self, key: str, b: np.ndarray, eps: float,
                       method: str, plan) -> ServeResult:
         loop = asyncio.get_running_loop()
-        self._admit()
+        probe = self._admit()
         self._pending += 1
         try:
             solver = self.cache.get(key)
@@ -475,6 +508,11 @@ class SolverService:
                                              method, plan=plan)
         finally:
             self._pending -= 1
+            if probe is not None:
+                # No-op when _run_batch already recorded the probe's
+                # outcome; frees the slot when the request died before
+                # reaching the batch path.
+                self.breaker.release_probe(probe)
 
     def _run_batch(self, solver: LaplacianSolver, B: np.ndarray,
                    eps_col: np.ndarray, method: str, plan,

@@ -859,6 +859,33 @@ class TestCircuitBreaker:
             assert np.isfinite(result.x).all()
             assert svc.breaker.state == "closed"
 
+    def test_probe_dying_pre_batch_releases_slot(self):
+        # A half-open probe that fails before the batch path (unknown
+        # key, bad shape) must free the probe slot — not strand
+        # _probing=True and shed every later request forever.
+        g = G.grid2d(6, 6)
+        with SolverService(window_ms=10.0, breaker_fails=1,
+                           breaker_cooldown_s=0.2) as svc:
+            key = svc.register(g, seed=0)
+            b = np.random.default_rng(24).normal(size=g.n)
+            with use_faults("kill:chunk=0:attempt=*:stage=serve"):
+                with pytest.raises(InjectedFault):
+                    svc.solve(key, b)  # batch 0: trips (threshold 1)
+            assert svc.breaker.state == "open"
+            time.sleep(0.25)
+            # Probe 1: dies resolving an unregistered key.
+            with pytest.raises(ServiceError):
+                svc.solve("no-such-key", b)
+            assert svc.breaker.state == "half-open"
+            # Probe 2: dies on a right-hand side of the wrong length.
+            with pytest.raises(DimensionMismatchError):
+                svc.solve(key, b[:-1])
+            assert svc.breaker.state == "half-open"
+            # Probe 3: clean request is admitted and re-closes.
+            result = svc.solve(key, b)
+            assert np.isfinite(result.x).all()
+            assert svc.breaker.state == "closed"
+
 
 # ---------------------------------------------------------------------------
 # service lifecycle (close() regression) + HTTP hardening

@@ -368,15 +368,15 @@ class TestHandshake:
         assert log.count("auth_refused") == 1
 
     def test_forged_client_proof_refused(self):
+        # Raw-framed handshake: HELLO is a bare 16-byte nonce, AUTH a
+        # bare 32-byte proof — no pickle ever crosses pre-auth.
         sa, sb = socket.socketpair()
         log = FaultLog()
         thread, box = self._serve(sa, b"secret", log=log)
-        _plain_send(sb, _HELLO, __import__("pickle").dumps(
-            {"version": PROTOCOL_VERSION, "nonce": os.urandom(16)}))
+        _plain_send(sb, _HELLO, os.urandom(16))
         _, ftype, _ = _plain_recv(sb)
         assert ftype == _CHALLENGE
-        _plain_send(sb, _AUTH, __import__("pickle").dumps(
-            {"proof": b"forged"}))
+        _plain_send(sb, _AUTH, os.urandom(32))  # right width, wrong key
         _, ftype, _ = _plain_recv(sb)
         assert ftype == _REFUSE
         thread.join(15)
@@ -385,15 +385,30 @@ class TestHandshake:
         assert "HMAC" in log.events[0].detail
         sa.close(), sb.close()
 
-    def test_version_mismatch_refused(self):
+    def test_malformed_hello_refused_without_unpickling(self):
+        # A pickle bomb in the HELLO payload is refused on width alone.
         sa, sb = socket.socketpair()
         log = FaultLog()
         thread, box = self._serve(sa, b"secret", log=log)
         _plain_send(sb, _HELLO, __import__("pickle").dumps(
-            {"version": 99, "nonce": os.urandom(16)}))
+            {"version": PROTOCOL_VERSION, "nonce": os.urandom(16)}))
         _, ftype, payload = _plain_recv(sb)
         assert ftype == _REFUSE
-        reason = __import__("pickle").loads(payload)["error"]
+        assert "malformed HELLO" in payload.decode("utf-8")
+        thread.join(15)
+        assert box["ok"] is False
+        assert log.count("auth_refused") == 1
+        sa.close(), sb.close()
+
+    def test_version_mismatch_refused(self):
+        # The protocol version rides in the frame header.
+        sa, sb = socket.socketpair()
+        log = FaultLog()
+        thread, box = self._serve(sa, b"secret", log=log)
+        _plain_send(sb, _HELLO, os.urandom(16), version=99)
+        _, ftype, payload = _plain_recv(sb)
+        assert ftype == _REFUSE
+        reason = payload.decode("utf-8")
         assert "version" in reason
         thread.join(15)
         assert box["ok"] is False
@@ -520,16 +535,19 @@ class TestDistributedWire:
         assert flog.count("worker_replace") >= 1
         assert flog.count("pool_rebuild") == 0
 
-    def test_heartbeats_detect_frozen_worker(self, monkeypatch):
+    @pytest.mark.parametrize("scope", ["stage", "phase"])
+    def test_heartbeats_detect_frozen_worker(self, monkeypatch, scope):
         base, lbase, _ = self._run(monkeypatch)
         shutdown_distributed_pools()
         monkeypatch.setenv("REPRO_HEARTBEAT_S", "0.2")
         # A 30s freeze with suspended heartbeats: no EOF, no lease
         # timeout (FAST has none) — only heartbeat monitoring can
-        # detect it within the test's lifetime.
+        # detect it within the test's lifetime.  Both transport-scope
+        # spellings must suspend heartbeats worker-side (the filter
+        # mirrors FaultPlan.transport_directives).
         t0 = time.monotonic()
         out, led, flog = self._run(
-            monkeypatch, plan="hang:chunk=0:stage=transport:seconds=30")
+            monkeypatch, plan=f"hang:chunk=0:{scope}=transport:seconds=30")
         assert time.monotonic() - t0 < 20.0
         assert out == base and led == lbase
         assert any("heartbeat" in e.detail for e in flog.events
